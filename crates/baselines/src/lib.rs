@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # baselines — the schemes SPAM is compared against
+//!
+//! Three baselines frame the paper's evaluation:
+//!
+//! * [`UpDownUnicastRouting`] — classic up*/down* unicast routing
+//!   (Schroeder et al., Autonet), the standard deadlock-free routing for
+//!   irregular switch networks. SPAM's unicast stage is a restriction of
+//!   it (down-cross before down-tree); comparing the two isolates the cost
+//!   of that restriction.
+//! * [`ucast_multicast::UnicastMulticast`] — software (unicast-based)
+//!   multicast over a binomial tree: the message is forwarded in multiple
+//!   communication phases, each paying a full startup latency. This is the
+//!   scheme whose ⌈log₂(d+1)⌉ startup lower bound the paper's §4
+//!   comparison invokes.
+//! * [`lower_bound`] — the analytic startup-only lower bound itself.
+
+pub mod lower_bound;
+pub mod ucast_multicast;
+pub mod updown_unicast;
+
+pub use lower_bound::{software_multicast_lower_bound, software_multicast_phases};
+pub use ucast_multicast::UnicastMulticast;
+pub use updown_unicast::UpDownUnicastRouting;

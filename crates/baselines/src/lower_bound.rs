@@ -1,0 +1,91 @@
+//! The analytic lower bound for unicast-based (software) multicast.
+//!
+//! McKinley et al. showed that distributing a message to `d` destinations
+//! with unicasts needs at least ⌈log₂(d+1)⌉ communication phases — the
+//! informed set can at most double per phase. Each phase costs at least one
+//! startup latency, so the latency lower bound (accounting for startup
+//! alone, as the paper does in §4) is ⌈log₂(d+1)⌉ · t_startup.
+//!
+//! §4 quotes 90 µs for a broadcast in a 256-node network; that arithmetic
+//! corresponds to d = 256 (⌈log₂ 257⌉ = 9 phases). With d = 255 reachable
+//! *other* processors the bound is 8 phases / 80 µs. The benchmark harness
+//! reports both readings; either way SPAM's <14 µs is a ≥ 5.7× win that
+//! grows with network size.
+
+use desim::Duration;
+
+/// Minimum number of unicast phases to reach `d` destinations.
+pub fn software_multicast_phases(d: u64) -> u32 {
+    // ⌈log₂(d + 1)⌉ = bit length of d, exactly, without floating point.
+    u64::BITS - d.leading_zeros()
+}
+
+/// Startup-only latency lower bound for a `d`-destination software
+/// multicast.
+pub fn software_multicast_lower_bound(d: u64, startup: Duration) -> Duration {
+    startup * software_multicast_phases(d) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_counts_match_formula() {
+        // ⌈log₂(d+1)⌉ reference values.
+        let expect = [
+            (0u64, 0u32),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (15, 4),
+            (16, 5),
+            (127, 7),
+            (128, 8),
+            (255, 8),
+            (256, 9),
+        ];
+        for (d, phases) in expect {
+            assert_eq!(
+                software_multicast_phases(d),
+                phases,
+                "d={d}: expected ceil(log2({})) = {phases}",
+                d + 1
+            );
+        }
+    }
+
+    #[test]
+    fn paper_claims_reproduce() {
+        let startup = Duration::from_us(10);
+        // The paper's 90 µs figure (d = 256).
+        assert_eq!(
+            software_multicast_lower_bound(256, startup),
+            Duration::from_us(90)
+        );
+        // The d = 255 (other-processors) reading.
+        assert_eq!(
+            software_multicast_lower_bound(255, startup),
+            Duration::from_us(80)
+        );
+        // 128-node broadcast.
+        assert_eq!(
+            software_multicast_lower_bound(127, startup),
+            Duration::from_us(70)
+        );
+    }
+
+    #[test]
+    fn bound_is_monotone() {
+        let s = Duration::from_us(10);
+        let mut prev = Duration::ZERO;
+        for d in 0..2000 {
+            let b = software_multicast_lower_bound(d, s);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+}

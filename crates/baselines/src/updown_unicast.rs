@@ -1,0 +1,300 @@
+//! Classic up*/down* unicast routing (Schroeder et al., Autonet).
+//!
+//! A worm uses zero or more **up** channels followed by zero or more
+//! **down** channels — with *no* distinction between down tree and down
+//! cross channels. A down channel `(u, v)` is legal only if the target is
+//! still reachable from `v` through down channels alone (otherwise the worm
+//! would strand itself in the down subnetwork).
+//!
+//! This is the routing SPAM generalizes; it serves two roles here: the
+//! unicast baseline for ablation D, and — together with SPAM's unicast
+//! stage — a measure of how much SPAM's extra ordering restriction
+//! (down-cross before down-tree) costs on unicast traffic.
+
+use netgraph::{ChannelId, NodeId, Topology};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use updown::{BitMatrix, ChannelClass, UpDownLabeling};
+use wormsim::{MessageSpec, RouteDecision, RoutingAlgorithm};
+
+/// Routing phase: up channels first, then down channels only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UdPhase {
+    /// May still use any channel (up moves allowed).
+    Up,
+    /// Committed to the down subnetwork.
+    Down,
+}
+
+/// Worm header state: the unicast target and the phase.
+#[derive(Debug, Clone)]
+pub struct UdHeader {
+    /// The destination processor.
+    pub target: NodeId,
+    /// Up or down phase.
+    pub phase: UdPhase,
+}
+
+/// Up*/down* unicast routing with a min-residual-distance selection
+/// function (the same selection discipline the SPAM implementation uses,
+/// so comparisons isolate the routing-function difference).
+#[derive(Debug, Clone)]
+pub struct UpDownUnicastRouting<'a> {
+    topo: &'a Topology,
+    ud: &'a UpDownLabeling,
+    /// `down_reach.get(u, v)` ⇔ `v` reachable from `u` via down channels.
+    down_reach: Arc<BitMatrix>,
+    /// `dist[target][2 * node + phase]` residual legal distances.
+    dist: Arc<Vec<Vec<u16>>>,
+}
+
+/// Sentinel for unreachable states.
+const UNREACHABLE: u16 = u16::MAX;
+
+impl<'a> UpDownUnicastRouting<'a> {
+    /// Builds the router, precomputing down-reachability and distances.
+    pub fn new(topo: &'a Topology, ud: &'a UpDownLabeling) -> Self {
+        let down_reach = Arc::new(Self::build_down_reach(topo, ud));
+        let dist = Arc::new(
+            topo.nodes()
+                .map(|t| Self::build_dist(topo, ud, &down_reach, t))
+                .collect(),
+        );
+        UpDownUnicastRouting {
+            topo,
+            ud,
+            down_reach,
+            dist,
+        }
+    }
+
+    /// Transitive closure over the (acyclic) down-channel digraph, in
+    /// reverse (level, id) topological order.
+    fn build_down_reach(topo: &Topology, ud: &UpDownLabeling) -> BitMatrix {
+        let n = topo.num_nodes();
+        let mut order: Vec<NodeId> = topo.nodes().collect();
+        order.sort_unstable_by_key(|v| (ud.level(*v), *v));
+        let mut reach = BitMatrix::new(n);
+        for &u in order.iter().rev() {
+            reach.set(u.index(), u.index());
+            for &c in topo.out_channels(u) {
+                if ud.class(c).is_down() {
+                    let w = topo.channel(c).dst;
+                    reach.or_row_into(w.index(), u.index());
+                }
+            }
+        }
+        reach
+    }
+
+    /// Reverse BFS over the two-layer (Up/Down) legality graph for one
+    /// target.
+    fn build_dist(
+        topo: &Topology,
+        ud: &UpDownLabeling,
+        down_reach: &BitMatrix,
+        target: NodeId,
+    ) -> Vec<u16> {
+        let n = topo.num_nodes();
+        let idx = |v: NodeId, ph: UdPhase| 2 * v.index() + (ph == UdPhase::Down) as usize;
+        let mut d = vec![UNREACHABLE; 2 * n];
+        let mut q = VecDeque::new();
+        for ph in [UdPhase::Up, UdPhase::Down] {
+            d[idx(target, ph)] = 0;
+            q.push_back((target, ph));
+        }
+        while let Some((v, ph_v)) = q.pop_front() {
+            let dv = d[idx(v, ph_v)];
+            for &c in topo.in_channels(v) {
+                let u = topo.channel(c).src;
+                let preds: &[UdPhase] = if ud.class(c).is_up() {
+                    if ph_v == UdPhase::Up {
+                        &[UdPhase::Up]
+                    } else {
+                        &[]
+                    }
+                } else if ph_v == UdPhase::Down && down_reach.get(v.index(), target.index()) {
+                    &[UdPhase::Up, UdPhase::Down]
+                } else {
+                    &[]
+                };
+                for &ph_u in preds {
+                    let slot = &mut d[idx(u, ph_u)];
+                    if *slot == UNREACHABLE {
+                        *slot = dv + 1;
+                        q.push_back((u, ph_u));
+                    }
+                }
+            }
+        }
+        d
+    }
+
+    /// Residual legal distance from `(node, phase)` to `target`.
+    pub fn dist(&self, target: NodeId, node: NodeId, phase: UdPhase) -> u16 {
+        self.dist[target.index()][2 * node.index() + (phase == UdPhase::Down) as usize]
+    }
+
+    /// Legal `(channel, next phase)` moves from `node` towards `target`.
+    pub fn legal_moves(
+        &self,
+        node: NodeId,
+        phase: UdPhase,
+        target: NodeId,
+    ) -> Vec<(ChannelId, UdPhase)> {
+        let mut out = Vec::new();
+        for &c in self.topo.out_channels(node) {
+            let v = self.topo.channel(c).dst;
+            match self.ud.class(c) {
+                ChannelClass::UpTree | ChannelClass::UpCross => {
+                    if phase == UdPhase::Up {
+                        out.push((c, UdPhase::Up));
+                    }
+                }
+                ChannelClass::DownTree | ChannelClass::DownCross => {
+                    if self.down_reach.get(v.index(), target.index()) {
+                        out.push((c, UdPhase::Down));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl RoutingAlgorithm for UpDownUnicastRouting<'_> {
+    type Header = UdHeader;
+
+    fn initial_header(&self, spec: &MessageSpec) -> UdHeader {
+        assert!(
+            spec.is_unicast(),
+            "up*/down* baseline routes unicasts only; use a multicast scheme on top"
+        );
+        UdHeader {
+            target: spec.dests[0],
+            phase: UdPhase::Up,
+        }
+    }
+
+    fn route(
+        &self,
+        _topo: &Topology,
+        node: NodeId,
+        _in_ch: ChannelId,
+        header: &UdHeader,
+        _spec: &MessageSpec,
+    ) -> RouteDecision<UdHeader> {
+        let legal = self.legal_moves(node, header.phase, header.target);
+        assert!(
+            !legal.is_empty(),
+            "up*/down* invariant violated at {node} towards {}",
+            header.target
+        );
+        let (ch, phase) = legal
+            .into_iter()
+            .min_by_key(|&(c, ph)| {
+                let v = self.topo.channel(c).dst;
+                (self.dist(header.target, v, ph), c)
+            })
+            .expect("non-empty");
+        RouteDecision::single(
+            ch,
+            UdHeader {
+                target: header.target,
+                phase,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::gen::fixtures::figure1;
+    use netgraph::gen::lattice::IrregularConfig;
+    use updown::RootSelection;
+    use wormsim::{NetworkSim, SimConfig};
+
+    #[test]
+    fn all_pairs_deliver_on_figure1() {
+        let (t, l) = figure1();
+        let ud = UpDownLabeling::build(&t, RootSelection::Fixed(l.by_label(1).unwrap()));
+        let router = UpDownUnicastRouting::new(&t, &ud);
+        let procs: Vec<NodeId> = t.processors().collect();
+        for &a in &procs {
+            for &b in &procs {
+                if a == b {
+                    continue;
+                }
+                let mut sim = NetworkSim::new(&t, router.clone(), SimConfig::paper());
+                sim.submit(MessageSpec::unicast(a, b, 64)).unwrap();
+                let out = sim.run();
+                assert!(out.all_delivered(), "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn up_down_is_at_least_as_direct_as_spam() {
+        // Classic up*/down* has strictly more legal routes than SPAM's
+        // restricted unicast stage, so its shortest legal distance can
+        // never be longer.
+        let t = IrregularConfig::with_switches(24).generate(5);
+        let ud = UpDownLabeling::build(&t, RootSelection::LowestId);
+        let udr = UpDownUnicastRouting::new(&t, &ud);
+        let spam = spam_core::SpamRouting::new(&t, &ud);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                let d_ud = udr.dist(b, a, UdPhase::Up);
+                let d_spam = spam.tables().dist(b, a, spam_core::Phase::Up);
+                assert_ne!(d_ud, UNREACHABLE, "{a}->{b} unreachable under up*/down*");
+                assert!(
+                    d_ud <= d_spam,
+                    "up*/down* ({d_ud}) longer than SPAM ({d_spam}) {a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_concurrent_unicasts_never_deadlock() {
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..5u64 {
+            let t = IrregularConfig::with_switches(20).generate(seed);
+            let ud = UpDownLabeling::build(&t, RootSelection::LowestId);
+            let router = UpDownUnicastRouting::new(&t, &ud);
+            let procs: Vec<NodeId> = t.processors().collect();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+            let mut sim = NetworkSim::new(&t, router, SimConfig::paper());
+            for i in 0..40 {
+                let src = procs[rng.gen_range(0..procs.len())];
+                let dst = *procs
+                    .iter()
+                    .filter(|&&p| p != src)
+                    .collect::<Vec<_>>()
+                    .choose(&mut rng)
+                    .unwrap();
+                sim.submit(
+                    MessageSpec::unicast(src, *dst, 128)
+                        .at(desim::Time::from_ns(rng.gen_range(0..30_000)))
+                        .tag(i),
+                )
+                .unwrap();
+            }
+            let out = sim.run();
+            assert!(out.all_delivered(), "seed {seed}: {:?}", out.deadlock);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unicasts only")]
+    fn rejects_multicast_specs() {
+        let (t, l) = figure1();
+        let ud = UpDownLabeling::build(&t, RootSelection::Fixed(l.by_label(1).unwrap()));
+        let router = UpDownUnicastRouting::new(&t, &ud);
+        let by = |x: u32| l.by_label(x).unwrap();
+        let spec = MessageSpec::multicast(by(5), vec![by(8), by(9)], 8);
+        router.initial_header(&spec);
+    }
+}

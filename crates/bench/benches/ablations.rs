@@ -1,0 +1,144 @@
+//! Criterion benches for the ablation arms (DESIGN.md A–D) at smoke
+//! scale: one replication per iteration, so `cargo bench` exercises every
+//! experiment code path and tracks simulator throughput per configuration.
+
+use baselines::{UnicastMulticast, UpDownUnicastRouting};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::{Duration, Time};
+use netgraph::NodeId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use spam_bench::{paper_labeling, paper_network};
+use spam_core::{SelectionPolicy, SpamRouting};
+use std::hint::black_box;
+use updown::{RootSelection, UpDownLabeling};
+use wormsim::{MessageSpec, NetworkSim, SimConfig};
+
+/// One 32-destination multicast on a fixed 64-switch network.
+fn multicast_once(
+    topo: &netgraph::Topology,
+    spam: &SpamRouting<'_>,
+    cfg: SimConfig,
+    seed: u64,
+) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let procs: Vec<NodeId> = topo.processors().collect();
+    let mut dests = procs.clone();
+    dests.shuffle(&mut rng);
+    let src = dests.pop().unwrap();
+    dests.truncate(32);
+    let mut sim = NetworkSim::new(topo, spam.clone(), cfg);
+    sim.submit(MessageSpec::multicast(src, dests, 128)).unwrap();
+    let out = sim.run();
+    assert!(out.all_delivered());
+    out.messages[0].latency().unwrap().as_us_f64()
+}
+
+fn bench_buffer_depth(c: &mut Criterion) {
+    let topo = paper_network(64, 3);
+    let ud = paper_labeling(&topo);
+    let spam = SpamRouting::new(&topo, &ud);
+    let mut g = c.benchmark_group("ablation_buffer_depth_multicast");
+    g.sample_size(10);
+    for depth in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let cfg = SimConfig::paper().with_buffers(d, d);
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(multicast_once(&topo, &spam, cfg, seed))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_selection_policies(c: &mut Criterion) {
+    let topo = paper_network(64, 3);
+    let ud = paper_labeling(&topo);
+    let base = SpamRouting::new(&topo, &ud);
+    let mut g = c.benchmark_group("ablation_selection_policy_multicast");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("min-distance", SelectionPolicy::MinResidualDistance),
+        ("first-legal", SelectionPolicy::FirstLegal),
+        ("random", SelectionPolicy::RandomLegal { seed: 9 }),
+    ] {
+        let spam = base.with_policy(policy);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &spam, |b, s| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(multicast_once(&topo, s, SimConfig::paper(), seed))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_root_policies(c: &mut Criterion) {
+    let topo = paper_network(64, 3);
+    let mut g = c.benchmark_group("ablation_root_policy_multicast");
+    g.sample_size(10);
+    for (name, root) in [
+        ("lowest-id", RootSelection::LowestId),
+        ("min-eccentricity", RootSelection::MinEccentricity),
+    ] {
+        let ud = UpDownLabeling::build(&topo, root);
+        let spam = SpamRouting::new(&topo, &ud);
+        // Move `ud` lifetime issues aside by benching inside the scope.
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(multicast_once(&topo, &spam, SimConfig::paper(), seed))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_spam_vs_software(c: &mut Criterion) {
+    let topo = paper_network(64, 3);
+    let ud = paper_labeling(&topo);
+    let mut g = c.benchmark_group("ablation_baseline_32dests");
+    g.sample_size(10);
+    let spam = SpamRouting::new(&topo, &ud);
+    g.bench_function("spam_one_worm", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(multicast_once(&topo, &spam, SimConfig::paper(), seed))
+        });
+    });
+    let router = UpDownUnicastRouting::new(&topo, &ud);
+    g.bench_function("software_binomial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let procs: Vec<NodeId> = topo.processors().collect();
+            let mut dests = procs.clone();
+            dests.shuffle(&mut rng);
+            let src = dests.pop().unwrap();
+            dests.truncate(32);
+            let mut um = UnicastMulticast::new(src, &dests, 128, Duration::from_us(10));
+            let mut sim = NetworkSim::new(&topo, router.clone(), SimConfig::paper());
+            for s in um.initial_sends(Time::ZERO) {
+                sim.submit(s).unwrap();
+            }
+            let out = sim.run_with_hook(&mut um);
+            black_box(um.makespan(&out).unwrap().as_us_f64())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_buffer_depth,
+    bench_selection_policies,
+    bench_root_policies,
+    bench_spam_vs_software
+);
+criterion_main!(benches);

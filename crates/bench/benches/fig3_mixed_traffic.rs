@@ -1,0 +1,30 @@
+//! Criterion bench for the Figure 3 experiment: wall-clock cost of one
+//! mixed-traffic replication (topology + stream generation + simulation)
+//! at a light and a heavy arrival rate, and for a small and a large
+//! multicast size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spam_bench::fig3::mixed_traffic_mean_latency_us;
+use std::hint::black_box;
+
+fn bench_mixed_traffic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_mixed_traffic_64n_500msgs");
+    g.sample_size(10);
+    for (rate, k) in [(0.005f64, 8usize), (0.03, 8), (0.005, 32)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("rate{rate}_k{k}")),
+            &(rate, k),
+            |b, &(rate, k)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(mixed_traffic_mean_latency_us(64, rate, k, 500, 0.1, seed))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mixed_traffic);
+criterion_main!(benches);

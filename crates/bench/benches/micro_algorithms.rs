@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the algorithmic building blocks: up*/down*
+//! labeling, SPAM distance-table construction, per-hop routing decisions,
+//! LCA queries, and destination partitioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netgraph::NodeId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use spam_bench::{paper_labeling, paper_network};
+use spam_core::{partition_destinations, PartitionStrategy, Phase, RoutingTables, SpamRouting};
+use std::hint::black_box;
+use updown::{RootSelection, UpDownLabeling};
+
+fn bench_labeling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("updown_labeling_build");
+    for switches in [128usize, 256] {
+        let topo = paper_network(switches, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(switches), &topo, |b, t| {
+            b.iter(|| black_box(UpDownLabeling::build(t, RootSelection::LowestId)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spam_routing_tables_build");
+    g.sample_size(10);
+    for switches in [128usize, 256] {
+        let topo = paper_network(switches, 7);
+        let ud = paper_labeling(&topo);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(switches),
+            &(&topo, &ud),
+            |b, (t, u)| {
+                b.iter(|| black_box(RoutingTables::build(t, u)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_route_decisions(c: &mut Criterion) {
+    let topo = paper_network(128, 7);
+    let ud = paper_labeling(&topo);
+    let spam = SpamRouting::new(&topo, &ud);
+    let switches: Vec<NodeId> = topo.switches().collect();
+    let procs: Vec<NodeId> = topo.processors().collect();
+    c.bench_function("spam_legal_moves_per_hop", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let node = switches[i % switches.len()];
+            let target = procs[(i * 7) % procs.len()];
+            black_box(spam.legal_moves(node, Phase::Up, target))
+        });
+    });
+    c.bench_function("updown_lca_of_64", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut dests = procs.clone();
+        dests.shuffle(&mut rng);
+        dests.truncate(64);
+        b.iter(|| black_box(ud.lca_of(&dests)));
+    });
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let topo = paper_network(128, 7);
+    let ud = paper_labeling(&topo);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut dests: Vec<NodeId> = topo.processors().collect();
+    dests.shuffle(&mut rng);
+    dests.truncate(64);
+    c.bench_function("partition_subtrees_64dests", |b| {
+        b.iter(|| {
+            black_box(partition_destinations(
+                &ud,
+                &dests,
+                PartitionStrategy::SubtreesUnderLca { max_groups: 4 },
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_labeling,
+    bench_tables,
+    bench_route_decisions,
+    bench_partitioning
+);
+criterion_main!(benches);

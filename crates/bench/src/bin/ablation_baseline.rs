@@ -1,0 +1,68 @@
+//! Ablation D: SPAM's single-worm multicast versus simulated software
+//! (binomial unicast-based) multicast across destination counts — the
+//! end-to-end comparison behind the paper's motivation.
+//!
+//! ```text
+//! cargo run -p spam-bench --bin ablation_baseline --release [-- --quick]
+//! ```
+
+use spam_bench::ablations::{run_baseline_comparison, AblationConfig};
+use spam_bench::report;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        AblationConfig::quick()
+    } else {
+        AblationConfig::paper()
+    };
+    let dest_counts: Vec<usize> = if quick {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64, 127]
+    };
+
+    eprintln!(
+        "ablation D: {}-node network, dest counts {dest_counts:?}",
+        cfg.switches
+    );
+    let rows = run_baseline_comparison(&cfg, &dest_counts);
+    let spam: Vec<_> = rows.iter().map(|(_, s, _)| s.clone()).collect();
+    let soft: Vec<_> = rows.iter().map(|(_, _, s)| s.clone()).collect();
+    println!(
+        "{}",
+        report::ascii_plot(
+            "Ablation D — SPAM vs software multicast latency (cf. paper's motivation: hardware multicast wins, gap grows with d)",
+            "number of destinations",
+            "latency (µs)",
+            &[
+                ("SPAM (one worm)".to_string(), spam.clone()),
+                ("software (binomial unicasts)".to_string(), soft.clone()),
+            ],
+            18,
+        )
+    );
+    println!("  dests  SPAM(µs)  software(µs)  ratio");
+    for (k, s, u) in &rows {
+        println!(
+            "  {:>5}  {:>8.2}  {:>12.2}  {:>5.2}x",
+            k,
+            s.mean,
+            u.mean,
+            u.mean / s.mean
+        );
+    }
+    report::write_csv(
+        std::path::Path::new("results/ablation_baseline_spam.csv"),
+        "destinations,latency_us,ci_half_width_us,reps,met_1pct",
+        &spam,
+    )
+    .expect("write csv");
+    report::write_csv(
+        std::path::Path::new("results/ablation_baseline_software.csv"),
+        "destinations,latency_us,ci_half_width_us,reps,met_1pct",
+        &soft,
+    )
+    .expect("write csv");
+    println!("-> results/ablation_baseline_{{spam,software}}.csv");
+}

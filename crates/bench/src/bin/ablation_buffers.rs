@@ -1,0 +1,54 @@
+//! Ablation B (§5): input/output buffer depth versus mixed-traffic
+//! latency. The paper's deadlock theorem needs only single-flit buffers;
+//! §5 conjectures deeper buffers reduce latency further.
+//!
+//! ```text
+//! cargo run -p spam-bench --bin ablation_buffers --release [-- --quick] [--rate 0.02]
+//! ```
+
+use spam_bench::ablations::{run_buffer_depth, AblationConfig};
+use spam_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick {
+        AblationConfig::quick()
+    } else {
+        AblationConfig::paper()
+    };
+    let rate: f64 = args
+        .iter()
+        .position(|a| a == "--rate")
+        .map(|i| args[i + 1].parse().expect("--rate takes a number"))
+        .unwrap_or(0.02);
+    let messages = if quick { 300 } else { 3000 };
+    let depths = [1usize, 2, 4, 8];
+
+    eprintln!(
+        "ablation B: {}-node network, rate {rate}/µs/node, depths {depths:?}",
+        cfg.switches
+    );
+    let points = run_buffer_depth(&cfg, &depths, rate, messages);
+    println!(
+        "{}",
+        report::ascii_plot(
+            "Ablation B — buffer depth vs mixed-traffic latency (§5 conjecture)",
+            "buffer depth (flits)",
+            "latency (µs)",
+            &[("SPAM".to_string(), points.clone())],
+            12,
+        )
+    );
+    println!("  depth  latency(µs)  ±CI");
+    for p in &points {
+        println!("  {:>5}  {:>10.3}  {:>6.3}", p.x, p.mean, p.ci_half_width);
+    }
+    report::write_csv(
+        std::path::Path::new("results/ablation_buffers.csv"),
+        "buffer_depth,latency_us,ci_half_width_us,reps,met_1pct",
+        &points,
+    )
+    .expect("write csv");
+    println!("-> results/ablation_buffers.csv");
+}

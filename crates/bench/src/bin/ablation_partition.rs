@@ -1,0 +1,57 @@
+//! Ablation C (§5): destination partitioning — one tree-based worm versus
+//! several tree-contiguous worms, under background traffic that makes the
+//! spanning-tree-root hot-spot matter.
+//!
+//! ```text
+//! cargo run -p spam-bench --bin ablation_partition --release [-- --quick] [--dests 64]
+//! ```
+
+use spam_bench::ablations::{run_partition, AblationConfig, PartitionArm};
+use spam_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick {
+        AblationConfig::quick()
+    } else {
+        AblationConfig::paper()
+    };
+    let dests = args
+        .iter()
+        .position(|a| a == "--dests")
+        .map(|i| args[i + 1].parse().expect("--dests takes a number"))
+        .unwrap_or(if quick { 16 } else { 64 });
+    let background = if quick { 16 } else { 64 };
+    let arms = [
+        PartitionArm::SingleWorm,
+        PartitionArm::Subtrees { max_groups: 2 },
+        PartitionArm::Subtrees { max_groups: 4 },
+        PartitionArm::IdChunks { groups: 2 },
+        PartitionArm::IdChunks { groups: 4 },
+    ];
+
+    eprintln!(
+        "ablation C: {}-node network, {dests} destinations, {background} background unicasts",
+        cfg.switches
+    );
+    let rows = run_partition(&cfg, dests, background, &arms);
+    println!(
+        "{}",
+        report::labelled_table(
+            &format!(
+                "Ablation C — destination partitioning (makespan, µs), {}-node network, {dests} dests",
+                cfg.switches
+            ),
+            &rows
+        )
+    );
+    let pts: Vec<_> = rows.iter().map(|(_, p)| p.clone()).collect();
+    report::write_csv(
+        std::path::Path::new("results/ablation_partition.csv"),
+        "arm_index,makespan_us,ci_half_width_us,reps,met_1pct",
+        &pts,
+    )
+    .expect("write csv");
+    println!("-> results/ablation_partition.csv (rows in table order)");
+}

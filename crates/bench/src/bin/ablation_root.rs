@@ -1,0 +1,47 @@
+//! Ablation A (§5): effect of the spanning-tree root-selection policy on
+//! multicast latency.
+//!
+//! ```text
+//! cargo run -p spam-bench --bin ablation_root --release [-- --quick] [--dests 32]
+//! ```
+
+use spam_bench::ablations::{run_root_selection, AblationConfig};
+use spam_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--quick") {
+        AblationConfig::quick()
+    } else {
+        AblationConfig::paper()
+    };
+    let dests = args
+        .iter()
+        .position(|a| a == "--dests")
+        .map(|i| args[i + 1].parse().expect("--dests takes a number"))
+        .unwrap_or(32);
+
+    eprintln!(
+        "ablation A: {}-node network, {dests}-destination multicasts",
+        cfg.switches
+    );
+    let rows = run_root_selection(&cfg, dests);
+    println!(
+        "{}",
+        report::labelled_table(
+            &format!(
+                "Ablation A — root selection policy, {}-node network, {dests} destinations",
+                cfg.switches
+            ),
+            &rows
+        )
+    );
+    let pts: Vec<_> = rows.iter().map(|(_, p)| p.clone()).collect();
+    report::write_csv(
+        std::path::Path::new("results/ablation_root.csv"),
+        "policy_index,latency_us,ci_half_width_us,reps,met_1pct",
+        &pts,
+    )
+    .expect("write csv");
+    println!("-> results/ablation_root.csv (rows in table order)");
+}

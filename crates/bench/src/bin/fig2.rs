@@ -1,0 +1,64 @@
+//! Regenerates **Figure 2**: latency vs number of destinations for a
+//! single SPAM multicast in 128- and 256-node networks.
+//!
+//! ```text
+//! cargo run -p spam-bench --bin fig2 --release            # both panels
+//! cargo run -p spam-bench --bin fig2 --release -- --nodes 128
+//! cargo run -p spam-bench --bin fig2 --release -- --quick # loose CIs
+//! ```
+//!
+//! Writes `results/fig2_<nodes>.csv` and prints the curves.
+
+use spam_bench::fig2::{run, Fig2Config};
+use spam_bench::report;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let nodes: Vec<usize> = match args.iter().position(|a| a == "--nodes") {
+        Some(i) => vec![args[i + 1].parse().expect("--nodes takes a number")],
+        None => vec![128, 256],
+    };
+
+    for n in nodes {
+        let cfg = if quick {
+            Fig2Config::quick(n)
+        } else {
+            Fig2Config::paper(n)
+        };
+        eprintln!(
+            "fig2: {n}-node network, {} destination counts, target CI {}%",
+            cfg.dest_counts.len(),
+            cfg.target_rel * 100.0
+        );
+        let t0 = std::time::Instant::now();
+        let points = run(&cfg);
+        eprintln!("fig2: {n}-node sweep finished in {:.1?}", t0.elapsed());
+
+        let path = PathBuf::from(format!("results/fig2_{n}.csv"));
+        report::write_csv(&path, "destinations,latency_us,ci_half_width_us,reps,met_1pct", &points)
+            .expect("write csv");
+
+        println!(
+            "{}",
+            report::ascii_plot(
+                &format!(
+                    "Figure 2 — Latency vs destinations, {n}-node network (cf. paper: flat, 10-14 µs)"
+                ),
+                "number of destinations",
+                "latency (µs)",
+                &[("SPAM single multicast".to_string(), points.clone())],
+                16,
+            )
+        );
+        println!("  dests  latency(µs)  ±CI(µs)   reps  met-1%");
+        for p in &points {
+            println!(
+                "  {:>5}  {:>10.3}  {:>8.3}  {:>5}  {}",
+                p.x, p.mean, p.ci_half_width, p.reps, p.target_met
+            );
+        }
+        println!("  -> {}", path.display());
+    }
+}

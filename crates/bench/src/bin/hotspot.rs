@@ -1,0 +1,114 @@
+//! Ablation E (§5): the spanning-tree-root hot-spot.
+//!
+//! > "As the number of destinations increases, the probability that the
+//! > worm must pass through the root of the underlying spanning tree
+//! > increases, resulting in potential hot-spot effects at the root ...
+//! > an inherent feature of the up*/down* routing algorithm."
+//!
+//! Quantifies that probability exactly (static analysis over sampled
+//! destination sets) for each root-selection policy, alongside the mean
+//! adaptivity and path stretch of the resulting labeling.
+//!
+//! ```text
+//! cargo run -p spam-bench --release --bin hotspot [-- --nodes 128]
+//! ```
+
+use spam_bench::paper_network;
+use spam_core::{mean_adaptivity, path_stretch, root_transit_probability, SpamRouting};
+use updown::{RootSelection, UpDownLabeling};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: usize = args
+        .iter()
+        .position(|a| a == "--nodes")
+        .map(|i| args[i + 1].parse().expect("--nodes takes a number"))
+        .unwrap_or(128);
+    let topo = paper_network(nodes, 0xE0);
+
+    println!("root hot-spot analysis, {nodes}-node §4 network (500 samples per cell)\n");
+    for (name, sel) in [
+        ("lowest-id", RootSelection::LowestId),
+        ("max-degree", RootSelection::MaxDegree),
+        ("min-eccentricity", RootSelection::MinEccentricity),
+    ] {
+        let ud = UpDownLabeling::build(&topo, sel);
+        let spam = SpamRouting::new(&topo, &ud);
+        let (stretch_mean, stretch_max) = path_stretch(&topo, &spam);
+        println!(
+            "policy {name}: root {}, adaptivity {:.2} legal moves/hop, stretch {:.3} (max {:.2})",
+            ud.root(),
+            mean_adaptivity(&topo, &spam),
+            stretch_mean,
+            stretch_max
+        );
+        println!(
+            "  {:>6} {:>14} {:>18}",
+            "dests", "LCA = root", "must cross root"
+        );
+        let ks: Vec<usize> = [2usize, 4, 8, 16, 32, 64]
+            .into_iter()
+            .filter(|&k| k < nodes - 1)
+            .chain([nodes - 1])
+            .collect();
+        for k in ks {
+            let r = root_transit_probability(&topo, &ud, &spam, k, 500, 0xE1);
+            println!(
+                "  {k:>6} {:>13.1}% {:>17.1}%",
+                r.lca_is_root * 100.0,
+                r.must_cross_root * 100.0
+            );
+        }
+        println!();
+    }
+    println!("(the growth of both columns with the destination count is the §5");
+    println!(" hot-spot argument; destination partitioning — ablation C — is the");
+    println!(" paper's proposed mitigation)");
+
+    dynamic_utilization(&topo);
+}
+
+/// Dynamic confirmation: drive a broadcast storm through the network and
+/// show how much hotter the root's channels run than the average channel.
+fn dynamic_utilization(topo: &netgraph::Topology) {
+    use netgraph::NodeId;
+    use wormsim::{MessageSpec, NetworkSim, SimConfig};
+
+    let ud = UpDownLabeling::build(topo, RootSelection::LowestId);
+    let spam = SpamRouting::new(topo, &ud);
+    let procs: Vec<NodeId> = topo.processors().collect();
+    let mut sim = NetworkSim::new(topo, spam, SimConfig::paper());
+    // Every 8th processor broadcasts simultaneously.
+    for (i, &src) in procs.iter().enumerate().step_by(8) {
+        let dests: Vec<NodeId> = procs.iter().copied().filter(|&p| p != src).collect();
+        sim.submit(MessageSpec::multicast(src, dests, 128).tag(i as u64))
+            .unwrap();
+    }
+    let out = sim.run();
+    assert!(out.all_delivered(), "{:?}", out.deadlock);
+
+    let root = ud.root();
+    let root_channels: Vec<_> = topo.out_channels(root).to_vec();
+    let root_load: u64 = root_channels
+        .iter()
+        .map(|c| out.channel_crossings[c.index()])
+        .sum::<u64>()
+        / root_channels.len() as u64;
+    let switch_links: Vec<u64> = topo
+        .channel_ids()
+        .filter(|&c| {
+            let ch = topo.channel(c);
+            topo.is_switch(ch.src) && topo.is_switch(ch.dst)
+        })
+        .map(|c| out.channel_crossings[c.index()])
+        .collect();
+    let avg = switch_links.iter().sum::<u64>() / switch_links.len() as u64;
+    println!("\ndynamic check — broadcast storm, per-channel flit crossings:");
+    println!("  mean over root-adjacent channels: {root_load}");
+    println!("  mean over all switch-switch channels: {avg}");
+    println!("  hottest channels: {:?}", out.hottest_channels(4));
+    println!(
+        "  root runs {:.1}x hotter than the average switch channel",
+        root_load as f64 / avg.max(1) as f64
+    );
+}

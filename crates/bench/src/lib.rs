@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+
+//! # spam-bench — figure/table regeneration harness
+//!
+//! One module per experiment in DESIGN.md's index; each exposes a pure
+//! `run_*` function returning data rows, consumed both by the CLI binaries
+//! (`fig2`, `fig3`, `broadcast_table`, `ablation_*`) and by the criterion
+//! benchmarks. Replications follow the paper's §4 protocol (95 % CI within
+//! 1 % of the mean) via [`simstats::PrecisionController`], fanned across
+//! threads by [`sweep`].
+
+pub mod ablations;
+pub mod broadcast;
+pub mod fig2;
+pub mod fig3;
+pub mod report;
+pub mod sweep;
+
+use netgraph::gen::lattice::IrregularConfig;
+use netgraph::Topology;
+use updown::{RootSelection, UpDownLabeling};
+
+/// Builds the §4 network: `switches` 8-port switches on a random integer
+/// lattice, one processor each. "`n`-node network" in the paper counts
+/// processors (= switches).
+pub fn paper_network(switches: usize, seed: u64) -> Topology {
+    IrregularConfig::with_switches(switches).generate(seed)
+}
+
+/// The default labeling used by the experiments (deterministic root;
+/// ablation A varies this).
+pub fn paper_labeling(topo: &Topology) -> UpDownLabeling {
+    UpDownLabeling::build(topo, RootSelection::LowestId)
+}
+
+/// Splits a u64 seed stream deterministically (SplitMix64).
+pub fn split_seed(seed: u64, stream: u64) -> u64 {
+    let mut x = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A finished data point: the quantity the paper plots plus its CI.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PointSummary {
+    /// Independent-variable label (destination count, arrival rate, ...).
+    pub x: f64,
+    /// Mean of the measured quantity (µs for every figure here).
+    pub mean: f64,
+    /// 95 % CI half-width.
+    pub ci_half_width: f64,
+    /// Replications used.
+    pub reps: u64,
+    /// Whether the 1 % precision target was met within the budget.
+    pub target_met: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_network_matches_section4() {
+        let t = paper_network(64, 9);
+        assert_eq!(t.num_switches(), 64);
+        assert_eq!(t.num_processors(), 64);
+        t.validate(8).unwrap();
+    }
+
+    #[test]
+    fn split_seed_streams_differ() {
+        let a = split_seed(42, 0);
+        let b = split_seed(42, 1);
+        let c = split_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(split_seed(42, 0), a, "deterministic");
+    }
+}

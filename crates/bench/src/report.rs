@@ -1,0 +1,172 @@
+//! Result output: CSV files plus terminal-friendly ASCII plots, so every
+//! figure binary both archives its data and shows the curve shape inline.
+
+use crate::PointSummary;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes `(x, mean, ci, reps)` rows as CSV.
+pub fn write_csv(
+    path: &Path,
+    header: &str,
+    rows: &[PointSummary],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{header}")?;
+    for r in rows {
+        writeln!(
+            f,
+            "{},{:.4},{:.4},{},{}",
+            r.x, r.mean, r.ci_half_width, r.reps, r.target_met
+        )?;
+    }
+    Ok(())
+}
+
+/// Renders one or more named series as an ASCII scatter plot, mimicking
+/// the paper's figures well enough to eyeball the shape.
+pub fn ascii_plot(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[(String, Vec<PointSummary>)],
+    height: usize,
+) -> String {
+    const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let mut out = String::new();
+    let all: Vec<&PointSummary> = series.iter().flat_map(|(_, v)| v.iter()).collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (x_min, x_max) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.x), hi.max(p.x))
+        });
+    let (y_min, y_max) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.mean), hi.max(p.mean))
+        });
+    let y_pad = ((y_max - y_min) * 0.08).max(0.5);
+    let (y_lo, y_hi) = (y_min - y_pad, y_max + y_pad);
+    let width = 64usize;
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        for p in pts {
+            let xf = if x_max > x_min {
+                (p.x - x_min) / (x_max - x_min)
+            } else {
+                0.5
+            };
+            let yf = (p.mean - y_lo) / (y_hi - y_lo);
+            let col = ((xf * (width - 1) as f64).round() as usize).min(width - 1);
+            let row = height - 1 - ((yf * (height - 1) as f64).round() as usize).min(height - 1);
+            grid[row][col] = MARKS[si % MARKS.len()];
+        }
+    }
+    writeln!(out, "{title}").unwrap();
+    writeln!(out, "{y_label}").unwrap();
+    for (i, row) in grid.iter().enumerate() {
+        let y_val = y_hi - (y_hi - y_lo) * i as f64 / (height - 1) as f64;
+        writeln!(out, "{y_val:>8.1} |{}", row.iter().collect::<String>()).unwrap();
+    }
+    writeln!(out, "{:>9}+{}", "", "-".repeat(width)).unwrap();
+    writeln!(
+        out,
+        "{:>10}{:<32}{:>32}",
+        "",
+        format!("{x_min:.3}"),
+        format!("{x_max:.3}")
+    )
+    .unwrap();
+    writeln!(out, "{:>10}{x_label}", "").unwrap();
+    for (si, (name, _)) in series.iter().enumerate() {
+        writeln!(out, "  {} {}", MARKS[si % MARKS.len()], name).unwrap();
+    }
+    out
+}
+
+/// Formats a table of `(label, point)` rows.
+pub fn labelled_table(title: &str, rows: &[(String, PointSummary)]) -> String {
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    writeln!(
+        out,
+        "  {:<24} {:>12} {:>12} {:>6} {:>7}",
+        "arm", "mean (µs)", "±95% CI", "reps", "met 1%"
+    )
+    .unwrap();
+    for (label, p) in rows {
+        writeln!(
+            out,
+            "  {:<24} {:>12.3} {:>12.3} {:>6} {:>7}",
+            label, p.mean, p.ci_half_width, p.reps, p.target_met
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<PointSummary> {
+        v.iter()
+            .map(|&(x, mean)| PointSummary {
+                x,
+                mean,
+                ci_half_width: 0.1,
+                reps: 5,
+                target_met: true,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let dir = std::env::temp_dir().join("spam_bench_test");
+        let path = dir.join("t.csv");
+        write_csv(&path, "x,mean,ci,reps,met", &pts(&[(1.0, 11.0), (2.0, 12.0)])).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("x,mean,ci,reps,met\n"));
+        assert_eq!(body.lines().count(), 3);
+        assert!(body.contains("11.0000"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ascii_plot_contains_markers_and_labels() {
+        let s = vec![
+            ("8 dests".to_string(), pts(&[(0.005, 11.0), (0.04, 60.0)])),
+            ("64 dests".to_string(), pts(&[(0.005, 12.0), (0.04, 70.0)])),
+        ];
+        let plot = ascii_plot("Fig 3", "rate", "latency µs", &s, 12);
+        assert!(plot.contains("Fig 3"));
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert!(plot.contains("8 dests"));
+        assert!(plot.contains("0.040"));
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        let plot = ascii_plot("t", "x", "y", &[], 5);
+        assert!(plot.contains("no data"));
+    }
+
+    #[test]
+    fn table_renders_rows() {
+        let t = labelled_table(
+            "Ablation",
+            &[("lowest-id".into(), pts(&[(0.0, 11.5)])[0].clone())],
+        );
+        assert!(t.contains("lowest-id"));
+        assert!(t.contains("11.5"));
+    }
+}

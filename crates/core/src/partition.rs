@@ -1,0 +1,210 @@
+//! Destination partitioning (§5): splitting one large multicast into
+//! several smaller tree-based multicasts.
+//!
+//! The paper observes that as the destination count grows, the worm is
+//! increasingly likely to pass through the spanning-tree root — a hot-spot
+//! inherited from up*/down* routing — and proposes partitioning the
+//! destinations "into groups of contiguous nodes", sending a separate
+//! tree-based multicast to each group. This module implements two
+//! partitioning strategies evaluated by ablation C.
+
+use netgraph::NodeId;
+use updown::UpDownLabeling;
+use wormsim::MessageSpec;
+
+/// How destinations are grouped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Group by the child subtree of the LCA that contains each
+    /// destination, then greedily merge the smallest groups until at most
+    /// `max_groups` remain. Groups are tree-contiguous, so each sub-worm's
+    /// own LCA sits strictly below the original split point whenever the
+    /// group lives in one subtree — relieving the root hot-spot.
+    SubtreesUnderLca {
+        /// Upper bound on the number of sub-multicasts.
+        max_groups: usize,
+    },
+    /// Sort destinations by node id and cut into `groups` equal chunks —
+    /// the naive contiguity notion, as a baseline for the ablation.
+    IdChunks {
+        /// Number of chunks.
+        groups: usize,
+    },
+}
+
+/// Partitions `dests` according to `strategy`. Every returned group is
+/// non-empty; their union is exactly `dests` (order within groups follows
+/// the input order for subtree grouping, sorted order for id chunks).
+pub fn partition_destinations(
+    ud: &UpDownLabeling,
+    dests: &[NodeId],
+    strategy: PartitionStrategy,
+) -> Vec<Vec<NodeId>> {
+    if dests.is_empty() {
+        return Vec::new();
+    }
+    match strategy {
+        PartitionStrategy::SubtreesUnderLca { max_groups } => {
+            assert!(max_groups >= 1);
+            let lca = ud.lca_of(dests).expect("non-empty destination set");
+            // Bucket per child-of-LCA subtree; destinations attached at
+            // the LCA itself (its own processor child) land in their own
+            // buckets too, since processors are tree children.
+            let mut groups: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+            for &d in dests {
+                let child = ud
+                    .child_towards(lca, d)
+                    .expect("LCA covers all destinations");
+                match groups.iter_mut().find(|(c, _)| *c == child) {
+                    Some((_, g)) => g.push(d),
+                    None => groups.push((child, vec![d])),
+                }
+            }
+            let mut groups: Vec<Vec<NodeId>> =
+                groups.into_iter().map(|(_, g)| g).collect();
+            // Merge smallest pairs until the budget is met.
+            while groups.len() > max_groups {
+                groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+                let small = groups.pop().expect("len > max_groups >= 1");
+                let last = groups.last_mut().expect("len >= 1");
+                last.extend(small);
+            }
+            groups
+        }
+        PartitionStrategy::IdChunks { groups } => {
+            assert!(groups >= 1);
+            let mut sorted = dests.to_vec();
+            sorted.sort_unstable();
+            let k = groups.min(sorted.len());
+            let base = sorted.len() / k;
+            let extra = sorted.len() % k;
+            let mut out = Vec::with_capacity(k);
+            let mut it = sorted.into_iter();
+            for i in 0..k {
+                let take = base + usize::from(i < extra);
+                out.push(it.by_ref().take(take).collect());
+            }
+            out
+        }
+    }
+}
+
+/// Expands one multicast spec into per-group specs (same source, length,
+/// generation time; tags become `base_tag + group_index` so results can be
+/// correlated). The paper's partitioned scheme sends the sub-worms
+/// back-to-back from the same source — each still costs one startup, which
+/// is exactly the latency trade-off ablation C measures.
+pub fn partition_specs(
+    ud: &UpDownLabeling,
+    spec: &MessageSpec,
+    strategy: PartitionStrategy,
+    base_tag: u64,
+) -> Vec<MessageSpec> {
+    partition_destinations(ud, &spec.dests, strategy)
+        .into_iter()
+        .enumerate()
+        .map(|(i, group)| {
+            MessageSpec::multicast(spec.src, group, spec.len)
+                .at(spec.gen_time)
+                .tag(base_tag + i as u64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::gen::fixtures::figure1;
+    use updown::RootSelection;
+
+    fn fig1() -> (netgraph::Topology, netgraph::gen::fixtures::Figure1Labels, UpDownLabeling) {
+        let (t, l) = figure1();
+        let ud = UpDownLabeling::build(&t, RootSelection::Fixed(l.by_label(1).unwrap()));
+        (t, l, ud)
+    }
+
+    #[test]
+    fn subtree_partition_groups_by_lca_children() {
+        let (_, l, ud) = fig1();
+        let by = |x: u32| l.by_label(x).unwrap();
+        let dests = vec![by(8), by(9), by(10), by(11)];
+        let groups = partition_destinations(
+            &ud,
+            &dests,
+            PartitionStrategy::SubtreesUnderLca { max_groups: 8 },
+        );
+        // LCA is 4; children 6 (covering 8,9,10) and 7 (covering 11).
+        assert_eq!(groups.len(), 2);
+        assert!(groups.contains(&vec![by(8), by(9), by(10)]));
+        assert!(groups.contains(&vec![by(11)]));
+    }
+
+    #[test]
+    fn subtree_partition_respects_max_groups() {
+        let (_, l, ud) = fig1();
+        let by = |x: u32| l.by_label(x).unwrap();
+        let dests = vec![by(8), by(9), by(10), by(11)];
+        let groups = partition_destinations(
+            &ud,
+            &dests,
+            PartitionStrategy::SubtreesUnderLca { max_groups: 1 },
+        );
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 4);
+    }
+
+    #[test]
+    fn id_chunks_are_balanced_and_sorted() {
+        let (_, l, ud) = fig1();
+        let by = |x: u32| l.by_label(x).unwrap();
+        let dests = vec![by(11), by(8), by(10), by(9)];
+        let groups =
+            partition_destinations(&ud, &dests, PartitionStrategy::IdChunks { groups: 3 });
+        assert_eq!(groups.len(), 3);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        assert_eq!(sizes, vec![2, 1, 1]);
+        let flat: Vec<NodeId> = groups.concat();
+        assert_eq!(flat, vec![by(8), by(9), by(10), by(11)]);
+    }
+
+    #[test]
+    fn more_groups_than_destinations_collapses() {
+        let (_, l, ud) = fig1();
+        let by = |x: u32| l.by_label(x).unwrap();
+        let groups = partition_destinations(
+            &ud,
+            &[by(8)],
+            PartitionStrategy::IdChunks { groups: 5 },
+        );
+        assert_eq!(groups, vec![vec![by(8)]]);
+        assert!(partition_destinations(
+            &ud,
+            &[],
+            PartitionStrategy::IdChunks { groups: 3 }
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn partition_specs_preserves_everything_else() {
+        let (_, l, ud) = fig1();
+        let by = |x: u32| l.by_label(x).unwrap();
+        let spec = MessageSpec::multicast(by(5), vec![by(8), by(9), by(11)], 64)
+            .at(desim::Time::from_us(3));
+        let specs = partition_specs(
+            &ud,
+            &spec,
+            PartitionStrategy::SubtreesUnderLca { max_groups: 8 },
+            100,
+        );
+        assert_eq!(specs.len(), 2);
+        let total: usize = specs.iter().map(|s| s.dests.len()).sum();
+        assert_eq!(total, 3);
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.src, by(5));
+            assert_eq!(s.len, 64);
+            assert_eq!(s.gen_time, desim::Time::from_us(3));
+            assert_eq!(s.tag, 100 + i as u64);
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The SPAM routing algorithm as a [`wormsim::RoutingAlgorithm`].
+
+use crate::tables::{Phase, RoutingTables, UNREACHABLE};
+use netgraph::{ChannelId, NodeId, Topology};
+use std::sync::Arc;
+use updown::{ChannelClass, UpDownLabeling};
+use wormsim::{MessageSpec, RouteDecision, RoutingAlgorithm};
+
+/// How the partially adaptive unicast stage picks among legal channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// The §4 policy: prefer the channel whose endpoint is closest to the
+    /// target (exact residual SPAM distance), ties broken by channel id.
+    /// Strictly distance-decreasing, hence livelock-free by construction.
+    #[default]
+    MinResidualDistance,
+    /// Lowest channel id among legal candidates — a deliberately naive
+    /// policy for the selection-function ablation. Still livelock-free
+    /// (every legal move strictly descends the up*/down* partial order)
+    /// but can take far-from-shortest routes.
+    FirstLegal,
+    /// Deterministically pseudo-random choice among the legal candidates,
+    /// keyed on (message tag, router) — models an unbiased adaptive
+    /// selector without RNG state in the router.
+    RandomLegal {
+        /// Seed mixed into the per-decision hash.
+        seed: u64,
+    },
+}
+
+/// Header state carried by a SPAM worm (in hardware: header-flit fields).
+#[derive(Debug, Clone)]
+pub struct SpamHeader {
+    /// Destination processors (shared, immutable).
+    pub dests: Arc<[NodeId]>,
+    /// The split point: LCA of the destinations (the destination itself
+    /// for a unicast).
+    pub lca: NodeId,
+    /// Channel-ordering phase of the unicast stage.
+    pub phase: Phase,
+    /// True once the worm has passed the LCA and is in the tree stage.
+    pub in_tree: bool,
+}
+
+/// SPAM — Single Phase Adaptive Multicast (§3 of the paper).
+///
+/// Borrows the topology, labeling, and precomputed [`RoutingTables`]
+/// (constructed internally). Cheap to clone per simulation is not needed —
+/// one instance drives arbitrarily many messages; it is `Sync`, so sweep
+/// harnesses can share it across threads.
+#[derive(Debug, Clone)]
+pub struct SpamRouting<'a> {
+    topo: &'a Topology,
+    ud: &'a UpDownLabeling,
+    tables: Arc<RoutingTables>,
+    policy: SelectionPolicy,
+}
+
+impl<'a> SpamRouting<'a> {
+    /// Builds SPAM over a labeling, precomputing the distance tables.
+    pub fn new(topo: &'a Topology, ud: &'a UpDownLabeling) -> Self {
+        SpamRouting {
+            topo,
+            ud,
+            tables: Arc::new(RoutingTables::build(topo, ud)),
+            policy: SelectionPolicy::default(),
+        }
+    }
+
+    /// Same labeling, different selection policy (shares the tables).
+    pub fn with_policy(&self, policy: SelectionPolicy) -> Self {
+        SpamRouting {
+            policy,
+            ..self.clone()
+        }
+    }
+
+    /// The labeling this router uses.
+    pub fn labeling(&self) -> &UpDownLabeling {
+        self.ud
+    }
+
+    /// The distance tables (exposed for analyses and benchmarks).
+    pub fn tables(&self) -> &RoutingTables {
+        &self.tables
+    }
+
+    /// All SPAM-legal `(channel, successor phase)` moves from `node` in
+    /// `phase` towards `target` (§3.1 rules 1–3). Public for tests and for
+    /// the adaptivity analyses in the benchmark harness.
+    pub fn legal_moves(
+        &self,
+        node: NodeId,
+        phase: Phase,
+        target: NodeId,
+    ) -> Vec<(ChannelId, Phase)> {
+        let mut out = Vec::new();
+        for &c in self.topo.out_channels(node) {
+            let v = self.topo.channel(c).dst;
+            let next = match (self.ud.class(c), phase) {
+                // Rule 1: up channels while still in the up phase.
+                (ChannelClass::UpTree | ChannelClass::UpCross, Phase::Up) => Some(Phase::Up),
+                // Rule 2: down cross channels before any down tree use,
+                // endpoint an extended ancestor of the target.
+                (ChannelClass::DownCross, Phase::Up | Phase::DownCross)
+                    if self.ud.is_extended_ancestor(v, target) =>
+                {
+                    Some(Phase::DownCross)
+                }
+                // Rule 3: down tree channels anywhere, endpoint an
+                // ancestor of the target.
+                (ChannelClass::DownTree, _) if self.ud.is_ancestor(v, target) => {
+                    Some(Phase::DownTree)
+                }
+                _ => None,
+            };
+            if let Some(nph) = next {
+                out.push((c, nph));
+            }
+        }
+        out
+    }
+
+    /// Applies the selection policy to a non-empty legal set.
+    fn select(
+        &self,
+        legal: &[(ChannelId, Phase)],
+        target: NodeId,
+        node: NodeId,
+        tag: u64,
+    ) -> (ChannelId, Phase) {
+        match self.policy {
+            SelectionPolicy::MinResidualDistance => legal
+                .iter()
+                .copied()
+                .min_by_key(|&(c, ph)| {
+                    let v = self.topo.channel(c).dst;
+                    (self.tables.dist(target, v, ph), c)
+                })
+                .expect("legal set is non-empty"),
+            SelectionPolicy::FirstLegal => legal
+                .iter()
+                .copied()
+                .min_by_key(|&(c, _)| c)
+                .expect("legal set is non-empty"),
+            SelectionPolicy::RandomLegal { seed } => {
+                // Finite legal sets are never routed in circles: any legal
+                // move strictly descends the up*/down* order, so a hash
+                // pick is safe. SplitMix64 over (seed, tag, node).
+                let mut x = seed
+                    ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ ((node.0 as u64) << 32 | node.0 as u64);
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                legal[(x % legal.len() as u64) as usize]
+            }
+        }
+    }
+
+    /// The tree-stage request set at `node`: one down tree channel per
+    /// child subtree containing destinations (processor children included —
+    /// delivery channels are down tree channels like any other).
+    fn tree_requests(&self, node: NodeId, header: &SpamHeader) -> Vec<(ChannelId, SpamHeader)> {
+        let mut requests = Vec::new();
+        for &child in self.ud.tree_children(node) {
+            if header
+                .dests
+                .iter()
+                .any(|&d| self.ud.is_ancestor(child, d))
+            {
+                let ch = self
+                    .topo
+                    .channel_between(node, child)
+                    .expect("tree edges are links");
+                requests.push((
+                    ch,
+                    SpamHeader {
+                        dests: header.dests.clone(),
+                        lca: header.lca,
+                        phase: Phase::DownTree,
+                        in_tree: true,
+                    },
+                ));
+            }
+        }
+        requests
+    }
+}
+
+impl RoutingAlgorithm for SpamRouting<'_> {
+    type Header = SpamHeader;
+
+    fn initial_header(&self, spec: &MessageSpec) -> SpamHeader {
+        let lca = self
+            .ud
+            .lca_of(&spec.dests)
+            .expect("validated specs have destinations");
+        SpamHeader {
+            dests: spec.dests.clone().into(),
+            lca,
+            phase: Phase::Up,
+            in_tree: false,
+        }
+    }
+
+    fn route(
+        &self,
+        _topo: &Topology,
+        node: NodeId,
+        _in_ch: ChannelId,
+        header: &SpamHeader,
+        spec: &MessageSpec,
+    ) -> RouteDecision<SpamHeader> {
+        // Tree stage: at or below the LCA, split along down tree channels.
+        if header.in_tree || node == header.lca {
+            let requests = self.tree_requests(node, header);
+            assert!(
+                !requests.is_empty(),
+                "tree stage at {node} found no destination subtrees"
+            );
+            return RouteDecision { requests };
+        }
+        // Unicast stage towards the LCA.
+        let legal = self.legal_moves(node, header.phase, header.lca);
+        assert!(
+            !legal.is_empty(),
+            "SPAM invariant violated: no legal move from {node} ({:?}) to {}",
+            header.phase,
+            header.lca
+        );
+        let (ch, next_phase) = self.select(&legal, header.lca, node, spec.tag);
+        debug_assert_ne!(
+            self.tables
+                .dist(header.lca, self.topo.channel(ch).dst, next_phase),
+            UNREACHABLE,
+            "selected a dead-end channel"
+        );
+        RouteDecision::single(
+            ch,
+            SpamHeader {
+                dests: header.dests.clone(),
+                lca: header.lca,
+                phase: next_phase,
+                in_tree: false,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::gen::fixtures::figure1;
+    use updown::RootSelection;
+    use wormsim::{NetworkSim, SimConfig};
+
+    fn fig1() -> (
+        Topology,
+        netgraph::gen::fixtures::Figure1Labels,
+        UpDownLabeling,
+    ) {
+        let (t, l) = figure1();
+        let ud = UpDownLabeling::build(&t, RootSelection::Fixed(l.by_label(1).unwrap()));
+        (t, l, ud)
+    }
+
+    #[test]
+    fn initial_header_computes_lca() {
+        let (t, l, ud) = fig1();
+        let spam = SpamRouting::new(&t, &ud);
+        let by = |x: u32| l.by_label(x).unwrap();
+        let spec =
+            MessageSpec::multicast(by(5), vec![by(8), by(9), by(10), by(11)], 128);
+        let h = spam.initial_header(&spec);
+        assert_eq!(h.lca, by(4));
+        assert_eq!(h.phase, Phase::Up);
+        assert!(!h.in_tree);
+        // Unicast: LCA is the destination itself (§3.2).
+        let u = spam.initial_header(&MessageSpec::unicast(by(5), by(8), 8));
+        assert_eq!(u.lca, by(8));
+    }
+
+    #[test]
+    fn legal_moves_respect_rules_at_node2() {
+        let (t, l, ud) = fig1();
+        let spam = SpamRouting::new(&t, &ud);
+        let by = |x: u32| l.by_label(x).unwrap();
+        // Routing towards LCA 4 from node 2 in Up phase: legal channels are
+        // the up channel (2,1), the down cross (2,3) (3 ext-anc of 4), and
+        // the down tree (2,4) (4 anc of itself). Not (2,5): 5 is a leaf
+        // processor, not an ancestor of 4.
+        let legal = spam.legal_moves(by(2), Phase::Up, by(4));
+        let dsts: Vec<NodeId> = legal.iter().map(|(c, _)| t.channel(*c).dst).collect();
+        assert!(dsts.contains(&by(1)));
+        assert!(dsts.contains(&by(3)));
+        assert!(dsts.contains(&by(4)));
+        assert!(!dsts.contains(&by(5)));
+        // In DownCross phase the up channel disappears.
+        let legal_dc = spam.legal_moves(by(2), Phase::DownCross, by(4));
+        let dsts_dc: Vec<NodeId> = legal_dc.iter().map(|(c, _)| t.channel(*c).dst).collect();
+        assert!(!dsts_dc.contains(&by(1)));
+        assert!(dsts_dc.contains(&by(3)));
+        assert!(dsts_dc.contains(&by(4)));
+        // In DownTree phase only the tree descent remains.
+        let legal_dt = spam.legal_moves(by(2), Phase::DownTree, by(4));
+        let dsts_dt: Vec<NodeId> = legal_dt.iter().map(|(c, _)| t.channel(*c).dst).collect();
+        assert_eq!(dsts_dt, vec![by(4)]);
+    }
+
+    #[test]
+    fn min_distance_selection_takes_shortest_route() {
+        let (t, l, ud) = fig1();
+        let spam = SpamRouting::new(&t, &ud);
+        let by = |x: u32| l.by_label(x).unwrap();
+        let legal = spam.legal_moves(by(2), Phase::Up, by(4));
+        let (ch, ph) = spam.select(&legal, by(4), by(2), 0);
+        assert_eq!(t.channel(ch).dst, by(4), "direct down tree hop wins");
+        assert_eq!(ph, Phase::DownTree);
+    }
+
+    #[test]
+    fn tree_requests_split_per_subtree() {
+        let (t, l, ud) = fig1();
+        let spam = SpamRouting::new(&t, &ud);
+        let by = |x: u32| l.by_label(x).unwrap();
+        let header = SpamHeader {
+            dests: vec![by(8), by(9), by(11)].into(),
+            lca: by(4),
+            phase: Phase::Up,
+            in_tree: false,
+        };
+        let reqs = spam.tree_requests(by(4), &header);
+        let dsts: Vec<NodeId> = reqs.iter().map(|(c, _)| t.channel(*c).dst).collect();
+        assert_eq!(dsts, vec![by(6), by(7)]);
+        // Below, node 6 fans out to exactly the destination processors.
+        let reqs6 = spam.tree_requests(by(6), &reqs[0].1);
+        let dsts6: Vec<NodeId> = reqs6.iter().map(|(c, _)| t.channel(*c).dst).collect();
+        assert_eq!(dsts6, vec![by(8), by(9)]);
+    }
+
+    #[test]
+    fn paper_example_multicast_delivers() {
+        let (t, l, ud) = fig1();
+        let spam = SpamRouting::new(&t, &ud);
+        let by = |x: u32| l.by_label(x).unwrap();
+        let mut sim = NetworkSim::new(&t, spam, SimConfig::paper());
+        sim.submit(MessageSpec::multicast(
+            by(5),
+            vec![by(8), by(9), by(10), by(11)],
+            128,
+        ))
+        .unwrap();
+        let out = sim.run();
+        assert!(out.all_delivered());
+        // Shortest legal header route: 5 -> 2 (up), 2 -> 4 (down tree),
+        // then the splits 4 -> {6,7}, 6 -> {8,9,10}, 7 -> 11. Deepest
+        // destination path = 4 channels, 3 switches:
+        // 10_000 + 4*10 + 3*40 + 127*10 = 11_430 ns.
+        assert_eq!(out.messages[0].latency().unwrap().as_ns(), 11_430);
+        // Balanced subtrees, uncontended: no bubbles needed.
+        assert_eq!(out.counters.bubbles_created, 0);
+    }
+
+    #[test]
+    fn all_unicast_pairs_deliver_on_figure1() {
+        let (t, l, ud) = fig1();
+        let spam = SpamRouting::new(&t, &ud);
+        let procs: Vec<NodeId> = t.processors().collect();
+        for &a in &procs {
+            for &b in &procs {
+                if a == b {
+                    continue;
+                }
+                let mut sim = NetworkSim::new(&t, spam.clone(), SimConfig::paper());
+                sim.submit(MessageSpec::unicast(a, b, 32)).unwrap();
+                let out = sim.run();
+                assert!(
+                    out.all_delivered(),
+                    "unicast {} -> {} failed",
+                    l.label_of(a).unwrap(),
+                    l.label_of(b).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_selection_policies_deliver() {
+        let (t, _, ud) = fig1();
+        let base = SpamRouting::new(&t, &ud);
+        let procs: Vec<NodeId> = t.processors().collect();
+        for policy in [
+            SelectionPolicy::MinResidualDistance,
+            SelectionPolicy::FirstLegal,
+            SelectionPolicy::RandomLegal { seed: 42 },
+        ] {
+            let spam = base.with_policy(policy);
+            let mut sim = NetworkSim::new(&t, spam, SimConfig::paper());
+            sim.submit(MessageSpec::multicast(
+                procs[0],
+                procs[1..].to_vec(),
+                64,
+            ))
+            .unwrap();
+            let out = sim.run();
+            assert!(out.all_delivered(), "{policy:?} failed to deliver");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Phase-layered residual-distance tables.
+//!
+//! SPAM's legality rules form a three-layer digraph over states
+//! `(node, phase)` with monotone phase order `Up → DownCross → DownTree`.
+//! For every target node `t`, `dist(t, node, phase)` is the length of the
+//! shortest SPAM-legal completion from that state to `t` — the quantity the
+//! §4 selection function needs ("prioritizes channels according to the
+//! distance from the endpoint of the channel to the LCA node"), made exact.
+//!
+//! Because every hop chosen by a min-distance selection strictly decreases
+//! the residual distance, the tables double as a constructive livelock-
+//! freedom proof for the default policy.
+//!
+//! Tables are precomputed for **all** targets at construction (reverse BFS
+//! per target over the layered graph). At the paper's scales (≤ 512 nodes,
+//! ≤ ~3500 channels) this is a few milliseconds and ~1.5 MB, and makes the
+//! per-hop routing decision a pair of array reads.
+
+use netgraph::{NodeId, Topology};
+use std::collections::VecDeque;
+use updown::{ChannelClass, UpDownLabeling};
+
+/// Routing phase of a SPAM worm's unicast stage (§3.1 channel ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Still in the up subnetwork; any up channel is allowed.
+    Up = 0,
+    /// Has used a down cross channel; up channels are forbidden.
+    DownCross = 1,
+    /// Has used a down tree channel; only down tree channels remain.
+    DownTree = 2,
+}
+
+impl Phase {
+    /// All phases, in constraint order.
+    pub const ALL: [Phase; 3] = [Phase::Up, Phase::DownCross, Phase::DownTree];
+
+    #[inline]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Sentinel for "no SPAM-legal completion exists from this state".
+pub const UNREACHABLE: u16 = u16::MAX;
+
+/// Exact residual SPAM distances for every (target, node, phase) triple.
+#[derive(Debug, Clone)]
+pub struct RoutingTables {
+    n: usize,
+    /// `dist[target][3 * node + phase]`, row-major per target.
+    dist: Vec<Vec<u16>>,
+}
+
+impl RoutingTables {
+    /// Builds tables for all targets.
+    pub fn build(topo: &Topology, ud: &UpDownLabeling) -> Self {
+        let n = topo.num_nodes();
+        let dist = topo
+            .nodes()
+            .map(|t| Self::build_for_target(topo, ud, t))
+            .collect();
+        RoutingTables { n, dist }
+    }
+
+    /// Residual SPAM-legal distance from `(node, phase)` to `target`, in
+    /// channels; [`UNREACHABLE`] when no legal completion exists.
+    #[inline]
+    pub fn dist(&self, target: NodeId, node: NodeId, phase: Phase) -> u16 {
+        self.dist[target.index()][3 * node.index() + phase.idx()]
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Reverse BFS over the phase-layered graph from `(target, *)`.
+    fn build_for_target(topo: &Topology, ud: &UpDownLabeling, target: NodeId) -> Vec<u16> {
+        let n = topo.num_nodes();
+        let mut d = vec![UNREACHABLE; 3 * n];
+        let mut q = VecDeque::new();
+        for ph in Phase::ALL {
+            // Arriving at the target in any phase terminates the route.
+            d[3 * target.index() + ph.idx()] = 0;
+            q.push_back((target, ph));
+        }
+        while let Some((v, ph_v)) = q.pop_front() {
+            let dv = d[3 * v.index() + ph_v.idx()];
+            // Find predecessor states (u, ph_u) with a legal edge into
+            // (v, ph_v); legality depends on the *edge*, so enumerate v's
+            // incoming channels and check which phases could have used them.
+            for &c in topo.in_channels(v) {
+                let u = topo.channel(c).src;
+                let preds: &[Phase] = match ud.class(c) {
+                    // Up channels keep the worm in the up phase.
+                    ChannelClass::UpTree | ChannelClass::UpCross => {
+                        if ph_v == Phase::Up {
+                            &[Phase::Up]
+                        } else {
+                            &[]
+                        }
+                    }
+                    // A down cross hop lands in DownCross phase and needs
+                    // its endpoint to be an extended ancestor of target.
+                    ChannelClass::DownCross => {
+                        if ph_v == Phase::DownCross && ud.is_extended_ancestor(v, target) {
+                            &[Phase::Up, Phase::DownCross]
+                        } else {
+                            &[]
+                        }
+                    }
+                    // A down tree hop lands in DownTree phase and needs its
+                    // endpoint to be an ancestor of target.
+                    ChannelClass::DownTree => {
+                        if ph_v == Phase::DownTree && ud.is_ancestor(v, target) {
+                            &[Phase::Up, Phase::DownCross, Phase::DownTree]
+                        } else {
+                            &[]
+                        }
+                    }
+                };
+                for &ph_u in preds {
+                    let slot = &mut d[3 * u.index() + ph_u.idx()];
+                    if *slot == UNREACHABLE {
+                        *slot = dv + 1;
+                        q.push_back((u, ph_u));
+                    }
+                }
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::gen::fixtures::figure1;
+    use netgraph::gen::lattice::IrregularConfig;
+    use updown::RootSelection;
+
+    fn fig1() -> (Topology, netgraph::gen::fixtures::Figure1Labels, UpDownLabeling) {
+        let (t, l) = figure1();
+        let ud = UpDownLabeling::build(&t, RootSelection::Fixed(l.by_label(1).unwrap()));
+        (t, l, ud)
+    }
+
+    #[test]
+    fn distance_zero_at_target_any_phase() {
+        let (t, l, ud) = fig1();
+        let tb = RoutingTables::build(&t, &ud);
+        let four = l.by_label(4).unwrap();
+        for ph in Phase::ALL {
+            assert_eq!(tb.dist(four, four, ph), 0);
+        }
+    }
+
+    #[test]
+    fn figure1_distances_to_lca4() {
+        let (t, l, ud) = fig1();
+        let tb = RoutingTables::build(&t, &ud);
+        let by = |x: u32| l.by_label(x).unwrap();
+        let lca = by(4);
+        // From node 2 in Up phase: down tree channel (2,4) directly.
+        assert_eq!(tb.dist(lca, by(2), Phase::Up), 1);
+        // From node 3 in DownCross phase: the cross channel (3,4).
+        assert_eq!(tb.dist(lca, by(3), Phase::DownCross), 1);
+        // From the source processor 5: 5 -> 2 (up) -> 4 (down tree) = 2.
+        assert_eq!(tb.dist(lca, by(5), Phase::Up), 2);
+        // From node 6 in DownTree phase the LCA is unreachable (no up moves
+        // allowed, 6 is below 4).
+        assert_eq!(tb.dist(lca, by(6), Phase::DownTree), UNREACHABLE);
+        // But in Up phase node 6 can climb: 6 -> 4 = 1 hop up... up channel
+        // (6,4) ends at the target.
+        assert_eq!(tb.dist(lca, by(6), Phase::Up), 1);
+    }
+
+    #[test]
+    fn downtree_phase_distance_is_tree_depth_difference() {
+        let (t, l, ud) = fig1();
+        let tb = RoutingTables::build(&t, &ud);
+        let by = |x: u32| l.by_label(x).unwrap();
+        // 4 -> 6 -> 8 strictly down tree.
+        assert_eq!(tb.dist(by(8), by(4), Phase::DownTree), 2);
+        assert_eq!(tb.dist(by(8), by(6), Phase::DownTree), 1);
+        // Sibling subtree is unreachable once in DownTree phase.
+        assert_eq!(tb.dist(by(11), by(6), Phase::DownTree), UNREACHABLE);
+    }
+
+    #[test]
+    fn up_phase_always_reaches_everything() {
+        // From any node in Up phase a SPAM route to any other node exists
+        // (climb to the root, descend the tree) — the routing-function
+        // totality that underlies delivery guarantees.
+        let (t, _, ud) = fig1();
+        let tb = RoutingTables::build(&t, &ud);
+        for u in t.nodes() {
+            for v in t.nodes() {
+                assert_ne!(
+                    tb.dist(v, u, Phase::Up),
+                    UNREACHABLE,
+                    "no SPAM route {u} -> {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn up_phase_totality_on_random_irregular_networks() {
+        for seed in 0..5 {
+            let t = IrregularConfig::with_switches(24).generate(seed);
+            let ud = UpDownLabeling::build(&t, RootSelection::LowestId);
+            let tb = RoutingTables::build(&t, &ud);
+            for u in t.nodes() {
+                for v in t.nodes() {
+                    assert_ne!(tb.dist(v, u, Phase::Up), UNREACHABLE);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances_dominate_bfs_lower_bound() {
+        // SPAM-legal routes can never be shorter than unconstrained BFS.
+        let t = IrregularConfig::with_switches(20).generate(3);
+        let ud = UpDownLabeling::build(&t, RootSelection::LowestId);
+        let tb = RoutingTables::build(&t, &ud);
+        for v in t.nodes() {
+            let bfs = netgraph::algo::bfs_distances(&t, v);
+            for u in t.nodes() {
+                let d = tb.dist(v, u, Phase::Up);
+                assert!(d as u32 >= bfs[u.index()], "SPAM beat BFS {u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_distance_neighbor_always_exists() {
+        // Constructive livelock freedom: from any state at distance k >= 1,
+        // some legal move reaches a state at distance k - 1.
+        let (t, _, ud) = fig1();
+        let tb = RoutingTables::build(&t, &ud);
+        for target in t.nodes() {
+            for u in t.nodes() {
+                for ph in Phase::ALL {
+                    let k = tb.dist(target, u, ph);
+                    if k == 0 || k == UNREACHABLE {
+                        continue;
+                    }
+                    let mut found = false;
+                    for &c in t.out_channels(u) {
+                        let v = t.channel(c).dst;
+                        let next = match (ud.class(c), ph) {
+                            (ChannelClass::UpTree | ChannelClass::UpCross, Phase::Up) => {
+                                Some(Phase::Up)
+                            }
+                            (ChannelClass::DownCross, Phase::Up | Phase::DownCross)
+                                if ud.is_extended_ancestor(v, target) =>
+                            {
+                                Some(Phase::DownCross)
+                            }
+                            (ChannelClass::DownTree, _) if ud.is_ancestor(v, target) => {
+                                Some(Phase::DownTree)
+                            }
+                            _ => None,
+                        };
+                        if let Some(nph) = next {
+                            if tb.dist(target, v, nph) == k - 1 {
+                                found = true;
+                                break;
+                            }
+                        }
+                    }
+                    assert!(found, "no descent from ({u}, {ph:?}) toward {target}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Replays the worked example of §3.2 on the Figure 1 network and checks
+//! the protocol trace against the paper's narrative:
+//!
+//! > "Assume that node 5 wishes to send a multicast message to nodes 8, 9,
+//! > 10, and 11. The least common ancestor of these destinations is node
+//! > 4. ... The message enqueues a request at node 4 for the down tree
+//! > channels to nodes 6 and 7. ... The head entering node 6 enqueues a
+//! > request for the down tree channels to nodes 8, 9, and 10 while the
+//! > head entering node 7 enqueues a request for the down tree channel to
+//! > node 11. Assume that the down tree channel to node 8 is busy while
+//! > the down tree channels to nodes 9, 10, and 11 are all free. In this
+//! > case, the head at node 6 does not immediately acquire all of its
+//! > requested down tree channels but the head at node 7 does ... bubble
+//! > flits are propagated to the output buffer at node 4 for channel
+//! > (4,7) until the third flit is able to advance."
+
+use desim::Time;
+use netgraph::{ChannelId, NodeId};
+use spam_core::SpamRouting;
+use updown::{RootSelection, UpDownLabeling};
+use wormsim::{MessageSpec, MsgId, NetworkSim, SimConfig, TraceEvent};
+
+struct Walkthrough {
+    topo: netgraph::Topology,
+    labels: netgraph::gen::fixtures::Figure1Labels,
+    ud: UpDownLabeling,
+}
+
+impl Walkthrough {
+    fn new() -> Self {
+        let (topo, labels) = netgraph::gen::fixtures::figure1();
+        let root = labels.by_label(1).unwrap();
+        let ud = UpDownLabeling::build(&topo, RootSelection::Fixed(root));
+        Walkthrough { topo, labels, ud }
+    }
+
+    fn by(&self, l: u32) -> NodeId {
+        self.labels.by_label(l).unwrap()
+    }
+
+    fn ch(&self, a: u32, b: u32) -> ChannelId {
+        self.topo.channel_between(self.by(a), self.by(b)).unwrap()
+    }
+}
+
+#[test]
+fn multicast_requests_match_the_paper_exactly() {
+    let w = Walkthrough::new();
+    let spam = SpamRouting::new(&w.topo, &w.ud);
+    let mut sim = NetworkSim::new(&w.topo, spam, SimConfig::paper());
+    sim.enable_trace();
+    sim.submit(MessageSpec::multicast(
+        w.by(5),
+        vec![w.by(8), w.by(9), w.by(10), w.by(11)],
+        128,
+    ))
+    .unwrap();
+    let out = sim.run();
+    assert!(out.all_delivered());
+    let t = &out.trace;
+    let m = MsgId(0);
+
+    // "The message enqueues a request at node 4 for the down tree channels
+    // to nodes 6 and 7."
+    assert_eq!(
+        t.requests_at(m, w.by(4)),
+        Some(vec![w.ch(4, 6), w.ch(4, 7)])
+    );
+    // "The head entering node 6 enqueues a request for the down tree
+    // channels to nodes 8, 9, and 10 ..."
+    assert_eq!(
+        t.requests_at(m, w.by(6)),
+        Some(vec![w.ch(6, 8), w.ch(6, 9), w.ch(6, 10)])
+    );
+    // "... while the head entering node 7 enqueues a request for the down
+    // tree channel to node 11."
+    assert_eq!(t.requests_at(m, w.by(7)), Some(vec![w.ch(7, 11)]));
+
+    // Header itinerary: 5's switch is 2; the distance-priority selection
+    // takes the direct down tree channel (2,4) — "one possible path is
+    // 5,2,3,4", ours is the shorter legal 5,2,4.
+    assert_eq!(
+        t.itinerary(m),
+        vec![w.by(2), w.by(4), w.by(6), w.by(7)],
+        "requests at switch 2, the LCA 4, then both branch switches"
+    );
+
+    // Uncontended: no bubbles anywhere.
+    assert!(t.bubbles(m).is_empty());
+}
+
+#[test]
+fn busy_channel_to_node8_reproduces_the_bubble_narrative() {
+    let w = Walkthrough::new();
+    let spam = SpamRouting::new(&w.topo, &w.ud);
+    let mut sim = NetworkSim::new(&w.topo, spam, SimConfig::paper());
+    sim.enable_trace();
+
+    // Make "the down tree channel to node 8 busy": processor 9 sends a
+    // long unicast to 8 (path 9 -> 6 -> 8) which owns channel (6,8) when
+    // the multicast's head reaches node 6.
+    sim.submit(
+        MessageSpec::unicast(w.by(9), w.by(8), 1024)
+            .tag(7)
+            .at(Time::ZERO),
+    )
+    .unwrap();
+    sim.submit(
+        MessageSpec::multicast(w.by(5), vec![w.by(8), w.by(9), w.by(10), w.by(11)], 128)
+            .tag(0)
+            .at(Time::from_us(1)),
+    )
+    .unwrap();
+    let out = sim.run();
+    assert!(out.all_delivered(), "{:?}", out.deadlock);
+    let t = &out.trace;
+    let mc = MsgId(1);
+
+    // "the head at node 6 does not immediately acquire all of its
+    // requested down tree channels but the head at node 7 does":
+    // acquisition at 7 strictly precedes acquisition at 6 in the trace.
+    let acq_order: Vec<NodeId> = t
+        .of_msg(mc)
+        .filter_map(|e| match e {
+            TraceEvent::Acquired { node, .. } => Some(*node),
+            _ => None,
+        })
+        .collect();
+    let pos = |n: NodeId| acq_order.iter().position(|x| *x == n).unwrap();
+    assert!(
+        pos(w.by(7)) < pos(w.by(6)),
+        "head at 7 must acquire before the blocked head at 6: {acq_order:?}"
+    );
+
+    // "bubble flits are propagated to the output buffer at node 4 for
+    // channel (4,7)": every bubble of the multicast is inserted at node 4
+    // into channel (4,7).
+    let bubbles = t.bubbles(mc);
+    assert!(!bubbles.is_empty(), "the free branch must receive bubbles");
+    for (node, ch) in &bubbles {
+        assert_eq!(*node, w.by(4), "bubbles originate at the split point");
+        assert_eq!(*ch, w.ch(4, 7), "bubbles go to the free branch (4,7)");
+    }
+
+    // Every destination still gets the message, and the blocked branch's
+    // destinations cannot finish before the interferer released (6,8).
+    let interferer_done = t.delivered_at(MsgId(0), w.by(8)).unwrap();
+    for dest in [8, 9, 10, 11] {
+        let done = t.delivered_at(mc, w.by(dest)).unwrap();
+        assert!(
+            done > interferer_done,
+            "dest {dest} finished at {done} before the interferer at {interferer_done}"
+        );
+    }
+}
+
+#[test]
+fn unicast_special_case_reduces_to_unicast_routing() {
+    // "if the message is a unicast, the LCA is the destination itself, so
+    // the multicast algorithm simply reduces to the unicast algorithm."
+    let w = Walkthrough::new();
+    let spam = SpamRouting::new(&w.topo, &w.ud);
+    let mut sim = NetworkSim::new(&w.topo, spam, SimConfig::paper());
+    sim.enable_trace();
+    sim.submit(MessageSpec::unicast(w.by(5), w.by(11), 64))
+        .unwrap();
+    let out = sim.run();
+    assert!(out.all_delivered());
+    let t = &out.trace;
+    // Every request along the way is single-channel (no splits).
+    for e in t.of_msg(MsgId(0)) {
+        if let TraceEvent::Requested { channels, .. } = e {
+            assert_eq!(channels.len(), 1, "unicast worms never branch");
+        }
+    }
+    // Shortest legal route: 5 -> 2(up) -> 4(down tree) -> 7 -> 11.
+    assert_eq!(
+        t.itinerary(MsgId(0)),
+        vec![w.by(2), w.by(4), w.by(7)],
+    );
+}

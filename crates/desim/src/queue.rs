@@ -1,0 +1,178 @@
+//! Deterministic future-event list.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] that guarantees FIFO
+//! delivery of events scheduled for the same instant, independent of the
+//! heap's internal (unspecified) ordering of equal keys. Determinism matters
+//! here: wormhole-routing outcomes (which message wins a channel) depend on
+//! event order, and the reproduction pins exact results for seeded runs.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event tagged with its firing time and a tie-breaking sequence number.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// Absolute firing instant.
+    pub time: Time,
+    /// Monotone per-queue sequence number; earlier scheduling wins ties.
+    pub seq: u64,
+    /// The caller's payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the earliest
+        // (time, seq) pair on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic tie-breaking.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    pub fn schedule(&mut self, time: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, FIFO among equal timestamps.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drops all pending events (the sequence counter keeps advancing so
+    /// determinism is preserved across a clear).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(50), 'c');
+        q.schedule(Time::from_ns(20), 'a');
+        q.schedule(Time::from_ns(30), 'b');
+        assert_eq!(q.pop(), Some((Time::from_ns(20), 'a')));
+        assert_eq!(q.pop(), Some((Time::from_ns(30), 'b')));
+        assert_eq!(q.pop(), Some((Time::from_ns(50), 'c')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(7);
+        for i in 0..1000u32 {
+            q.schedule(t, i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_fifo_within_instant() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), "x1");
+        q.schedule(Time::from_ns(10), "x2");
+        assert_eq!(q.pop().unwrap().1, "x1");
+        // Scheduling later at the same instant must come after x2.
+        q.schedule(Time::from_ns(10), "x3");
+        assert_eq!(q.pop().unwrap().1, "x2");
+        assert_eq!(q.pop().unwrap().1, "x3");
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Time::from_ns(3), ());
+        assert_eq!(q.peek_time(), Some(Time::from_ns(3)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn scheduled_count_is_monotone_across_clear() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::ZERO, ());
+        q.schedule(Time::ZERO, ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_count(), 2);
+        q.schedule(Time::ZERO, ());
+        assert_eq!(q.scheduled_count(), 3);
+    }
+}

@@ -1,0 +1,216 @@
+//! Simulation time and duration types.
+//!
+//! All wormhole-level latencies in the paper are expressed in nanoseconds
+//! (router setup 40 ns, channel propagation 10 ns) or microseconds (startup
+//! 10 µs), so a `u64` nanosecond clock gives exact arithmetic with headroom
+//! for ~584 simulated years — far beyond any experiment here.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// An absolute instant on the simulation clock, in nanoseconds since the
+/// start of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant (used as an "infinity" sentinel by
+    /// watchdogs and reductions).
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Constructs an instant from a raw nanosecond count.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Constructs an instant from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) microseconds — the unit used
+    /// by every figure in the paper.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is after `self`.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Duration {
+        debug_assert!(self >= earlier, "negative elapsed time");
+        Duration(self.0 - earlier.0)
+    }
+
+    /// Saturating duration since `earlier` (zero if `earlier` is later).
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Constructs a duration from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Constructs a duration from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This duration in fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Integer scaling, e.g. `propagation * flits_per_message`.
+    #[inline]
+    pub const fn scaled(self, k: u64) -> Duration {
+        Duration(self.0 * k)
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "negative duration");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_are_exact() {
+        assert_eq!(Time::from_us(10).as_ns(), 10_000);
+        assert_eq!(Duration::from_us(3).as_ns(), 3_000);
+        assert_eq!(Time::from_ns(12_500).as_us_f64(), 12.5);
+        assert_eq!(Duration::from_ns(40).as_us_f64(), 0.04);
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = Time::from_ns(100);
+        let d = Duration::from_ns(40);
+        assert_eq!(t + d, Time::from_ns(140));
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d).since(t), d);
+        assert_eq!(d + d, Duration::from_ns(80));
+        assert_eq!(d * 3, Duration::from_ns(120));
+        assert_eq!(d.scaled(128), Duration::from_ns(5120));
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = Time::from_ns(5);
+        let late = Time::from_ns(9);
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+        assert_eq!(late.saturating_since(early), Duration::from_ns(4));
+    }
+
+    #[test]
+    fn ordering_matches_numeric_order() {
+        assert!(Time::from_ns(1) < Time::from_ns(2));
+        assert!(Time::ZERO < Time::MAX);
+        assert!(Duration::from_ns(10) > Duration::ZERO);
+    }
+
+    #[test]
+    fn display_formats_ns() {
+        assert_eq!(Time::from_ns(42).to_string(), "42ns");
+        assert_eq!(Duration::from_us(1).to_string(), "1000ns");
+    }
+}

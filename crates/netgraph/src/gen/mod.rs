@@ -1,0 +1,17 @@
+//! Topology generators.
+//!
+//! * [`lattice`] — the paper's experimental setup (§4): switches on random
+//!   integer-lattice points, links only between adjacent lattice points,
+//!   8-port switches with at most 4 switch-to-switch connections and exactly
+//!   one processor per switch.
+//! * [`regular`] — meshes, tori, hypercubes, rings, stars (§5 future work,
+//!   plus handy test fixtures).
+//! * [`fixtures`] — the worked example network of Figure 1.
+
+pub mod fixtures;
+pub mod lattice;
+pub mod regular;
+
+pub use fixtures::{figure1, Figure1Labels};
+pub use lattice::{IrregularConfig, LatticeStrategy};
+pub use regular::{hypercube, mesh2d, ring, star, torus2d};

@@ -1,0 +1,99 @@
+//! Typed indices for nodes and unidirectional channels.
+//!
+//! Both ids are thin `u32` newtypes: networks in the paper's experiments top
+//! out at a few hundred nodes and a few thousand channels, and 32-bit ids
+//! keep hot simulator structures compact (see the type-size guidance in the
+//! Rust performance literature).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (switch or processor) in a [`crate::Topology`].
+///
+/// The numeric value doubles as the node "ID" used by the up*/down* rule for
+/// orienting cross channels between same-level switches (§3.1 of the paper).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a **unidirectional** channel.
+///
+/// Bidirectional links always occupy two consecutive ids `2k` / `2k + 1`,
+/// and [`crate::Topology::reverse`] maps between the two directions.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ChannelId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ChannelId {
+    /// The channel index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for ChannelId {
+    fn from(v: u32) -> Self {
+        ChannelId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_by_numeric_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(ChannelId(0) < ChannelId(10));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(ChannelId(9).index(), 9);
+        assert_eq!(NodeId::from(3u32), NodeId(3));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(ChannelId(12).to_string(), "c12");
+    }
+
+    #[test]
+    fn ids_stay_small() {
+        // Hot simulator tables store millions of these; keep them 4 bytes.
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<ChannelId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<ChannelId>>(), 8);
+    }
+}

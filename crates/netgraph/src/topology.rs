@@ -1,0 +1,534 @@
+//! The switch/processor topology data structure and its builder.
+
+use crate::ids::{ChannelId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a node is a routing switch (`V1` in the paper) or an end
+/// processor / workstation (`V2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A routing switch with up to `k` ports (8 in the paper's experiments).
+    Switch,
+    /// A processor; always degree 1, attached to a single switch.
+    Processor,
+}
+
+/// One **unidirectional** channel `src → dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Channel {
+    /// Transmitting endpoint.
+    pub src: NodeId,
+    /// Receiving endpoint.
+    pub dst: NodeId,
+}
+
+/// Errors detected while building or validating a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A node id referenced a node that does not exist.
+    NoSuchNode(NodeId),
+    /// Both endpoints of a link were the same node.
+    SelfLoop(NodeId),
+    /// The same pair of nodes was linked twice.
+    DuplicateLink(NodeId, NodeId),
+    /// A processor was linked to something other than exactly one switch.
+    BadProcessorAttachment(NodeId),
+    /// A switch exceeded the per-switch port budget.
+    TooManyPorts {
+        /// The overloaded switch.
+        switch: NodeId,
+        /// Ports in use.
+        used: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The switch graph (and hence the network) is not connected.
+    Disconnected,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NoSuchNode(n) => write!(f, "node {n} does not exist"),
+            TopologyError::SelfLoop(n) => write!(f, "self-loop at node {n}"),
+            TopologyError::DuplicateLink(a, b) => write!(f, "duplicate link between {a} and {b}"),
+            TopologyError::BadProcessorAttachment(n) => {
+                write!(f, "processor {n} must attach to exactly one switch")
+            }
+            TopologyError::TooManyPorts {
+                switch,
+                used,
+                limit,
+            } => write!(f, "switch {switch} uses {used} ports, limit is {limit}"),
+            TopologyError::Disconnected => write!(f, "network is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An immutable switch-based direct network.
+///
+/// Channels are stored flat; every bidirectional link occupies the two
+/// consecutive ids `2k` (the direction added first) and `2k+1` (its
+/// reverse), so [`Topology::reverse`] is a constant-time XOR.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    kinds: Vec<NodeKind>,
+    channels: Vec<Channel>,
+    /// Outgoing channel ids per node, sorted by destination node id — the
+    /// deterministic iteration order all routing algorithms rely on.
+    out: Vec<Vec<ChannelId>>,
+    /// Incoming channel ids per node, sorted by source node id.
+    inc: Vec<Vec<ChannelId>>,
+    /// For each switch, the id of its attached processor (if any).
+    attached_processor: Vec<Option<NodeId>>,
+    /// For each processor, its switch.
+    host_switch: Vec<Option<NodeId>>,
+}
+
+impl Topology {
+    /// Starts building a topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Total number of nodes (switches + processors).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.kinds
+            .iter()
+            .filter(|k| **k == NodeKind::Switch)
+            .count()
+    }
+
+    /// Number of processors.
+    pub fn num_processors(&self) -> usize {
+        self.kinds
+            .iter()
+            .filter(|k| **k == NodeKind::Processor)
+            .count()
+    }
+
+    /// Number of unidirectional channels (twice the number of links).
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The kind of `node`.
+    #[inline]
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.kinds[node.index()]
+    }
+
+    /// True if `node` is a switch.
+    #[inline]
+    pub fn is_switch(&self, node: NodeId) -> bool {
+        self.kind(node) == NodeKind::Switch
+    }
+
+    /// True if `node` is a processor.
+    #[inline]
+    pub fn is_processor(&self, node: NodeId) -> bool {
+        self.kind(node) == NodeKind::Processor
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over switch ids.
+    pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|n| self.is_switch(*n))
+    }
+
+    /// Iterator over processor ids.
+    pub fn processors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|n| self.is_processor(*n))
+    }
+
+    /// The unidirectional channel record for `c`.
+    #[inline]
+    pub fn channel(&self, c: ChannelId) -> Channel {
+        self.channels[c.index()]
+    }
+
+    /// All channel ids.
+    pub fn channel_ids(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        (0..self.channels.len() as u32).map(ChannelId)
+    }
+
+    /// The opposite direction of the same physical link.
+    #[inline]
+    pub fn reverse(&self, c: ChannelId) -> ChannelId {
+        ChannelId(c.0 ^ 1)
+    }
+
+    /// Outgoing channels of `node`, sorted by destination id.
+    #[inline]
+    pub fn out_channels(&self, node: NodeId) -> &[ChannelId] {
+        &self.out[node.index()]
+    }
+
+    /// Incoming channels of `node`, sorted by source id.
+    #[inline]
+    pub fn in_channels(&self, node: NodeId) -> &[ChannelId] {
+        &self.inc[node.index()]
+    }
+
+    /// Neighbor node ids of `node` (unordered multiset view, sorted by id).
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out[node.index()].iter().map(|c| self.channel(*c).dst)
+    }
+
+    /// The outgoing channel from `src` to `dst`, if the link exists.
+    pub fn channel_between(&self, src: NodeId, dst: NodeId) -> Option<ChannelId> {
+        self.out[src.index()]
+            .iter()
+            .copied()
+            .find(|c| self.channel(*c).dst == dst)
+    }
+
+    /// The processor attached to switch `s`, if any.
+    pub fn processor_of(&self, s: NodeId) -> Option<NodeId> {
+        self.attached_processor[s.index()]
+    }
+
+    /// The switch a processor `p` is attached to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a processor.
+    pub fn switch_of(&self, p: NodeId) -> NodeId {
+        self.host_switch[p.index()]
+            .unwrap_or_else(|| panic!("{p} is not an attached processor"))
+    }
+
+    /// Degree of `node` in links (pairs of channels).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.out[node.index()].len()
+    }
+
+    /// Checks the structural invariants of the paper's model:
+    /// processor degree exactly 1 (to a switch), per-switch port budget
+    /// `max_ports`, paired channels, and connectivity.
+    pub fn validate(&self, max_ports: usize) -> Result<(), TopologyError> {
+        for n in self.nodes() {
+            match self.kind(n) {
+                NodeKind::Processor => {
+                    let ok = self.degree(n) == 1
+                        && self
+                            .neighbors(n)
+                            .all(|m| self.kind(m) == NodeKind::Switch);
+                    if !ok {
+                        return Err(TopologyError::BadProcessorAttachment(n));
+                    }
+                }
+                NodeKind::Switch => {
+                    if self.degree(n) > max_ports {
+                        return Err(TopologyError::TooManyPorts {
+                            switch: n,
+                            used: self.degree(n),
+                            limit: max_ports,
+                        });
+                    }
+                }
+            }
+        }
+        for c in self.channel_ids() {
+            let ch = self.channel(c);
+            let rev = self.channel(self.reverse(c));
+            debug_assert_eq!((rev.src, rev.dst), (ch.dst, ch.src));
+            if ch.src == ch.dst {
+                return Err(TopologyError::SelfLoop(ch.src));
+            }
+        }
+        if self.num_nodes() > 0 && !crate::algo::is_connected(self) {
+            return Err(TopologyError::Disconnected);
+        }
+        Ok(())
+    }
+}
+
+/// Incremental construction of a [`Topology`].
+///
+/// ```
+/// use netgraph::{Topology, NodeKind};
+///
+/// let mut b = Topology::builder();
+/// let s0 = b.add_switch();
+/// let s1 = b.add_switch();
+/// let p0 = b.add_processor();
+/// b.link(s0, s1).unwrap();
+/// b.link(p0, s0).unwrap();
+/// let t = b.build();
+/// assert_eq!(t.kind(s0), NodeKind::Switch);
+/// assert_eq!(t.switch_of(p0), s0);
+/// t.validate(8).unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    kinds: Vec<NodeKind>,
+    links: Vec<(NodeId, NodeId)>,
+}
+
+impl TopologyBuilder {
+    /// Adds a switch and returns its id.
+    pub fn add_switch(&mut self) -> NodeId {
+        self.kinds.push(NodeKind::Switch);
+        NodeId(self.kinds.len() as u32 - 1)
+    }
+
+    /// Adds a processor and returns its id.
+    pub fn add_processor(&mut self) -> NodeId {
+        self.kinds.push(NodeKind::Processor);
+        NodeId(self.kinds.len() as u32 - 1)
+    }
+
+    /// Adds `n` switches, returning their ids.
+    pub fn add_switches(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_switch()).collect()
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Connects `a` and `b` with a bidirectional link (two channels).
+    pub fn link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        if a.index() >= self.kinds.len() {
+            return Err(TopologyError::NoSuchNode(a));
+        }
+        if b.index() >= self.kinds.len() {
+            return Err(TopologyError::NoSuchNode(b));
+        }
+        if a == b {
+            return Err(TopologyError::SelfLoop(a));
+        }
+        if self
+            .links
+            .iter()
+            .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+        {
+            return Err(TopologyError::DuplicateLink(a, b));
+        }
+        self.links.push((a, b));
+        Ok(())
+    }
+
+    /// True if `a`–`b` are already linked.
+    pub fn linked(&self, a: NodeId, b: NodeId) -> bool {
+        self.links
+            .iter()
+            .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+    }
+
+    /// Number of links incident to `n` so far (port usage).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.links.iter().filter(|&&(a, b)| a == n || b == n).count()
+    }
+
+    /// Finalizes the topology. Channel ids are assigned in link-insertion
+    /// order (forward direction even, reverse odd); adjacency lists are
+    /// sorted by peer id for deterministic routing iteration.
+    pub fn build(self) -> Topology {
+        let n = self.kinds.len();
+        let mut channels = Vec::with_capacity(self.links.len() * 2);
+        let mut out: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
+        let mut inc: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
+        for &(a, b) in &self.links {
+            let fwd = ChannelId(channels.len() as u32);
+            channels.push(Channel { src: a, dst: b });
+            let rev = ChannelId(channels.len() as u32);
+            channels.push(Channel { src: b, dst: a });
+            out[a.index()].push(fwd);
+            inc[b.index()].push(fwd);
+            out[b.index()].push(rev);
+            inc[a.index()].push(rev);
+        }
+        for (node, lst) in out.iter_mut().enumerate() {
+            lst.sort_by_key(|c| (channels[c.index()].dst, *c));
+            debug_assert!(lst
+                .iter()
+                .all(|c| channels[c.index()].src == NodeId(node as u32)));
+        }
+        for (node, lst) in inc.iter_mut().enumerate() {
+            lst.sort_by_key(|c| (channels[c.index()].src, *c));
+            debug_assert!(lst
+                .iter()
+                .all(|c| channels[c.index()].dst == NodeId(node as u32)));
+        }
+        let mut attached_processor = vec![None; n];
+        let mut host_switch = vec![None; n];
+        for &(a, b) in &self.links {
+            let pair = [(a, b), (b, a)];
+            for (x, y) in pair {
+                if self.kinds[x.index()] == NodeKind::Processor
+                    && self.kinds[y.index()] == NodeKind::Switch
+                {
+                    host_switch[x.index()] = Some(y);
+                    attached_processor[y.index()] = Some(x);
+                }
+            }
+        }
+        Topology {
+            kinds: self.kinds,
+            channels,
+            out,
+            inc,
+            attached_processor,
+            host_switch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Topology {
+        // s0 - s1 - s2, processors p3@s0, p4@s2
+        let mut b = Topology::builder();
+        let s0 = b.add_switch();
+        let s1 = b.add_switch();
+        let s2 = b.add_switch();
+        let p3 = b.add_processor();
+        let p4 = b.add_processor();
+        b.link(s0, s1).unwrap();
+        b.link(s1, s2).unwrap();
+        b.link(p3, s0).unwrap();
+        b.link(s2, p4).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_kinds() {
+        let t = tiny();
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_switches(), 3);
+        assert_eq!(t.num_processors(), 2);
+        assert_eq!(t.num_channels(), 8);
+        assert!(t.is_switch(NodeId(1)));
+        assert!(t.is_processor(NodeId(3)));
+    }
+
+    #[test]
+    fn reverse_pairs_channels() {
+        let t = tiny();
+        for c in t.channel_ids() {
+            let r = t.reverse(c);
+            assert_ne!(c, r);
+            assert_eq!(t.reverse(r), c);
+            let ch = t.channel(c);
+            let rv = t.channel(r);
+            assert_eq!((ch.src, ch.dst), (rv.dst, rv.src));
+        }
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_consistent() {
+        let t = tiny();
+        for n in t.nodes() {
+            let dsts: Vec<_> = t.out_channels(n).iter().map(|c| t.channel(*c).dst).collect();
+            let mut sorted = dsts.clone();
+            sorted.sort();
+            assert_eq!(dsts, sorted, "out channels of {n} sorted by dst");
+            for c in t.out_channels(n) {
+                assert_eq!(t.channel(*c).src, n);
+            }
+            for c in t.in_channels(n) {
+                assert_eq!(t.channel(*c).dst, n);
+            }
+        }
+    }
+
+    #[test]
+    fn processor_switch_mapping() {
+        let t = tiny();
+        assert_eq!(t.switch_of(NodeId(3)), NodeId(0));
+        assert_eq!(t.switch_of(NodeId(4)), NodeId(2));
+        assert_eq!(t.processor_of(NodeId(0)), Some(NodeId(3)));
+        assert_eq!(t.processor_of(NodeId(1)), None);
+    }
+
+    #[test]
+    fn channel_between_finds_direction() {
+        let t = tiny();
+        let c = t.channel_between(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(t.channel(c).src, NodeId(0));
+        assert_eq!(t.channel(c).dst, NodeId(1));
+        assert!(t.channel_between(NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        tiny().validate(8).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_overloaded_switch() {
+        let mut b = Topology::builder();
+        let hub = b.add_switch();
+        for _ in 0..3 {
+            let s = b.add_switch();
+            b.link(hub, s).unwrap();
+        }
+        let p = b.add_processor();
+        b.link(p, hub).unwrap();
+        let t = b.build();
+        assert!(matches!(
+            t.validate(2),
+            Err(TopologyError::TooManyPorts { .. })
+        ));
+        t.validate(4).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_disconnected() {
+        let mut b = Topology::builder();
+        let s0 = b.add_switch();
+        let _s1 = b.add_switch(); // isolated
+        let p = b.add_processor();
+        b.link(p, s0).unwrap();
+        let t = b.build();
+        assert_eq!(t.validate(8), Err(TopologyError::Disconnected));
+    }
+
+    #[test]
+    fn validate_rejects_processor_to_processor() {
+        let mut b = Topology::builder();
+        let p0 = b.add_processor();
+        let p1 = b.add_processor();
+        b.link(p0, p1).unwrap();
+        let t = b.build();
+        assert!(matches!(
+            t.validate(8),
+            Err(TopologyError::BadProcessorAttachment(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_self_loops() {
+        let mut b = Topology::builder();
+        let s0 = b.add_switch();
+        let s1 = b.add_switch();
+        b.link(s0, s1).unwrap();
+        assert_eq!(b.link(s1, s0), Err(TopologyError::DuplicateLink(s1, s0)));
+        assert_eq!(b.link(s0, s0), Err(TopologyError::SelfLoop(s0)));
+        assert_eq!(
+            b.link(s0, NodeId(99)),
+            Err(TopologyError::NoSuchNode(NodeId(99)))
+        );
+        assert!(b.linked(s0, s1));
+        assert_eq!(b.degree(s0), 1);
+    }
+}

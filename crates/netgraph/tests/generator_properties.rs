@@ -1,0 +1,127 @@
+//! Property tests for the topology generators: every instance from every
+//! strategy must satisfy the §4 structural constraints.
+
+use netgraph::algo;
+use netgraph::gen::lattice::{IrregularConfig, LatticeStrategy};
+use netgraph::gen::regular::{hypercube, mesh2d, ring, torus2d};
+use netgraph::{NodeKind, Topology};
+use proptest::prelude::*;
+
+fn assert_paper_constraints(t: &Topology) {
+    // Validity: port budget 8, processor attachment, connectivity.
+    t.validate(8).unwrap();
+    // One processor per switch.
+    assert_eq!(t.num_switches(), t.num_processors());
+    for s in t.switches() {
+        assert!(t.processor_of(s).is_some());
+        // ≤ 4 switch-to-switch links (lattice adjacency).
+        let sw_links = t.neighbors(s).filter(|n| t.is_switch(*n)).count();
+        assert!(sw_links <= 4);
+    }
+    // Channel pairing is involutive and direction-reversing.
+    for c in t.channel_ids() {
+        let r = t.reverse(c);
+        assert_eq!(t.reverse(r), c);
+        assert_eq!(t.channel(c).src, t.channel(r).dst);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn growth_strategy_always_satisfies_section4(
+        switches in 1usize..96,
+        seed in any::<u64>(),
+    ) {
+        let t = IrregularConfig::with_switches(switches).generate(seed);
+        prop_assert_eq!(t.num_switches(), switches);
+        assert_paper_constraints(&t);
+    }
+
+    #[test]
+    fn uniform_retry_strategy_always_satisfies_section4(
+        switches in 2usize..48,
+        seed in any::<u64>(),
+    ) {
+        let t = IrregularConfig::with_switches(switches)
+            .strategy(LatticeStrategy::UniformRetry)
+            .generate(seed);
+        prop_assert_eq!(t.num_switches(), switches);
+        assert_paper_constraints(&t);
+    }
+
+    #[test]
+    fn generators_are_pure_functions_of_seed(
+        switches in 2usize..40,
+        seed in any::<u64>(),
+    ) {
+        let cfg = IrregularConfig::with_switches(switches);
+        let a = cfg.generate(seed);
+        let b = cfg.generate(seed);
+        prop_assert_eq!(a.num_channels(), b.num_channels());
+        for c in a.channel_ids() {
+            prop_assert_eq!(a.channel(c), b.channel(c));
+        }
+    }
+
+    #[test]
+    fn bfs_distance_is_a_metric_sample(
+        switches in 3usize..32,
+        seed in any::<u64>(),
+    ) {
+        let t = IrregularConfig::with_switches(switches).generate(seed);
+        // Triangle inequality through a random intermediate node, and
+        // symmetry (undirected links).
+        let nodes: Vec<_> = t.nodes().collect();
+        let a = nodes[seed as usize % nodes.len()];
+        let da = algo::bfs_distances(&t, a);
+        for &b in nodes.iter().take(8) {
+            let db = algo::bfs_distances(&t, b);
+            prop_assert_eq!(da[b.index()], db[a.index()], "symmetry");
+            for &m in nodes.iter().take(8) {
+                prop_assert!(da[b.index()] <= da[m.index()] + db[m.index()]);
+            }
+        }
+    }
+}
+
+#[test]
+fn regular_generators_match_known_formulas() {
+    for (rows, cols) in [(2usize, 2usize), (3, 5), (6, 6)] {
+        let t = mesh2d(rows, cols);
+        let links = rows * (cols - 1) + cols * (rows - 1) + rows * cols;
+        assert_eq!(t.num_channels(), 2 * links);
+    }
+    for n in [3usize, 5, 9] {
+        let t = ring(n);
+        assert_eq!(t.num_channels(), 2 * (n + n));
+        assert_eq!(algo::switch_diameter(&t), (n / 2) as u32);
+    }
+    for (r, c) in [(3usize, 3usize), (4, 6)] {
+        let t = torus2d(r, c);
+        assert_eq!(t.num_channels(), 2 * (2 * r * c + r * c));
+    }
+    for d in [1u32, 3, 5] {
+        let t = hypercube(d);
+        let n = 1usize << d;
+        assert_eq!(t.num_channels(), 2 * (n * d as usize / 2 + n));
+        assert_eq!(algo::switch_diameter(&t), d);
+    }
+}
+
+#[test]
+fn node_kinds_partition_the_network() {
+    let t = IrregularConfig::with_switches(20).generate(4);
+    let mut switches = 0;
+    let mut procs = 0;
+    for n in t.nodes() {
+        match t.kind(n) {
+            NodeKind::Switch => switches += 1,
+            NodeKind::Processor => procs += 1,
+        }
+    }
+    assert_eq!(switches + procs, t.num_nodes());
+    assert_eq!(switches, t.switches().count());
+    assert_eq!(procs, t.processors().count());
+}

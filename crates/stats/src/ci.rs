@@ -1,0 +1,162 @@
+//! Confidence intervals on the sample mean.
+
+use crate::running::RunningStats;
+
+/// Supported confidence levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfidenceLevel {
+    /// 95 % (the paper's level).
+    P95,
+    /// 99 %.
+    P99,
+}
+
+impl ConfidenceLevel {
+    /// Two-sided Student-t quantile for `df` degrees of freedom (normal
+    /// quantile beyond the tabulated range — the difference is < 0.5 % past
+    /// df = 30).
+    fn t_quantile(self, df: u64) -> f64 {
+        // Standard two-sided t tables.
+        const T95: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        const T99: [f64; 30] = [
+            63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055,
+            3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797,
+            2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+        ];
+        let table = match self {
+            ConfidenceLevel::P95 => &T95,
+            ConfidenceLevel::P99 => &T99,
+        };
+        match df {
+            0 => f64::INFINITY,
+            1..=30 => table[(df - 1) as usize],
+            _ => match self {
+                ConfidenceLevel::P95 => 1.960,
+                ConfidenceLevel::P99 => 2.576,
+            },
+        }
+    }
+}
+
+/// A two-sided confidence interval `mean ± half_width`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// The level it was computed at.
+    pub level: ConfidenceLevel,
+}
+
+impl ConfidenceInterval {
+    /// Interval from accumulated statistics (`None` below 2 samples).
+    pub fn from_stats(stats: &RunningStats, level: ConfidenceLevel) -> Option<Self> {
+        let se = stats.std_err()?;
+        let t = level.t_quantile(stats.count() - 1);
+        Some(ConfidenceInterval {
+            mean: stats.mean(),
+            half_width: t * se,
+            level,
+        })
+    }
+
+    /// Half-width as a fraction of the mean (the paper's "within 1 % of
+    /// the mean" criterion); infinite for a zero mean.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.half_width == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.half_width / self.mean).abs()
+        }
+    }
+
+    /// Lower bound.
+    pub fn low(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn high(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// True if `x` falls inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.low()..=self.high()).contains(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_interval() {
+        // Five observations, mean 10, sd 1: CI95 = 10 ± 2.776/sqrt(5).
+        let mut s = RunningStats::new();
+        s.extend([9.0, 9.5, 10.0, 10.5, 11.0]);
+        let ci = ConfidenceInterval::from_stats(&s, ConfidenceLevel::P95).unwrap();
+        assert!((ci.mean - 10.0).abs() < 1e-12);
+        let expect = 2.776 * s.std_err().unwrap();
+        assert!((ci.half_width - expect).abs() < 1e-9);
+        assert!(ci.contains(10.0));
+        assert!(!ci.contains(12.0));
+        assert!(ci.low() < ci.mean && ci.mean < ci.high());
+    }
+
+    #[test]
+    fn too_few_samples_yield_none() {
+        let mut s = RunningStats::new();
+        assert!(ConfidenceInterval::from_stats(&s, ConfidenceLevel::P95).is_none());
+        s.push(1.0);
+        assert!(ConfidenceInterval::from_stats(&s, ConfidenceLevel::P95).is_none());
+    }
+
+    #[test]
+    fn quantiles_decrease_with_df_and_match_normal_tail() {
+        let lvl = ConfidenceLevel::P95;
+        let mut prev = f64::INFINITY;
+        for df in 1..=40 {
+            let t = lvl.t_quantile(df);
+            assert!(t <= prev);
+            prev = t;
+        }
+        assert_eq!(lvl.t_quantile(10_000), 1.960);
+        assert_eq!(ConfidenceLevel::P99.t_quantile(10_000), 2.576);
+        // P99 always wider than P95.
+        for df in 1..=50 {
+            assert!(ConfidenceLevel::P99.t_quantile(df) > lvl.t_quantile(df));
+        }
+    }
+
+    #[test]
+    fn relative_half_width_degenerate_cases() {
+        let ci = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 0.0,
+            level: ConfidenceLevel::P95,
+        };
+        assert_eq!(ci.relative_half_width(), 0.0);
+        let ci2 = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 1.0,
+            level: ConfidenceLevel::P95,
+        };
+        assert!(ci2.relative_half_width().is_infinite());
+        let ci3 = ConfidenceInterval {
+            mean: 100.0,
+            half_width: 1.0,
+            level: ConfidenceLevel::P95,
+        };
+        assert!((ci3.relative_half_width() - 0.01).abs() < 1e-12);
+    }
+}

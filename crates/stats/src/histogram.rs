@@ -1,0 +1,152 @@
+//! Fixed-width histograms for latency distributions.
+
+/// A histogram with uniform bins over `[lo, hi)` plus underflow/overflow
+/// counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// `bins` uniform buckets across `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "empty range");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let w = (self.hi - self.lo) / n as f64;
+            let i = (((x - self.lo) / w) as usize).min(n - 1);
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Total observations (including out-of-range).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(bin center, count)` pairs — ready for plotting or CSV dumps.
+    pub fn centers(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
+    }
+
+    /// The p-th percentile (0–100) over in-range data, linear in bins;
+    /// `None` when no in-range observations exist.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let target = (p.clamp(0.0, 100.0) / 100.0 * in_range as f64).ceil() as u64;
+        let target = target.max(1);
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut acc = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(self.lo + w * (i as f64 + 1.0));
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.6, 9.9] {
+            h.record(x);
+        }
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 2);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let mut h = Histogram::new(10.0, 20.0, 5);
+        h.record(5.0);
+        h.record(25.0);
+        h.record(20.0); // hi is exclusive
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let centers: Vec<f64> = h.centers().map(|(c, _)| c).collect();
+        assert_eq!(centers, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.percentile(50.0), Some(50.0));
+        assert_eq!(h.percentile(99.0), Some(99.0));
+        assert_eq!(h.percentile(100.0), Some(100.0));
+        assert!(Histogram::new(0.0, 1.0, 4).percentile(50.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_rejected() {
+        Histogram::new(5.0, 5.0, 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! Replication control: run until the confidence interval is tight enough.
+//!
+//! Implements the §4 protocol — "each data point is within 1% of the mean
+//! or better, using 95% confidence intervals" — as a feed/ask loop: the
+//! experiment pushes per-replication means, the controller says when to
+//! stop.
+
+use crate::ci::{ConfidenceInterval, ConfidenceLevel};
+use crate::running::RunningStats;
+
+/// Sequential-stopping controller.
+#[derive(Debug, Clone)]
+pub struct PrecisionController {
+    stats: RunningStats,
+    target_rel: f64,
+    level: ConfidenceLevel,
+    min_reps: u64,
+    max_reps: u64,
+}
+
+impl PrecisionController {
+    /// Stop once the `level` CI half-width is ≤ `target_rel` of the mean,
+    /// but not before `min_reps` or after `max_reps` replications.
+    pub fn new(target_rel: f64, level: ConfidenceLevel, min_reps: u64, max_reps: u64) -> Self {
+        assert!(target_rel > 0.0, "relative target must be positive");
+        assert!(min_reps >= 2, "CIs need at least two replications");
+        assert!(max_reps >= min_reps);
+        PrecisionController {
+            stats: RunningStats::new(),
+            target_rel,
+            level,
+            min_reps,
+            max_reps,
+        }
+    }
+
+    /// The paper's protocol: 95% CI within 1% of the mean, 3–1000 reps.
+    pub fn paper() -> Self {
+        Self::new(0.01, ConfidenceLevel::P95, 3, 1000)
+    }
+
+    /// Adds one replication's summary value.
+    pub fn push(&mut self, value: f64) {
+        self.stats.push(value);
+    }
+
+    /// Replications so far.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// The current interval (once computable).
+    pub fn interval(&self) -> Option<ConfidenceInterval> {
+        ConfidenceInterval::from_stats(&self.stats, self.level)
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &RunningStats {
+        &self.stats
+    }
+
+    /// True when the precision target is met (after `min_reps`) or the
+    /// replication budget is exhausted.
+    pub fn satisfied(&self) -> bool {
+        let n = self.stats.count();
+        if n >= self.max_reps {
+            return true;
+        }
+        if n < self.min_reps {
+            return false;
+        }
+        self.interval()
+            .is_some_and(|ci| ci.relative_half_width() <= self.target_rel)
+    }
+
+    /// True when the target was met within budget (as opposed to stopping
+    /// on `max_reps`).
+    pub fn met_target(&self) -> bool {
+        self.stats.count() >= self.min_reps
+            && self
+                .interval()
+                .is_some_and(|ci| ci.relative_half_width() <= self.target_rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_converge_immediately() {
+        let mut c = PrecisionController::new(0.01, ConfidenceLevel::P95, 3, 100);
+        c.push(10.0);
+        assert!(!c.satisfied(), "below min_reps");
+        c.push(10.0);
+        assert!(!c.satisfied(), "still below min_reps");
+        c.push(10.0);
+        assert!(c.satisfied(), "zero variance meets any target");
+        assert!(c.met_target());
+        assert_eq!(c.count(), 3);
+    }
+
+    #[test]
+    fn noisy_samples_need_more_replications() {
+        let mut c = PrecisionController::new(0.01, ConfidenceLevel::P95, 3, 10_000);
+        // Alternate ±10% around 100: needs a good number of samples for a
+        // 1% CI.
+        let mut n = 0u64;
+        while !c.satisfied() {
+            let x = if n.is_multiple_of(2) { 90.0 } else { 110.0 };
+            c.push(x);
+            n += 1;
+        }
+        assert!(n > 20, "only {n} replications for very noisy data");
+        assert!(c.met_target());
+        let ci = c.interval().unwrap();
+        assert!(ci.relative_half_width() <= 0.01);
+        assert!((ci.mean - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn max_reps_terminates_hopeless_runs() {
+        let mut c = PrecisionController::new(1e-9, ConfidenceLevel::P95, 2, 50);
+        let mut i = 0u64;
+        while !c.satisfied() {
+            c.push(if i.is_multiple_of(2) { 1.0 } else { 2.0 });
+            i += 1;
+            assert!(i <= 50, "controller failed to stop");
+        }
+        assert_eq!(c.count(), 50);
+        assert!(!c.met_target());
+    }
+
+    #[test]
+    fn paper_protocol_parameters() {
+        let c = PrecisionController::paper();
+        assert_eq!(c.level, ConfidenceLevel::P95);
+        assert!((c.target_rel - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn min_reps_must_allow_a_ci() {
+        PrecisionController::new(0.01, ConfidenceLevel::P95, 1, 10);
+    }
+}

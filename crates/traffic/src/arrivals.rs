@@ -1,0 +1,207 @@
+//! Interarrival-time processes.
+//!
+//! §4 drives the Figure 3 experiments with "a negative binomial
+//! distribution with varying average arrival rates". The negative binomial
+//! counts discrete slots (channel cycles here) between arrivals; with
+//! dispersion `r = 1` it reduces to the geometric distribution — the
+//! discrete memoryless process. Larger `r` gives smoother (less bursty)
+//! arrivals at the same mean rate; the paper fixes only the mean, so the
+//! dispersion is exposed as a knob (default 1).
+
+use desim::Duration;
+use rand::Rng;
+
+/// A stream of interarrival gaps.
+pub trait ArrivalProcess {
+    /// Draws the gap until the next arrival.
+    fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration;
+
+    /// The configured mean gap.
+    fn mean_gap(&self) -> Duration;
+}
+
+/// Constant-rate arrivals (useful for tests and worst-case bursts).
+#[derive(Debug, Clone, Copy)]
+pub struct Deterministic {
+    /// The constant gap.
+    pub gap: Duration,
+}
+
+impl ArrivalProcess for Deterministic {
+    fn next_gap<R: Rng + ?Sized>(&self, _rng: &mut R) -> Duration {
+        self.gap
+    }
+
+    fn mean_gap(&self) -> Duration {
+        self.gap
+    }
+}
+
+/// Poisson arrivals: exponentially distributed gaps.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    mean_gap_ns: f64,
+}
+
+impl Poisson {
+    /// Mean rate in messages per microsecond.
+    pub fn with_rate_per_us(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Poisson {
+            mean_gap_ns: 1_000.0 / rate,
+        }
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        // Inverse-CDF sampling; guard the open interval to avoid ln(0).
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        Duration::from_ns((-self.mean_gap_ns * u.ln()).round() as u64)
+    }
+
+    fn mean_gap(&self) -> Duration {
+        Duration::from_ns(self.mean_gap_ns as u64)
+    }
+}
+
+/// Negative binomial slot-count arrivals (§4's process).
+///
+/// The gap is `NB(r, p)` slots of `slot` duration each; the mean gap is
+/// `r·(1−p)/p` slots. Parameterized by mean rate, the success probability
+/// is solved as `p = r / (r + m)` where `m` is the mean gap in slots.
+#[derive(Debug, Clone, Copy)]
+pub struct NegativeBinomial {
+    /// Dispersion (number of geometric components); `1` = geometric.
+    pub r: u32,
+    /// Success probability per slot.
+    p: f64,
+    /// Slot duration (the channel cycle, 10 ns, in the paper's setup).
+    slot: Duration,
+}
+
+impl NegativeBinomial {
+    /// Process with mean rate `rate` messages/µs, dispersion `r`, and the
+    /// given slot duration.
+    pub fn with_rate_per_us(rate: f64, r: u32, slot: Duration) -> Self {
+        assert!(rate > 0.0 && r >= 1 && slot > Duration::ZERO);
+        let mean_gap_ns = 1_000.0 / rate;
+        let mean_slots = mean_gap_ns / slot.as_ns() as f64;
+        assert!(
+            mean_slots >= 1.0,
+            "arrival rate too high for the slot size"
+        );
+        NegativeBinomial {
+            r,
+            p: r as f64 / (r as f64 + mean_slots),
+            slot,
+        }
+    }
+
+    /// The paper's setting: 10 ns slots, geometric (r = 1).
+    pub fn paper(rate_per_us: f64) -> Self {
+        Self::with_rate_per_us(rate_per_us, 1, Duration::from_ns(10))
+    }
+
+    fn sample_geometric<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Failures before the first success, via inverse CDF.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+    }
+}
+
+impl ArrivalProcess for NegativeBinomial {
+    fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        let slots: u64 = (0..self.r).map(|_| self.sample_geometric(rng)).sum();
+        self.slot.scaled(slots)
+    }
+
+    fn mean_gap(&self) -> Duration {
+        let mean_slots = self.r as f64 * (1.0 - self.p) / self.p;
+        Duration::from_ns((mean_slots * self.slot.as_ns() as f64) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn empirical_mean<P: ArrivalProcess>(p: &P, n: usize, seed: u64) -> f64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| p.next_gap(&mut rng).as_ns() as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Deterministic {
+            gap: Duration::from_us(3),
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(d.next_gap(&mut rng), Duration::from_us(3));
+        }
+        assert_eq!(d.mean_gap(), Duration::from_us(3));
+    }
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        // rate 0.02 /µs -> mean gap 50_000 ns.
+        let p = Poisson::with_rate_per_us(0.02);
+        let m = empirical_mean(&p, 60_000, 42);
+        assert!(
+            (m - 50_000.0).abs() < 1_500.0,
+            "poisson mean {m} far from 50_000"
+        );
+    }
+
+    #[test]
+    fn negative_binomial_mean_matches_rate() {
+        for r in [1u32, 3, 8] {
+            let p = NegativeBinomial::with_rate_per_us(0.02, r, Duration::from_ns(10));
+            let m = empirical_mean(&p, 60_000, 7 + r as u64);
+            assert!(
+                (m - 50_000.0).abs() < 2_000.0,
+                "NB(r={r}) mean {m} far from 50_000"
+            );
+            // Configured mean agrees too.
+            let cfg = p.mean_gap().as_ns() as f64;
+            assert!((cfg - 50_000.0).abs() < 200.0, "configured mean {cfg}");
+        }
+    }
+
+    #[test]
+    fn higher_dispersion_reduces_variance() {
+        let sample_var = |r: u32| {
+            let p = NegativeBinomial::with_rate_per_us(0.02, r, Duration::from_ns(10));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+            let xs: Vec<f64> = (0..40_000)
+                .map(|_| p.next_gap(&mut rng).as_ns() as f64)
+                .collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(
+            sample_var(8) < sample_var(1) * 0.5,
+            "r=8 should be much smoother than geometric"
+        );
+    }
+
+    #[test]
+    fn paper_process_is_geometric_10ns_slots() {
+        let p = NegativeBinomial::paper(0.01);
+        assert_eq!(p.r, 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // Gaps are multiples of the 10 ns slot.
+        for _ in 0..100 {
+            assert_eq!(p.next_gap(&mut rng).as_ns() % 10, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too high")]
+    fn impossible_rate_rejected() {
+        // Mean gap below one slot cannot be represented.
+        NegativeBinomial::with_rate_per_us(200.0, 1, Duration::from_ns(10));
+    }
+}

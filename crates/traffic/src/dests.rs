@@ -1,0 +1,128 @@
+//! Destination-set samplers.
+
+use netgraph::{algo, NodeId, Topology};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How a multicast's destination set is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DestinationSampler {
+    /// `count` distinct processors, uniformly at random, excluding the
+    /// source (the Figure 2 / Figure 3 model).
+    UniformRandom {
+        /// Number of destinations.
+        count: usize,
+    },
+    /// Every processor except the source.
+    Broadcast,
+    /// `count` processors nearest (by switch-graph BFS) to a random seed
+    /// switch — "groups of contiguous nodes" for the §5 partitioning
+    /// study, ties broken by node id.
+    Cluster {
+        /// Number of destinations.
+        count: usize,
+    },
+}
+
+impl DestinationSampler {
+    /// Draws a destination set for a message from `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer processors than requested
+    /// (excluding the source).
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        let mut others: Vec<NodeId> = topo.processors().filter(|&p| p != src).collect();
+        match *self {
+            DestinationSampler::UniformRandom { count } => {
+                assert!(count >= 1 && count <= others.len(), "not enough processors");
+                others.shuffle(rng);
+                others.truncate(count);
+                others
+            }
+            DestinationSampler::Broadcast => others,
+            DestinationSampler::Cluster { count } => {
+                assert!(count >= 1 && count <= others.len(), "not enough processors");
+                let switches: Vec<NodeId> = topo.switches().collect();
+                let seed = switches[rng.gen_range(0..switches.len())];
+                let dist = algo::bfs_distances(topo, seed);
+                others.sort_by_key(|p| (dist[p.index()], *p));
+                others.truncate(count);
+                others
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::gen::lattice::IrregularConfig;
+    use rand::SeedableRng;
+
+    fn setup() -> (Topology, Vec<NodeId>) {
+        let t = IrregularConfig::with_switches(24).generate(5);
+        let procs: Vec<NodeId> = t.processors().collect();
+        (t, procs)
+    }
+
+    #[test]
+    fn uniform_excludes_source_and_is_distinct() {
+        let (t, procs) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let d = DestinationSampler::UniformRandom { count: 8 }.sample(&t, procs[0], &mut rng);
+            assert_eq!(d.len(), 8);
+            assert!(!d.contains(&procs[0]));
+            let mut s = d.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 8, "duplicates drawn");
+        }
+    }
+
+    #[test]
+    fn broadcast_hits_everyone_else() {
+        let (t, procs) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let d = DestinationSampler::Broadcast.sample(&t, procs[3], &mut rng);
+        assert_eq!(d.len(), procs.len() - 1);
+        assert!(!d.contains(&procs[3]));
+    }
+
+    #[test]
+    fn cluster_is_bfs_tight() {
+        let (t, procs) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let d = DestinationSampler::Cluster { count: 6 }.sample(&t, procs[0], &mut rng);
+        assert_eq!(d.len(), 6);
+        // The chosen processors must be closer to each other than a random
+        // spread: check max pairwise distance is below the diameter.
+        let diam = netgraph::algo::switch_diameter(&t);
+        let max_pair = d
+            .iter()
+            .flat_map(|&a| {
+                let dist = algo::bfs_distances(&t, a);
+                d.iter().map(move |&b| dist[b.index()]).collect::<Vec<_>>()
+            })
+            .max()
+            .unwrap();
+        assert!(
+            max_pair <= diam,
+            "cluster spread {max_pair} exceeds diameter {diam}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough processors")]
+    fn oversized_request_panics() {
+        let (t, procs) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        DestinationSampler::UniformRandom { count: 1000 }.sample(&t, procs[0], &mut rng);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # traffic — workload generation for the simulation experiments
+//!
+//! Reproduces the traffic models of §4:
+//!
+//! * **Single multicast** (Figure 2): one message, `k` uniformly chosen
+//!   destinations, in an otherwise idle network.
+//! * **Mixed traffic** (Figure 3): every processor generates messages with
+//!   interarrival gaps drawn from a **negative binomial** distribution with
+//!   a configurable mean arrival rate; 90 % of messages are unicasts, 10 %
+//!   multicasts of a fixed destination-set size.
+//!
+//! The module also provides the destination samplers used by the §5
+//! partitioning ablation (clustered destination sets) and a Poisson
+//! process for sensitivity checks.
+
+pub mod arrivals;
+pub mod dests;
+pub mod workload;
+
+pub use arrivals::{ArrivalProcess, Deterministic, NegativeBinomial, Poisson};
+pub use dests::DestinationSampler;
+pub use workload::{ArrivalKind, MixedTrafficConfig};

@@ -1,0 +1,222 @@
+//! Full traffic streams: the Figure 3 mixed unicast/multicast workload.
+
+use crate::arrivals::{ArrivalProcess, Deterministic, NegativeBinomial, Poisson};
+use crate::dests::DestinationSampler;
+use desim::{Duration, Time};
+use netgraph::{NodeId, Topology};
+use rand::Rng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use wormsim::MessageSpec;
+
+/// Which arrival process drives each node's generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalKind {
+    /// §4: negative binomial slot counts with dispersion `r` over 10 ns
+    /// slots.
+    NegativeBinomial {
+        /// Dispersion; 1 = geometric.
+        r: u32,
+    },
+    /// Exponential gaps (sensitivity analysis).
+    Poisson,
+    /// Fixed gaps (stress tests).
+    Deterministic,
+}
+
+/// The Figure 3 workload: every processor independently generates
+/// messages; each is a unicast with probability `unicast_fraction`,
+/// otherwise a multicast with `multicast_dests` uniformly drawn
+/// destinations.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedTrafficConfig {
+    /// Fraction of unicast messages (0.9 in the paper).
+    pub unicast_fraction: f64,
+    /// Destinations per multicast (8, 16, 32, 64 in Figure 3).
+    pub multicast_dests: usize,
+    /// Mean arrival rate per node, messages per microsecond
+    /// (0.005 – 0.04 on the Figure 3 x-axis).
+    pub rate_per_node_per_us: f64,
+    /// Flits per message (128 in §4).
+    pub message_len: u32,
+    /// Total messages to generate across all nodes.
+    pub messages: usize,
+    /// The arrival process.
+    pub arrival: ArrivalKind,
+}
+
+impl MixedTrafficConfig {
+    /// The paper's Figure 3 configuration at a given rate and multicast
+    /// size, for `messages` total messages.
+    pub fn figure3(rate_per_node_per_us: f64, multicast_dests: usize, messages: usize) -> Self {
+        MixedTrafficConfig {
+            unicast_fraction: 0.9,
+            multicast_dests,
+            rate_per_node_per_us,
+            message_len: 128,
+            messages,
+            arrival: ArrivalKind::NegativeBinomial { r: 1 },
+        }
+    }
+
+    /// Generates the message stream (sorted by generation time).
+    ///
+    /// Every processor runs an independent arrival process; the merged
+    /// stream is truncated to `self.messages` messages. Tags number the
+    /// messages in generation order. Unicast destinations are uniform; a
+    /// message is a multicast with probability `1 − unicast_fraction`.
+    pub fn generate(&self, topo: &Topology, seed: u64) -> Vec<MessageSpec> {
+        assert!(
+            (0.0..=1.0).contains(&self.unicast_fraction),
+            "unicast fraction must be a probability"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let procs: Vec<NodeId> = topo.processors().collect();
+        assert!(procs.len() >= 2, "need at least two processors");
+        assert!(
+            self.multicast_dests < procs.len(),
+            "multicast size must leave a source out"
+        );
+
+        // Per-node next-arrival heap: (time, node-index).
+        let mut heap: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+        for (i, _) in procs.iter().enumerate() {
+            let gap = self.draw_gap(&mut rng);
+            heap.push(Reverse((Time::ZERO + gap, i)));
+        }
+
+        let mut specs = Vec::with_capacity(self.messages);
+        while specs.len() < self.messages {
+            let Reverse((t, i)) = heap.pop().expect("heap refilled every pop");
+            let src = procs[i];
+            let is_unicast = rng.gen_bool(self.unicast_fraction);
+            let dests = if is_unicast {
+                DestinationSampler::UniformRandom { count: 1 }.sample(topo, src, &mut rng)
+            } else {
+                DestinationSampler::UniformRandom {
+                    count: self.multicast_dests,
+                }
+                .sample(topo, src, &mut rng)
+            };
+            specs.push(
+                MessageSpec::multicast(src, dests, self.message_len)
+                    .at(t)
+                    .tag(specs.len() as u64),
+            );
+            let gap = self.draw_gap(&mut rng);
+            heap.push(Reverse((t + gap, i)));
+        }
+        specs.sort_by_key(|s| (s.gen_time, s.tag));
+        specs
+    }
+
+    fn draw_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        match self.arrival {
+            ArrivalKind::NegativeBinomial { r } => {
+                NegativeBinomial::with_rate_per_us(
+                    self.rate_per_node_per_us,
+                    r,
+                    Duration::from_ns(10),
+                )
+                .next_gap(rng)
+            }
+            ArrivalKind::Poisson => {
+                Poisson::with_rate_per_us(self.rate_per_node_per_us).next_gap(rng)
+            }
+            ArrivalKind::Deterministic => Deterministic {
+                gap: Duration::from_ns((1_000.0 / self.rate_per_node_per_us) as u64),
+            }
+            .next_gap(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::gen::lattice::IrregularConfig;
+
+    fn topo() -> Topology {
+        IrregularConfig::with_switches(32).generate(1)
+    }
+
+    #[test]
+    fn stream_is_sorted_and_tagged() {
+        let t = topo();
+        let specs = MixedTrafficConfig::figure3(0.02, 8, 200).generate(&t, 42);
+        assert_eq!(specs.len(), 200);
+        for w in specs.windows(2) {
+            assert!(w[0].gen_time <= w[1].gen_time);
+        }
+        for s in &specs {
+            s.validate(&t).unwrap();
+            assert_eq!(s.len, 128);
+        }
+    }
+
+    #[test]
+    fn unicast_fraction_is_respected() {
+        let t = topo();
+        let specs = MixedTrafficConfig::figure3(0.02, 8, 3000).generate(&t, 7);
+        let unicasts = specs.iter().filter(|s| s.is_unicast()).count();
+        let frac = unicasts as f64 / specs.len() as f64;
+        assert!(
+            (frac - 0.9).abs() < 0.03,
+            "unicast fraction {frac} far from 0.9"
+        );
+        // Multicasts have exactly the configured size.
+        for s in specs.iter().filter(|s| !s.is_unicast()) {
+            assert_eq!(s.dests.len(), 8);
+        }
+    }
+
+    #[test]
+    fn aggregate_rate_matches_configuration() {
+        let t = topo();
+        let cfg = MixedTrafficConfig::figure3(0.01, 8, 4000);
+        let specs = cfg.generate(&t, 3);
+        let span_us = specs.last().unwrap().gen_time.as_us_f64();
+        // 32 nodes at 0.01 msg/µs each -> 0.32 msg/µs aggregate.
+        let rate = specs.len() as f64 / span_us;
+        assert!(
+            (rate - 0.32).abs() < 0.05,
+            "aggregate rate {rate} far from 0.32"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let t = topo();
+        let cfg = MixedTrafficConfig::figure3(0.02, 16, 100);
+        assert_eq!(cfg.generate(&t, 5), cfg.generate(&t, 5));
+        assert_ne!(cfg.generate(&t, 5), cfg.generate(&t, 6));
+    }
+
+    #[test]
+    fn poisson_and_deterministic_also_work() {
+        let t = topo();
+        for arrival in [ArrivalKind::Poisson, ArrivalKind::Deterministic] {
+            let cfg = MixedTrafficConfig {
+                arrival,
+                ..MixedTrafficConfig::figure3(0.02, 4, 50)
+            };
+            let specs = cfg.generate(&t, 1);
+            assert_eq!(specs.len(), 50);
+        }
+    }
+
+    #[test]
+    fn sources_are_spread_across_nodes() {
+        let t = topo();
+        let specs = MixedTrafficConfig::figure3(0.02, 8, 2000).generate(&t, 11);
+        let mut srcs: Vec<NodeId> = specs.iter().map(|s| s.src).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        assert!(
+            srcs.len() >= 30,
+            "only {} of 32 processors ever sent",
+            srcs.len()
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the workload generators: every generated stream is
+//! valid against its topology, matches its configuration, and is a pure
+//! function of the seed.
+
+use netgraph::gen::lattice::IrregularConfig;
+use proptest::prelude::*;
+use traffic::{ArrivalKind, DestinationSampler, MixedTrafficConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_streams_are_valid_and_sized(
+        switches in 8usize..40,
+        topo_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        rate_milli in 5u64..50,       // 0.005 .. 0.05 per µs
+        k in 2usize..6,
+        messages in 1usize..120,
+    ) {
+        let topo = IrregularConfig::with_switches(switches).generate(topo_seed);
+        let rate = rate_milli as f64 / 1000.0;
+        let cfg = MixedTrafficConfig::figure3(rate, k, messages);
+        let specs = cfg.generate(&topo, stream_seed);
+        prop_assert_eq!(specs.len(), messages);
+        let mut prev = None;
+        for (i, s) in specs.iter().enumerate() {
+            s.validate(&topo).unwrap();
+            prop_assert_eq!(s.tag, i as u64);
+            prop_assert!(s.is_unicast() || s.dests.len() == k);
+            if let Some(p) = prev {
+                prop_assert!(s.gen_time >= p, "stream must be time-sorted");
+            }
+            prev = Some(s.gen_time);
+        }
+    }
+
+    #[test]
+    fn streams_are_pure_functions_of_seed(
+        topo_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+    ) {
+        let topo = IrregularConfig::with_switches(16).generate(topo_seed);
+        let cfg = MixedTrafficConfig::figure3(0.02, 4, 60);
+        prop_assert_eq!(cfg.generate(&topo, stream_seed), cfg.generate(&topo, stream_seed));
+    }
+
+    #[test]
+    fn samplers_produce_valid_destination_sets(
+        topo_seed in any::<u64>(),
+        sample_seed in any::<u64>(),
+        count in 1usize..10,
+    ) {
+        use rand::SeedableRng;
+        let topo = IrregularConfig::with_switches(16).generate(topo_seed);
+        let procs: Vec<_> = topo.processors().collect();
+        let src = procs[0];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(sample_seed);
+        for sampler in [
+            DestinationSampler::UniformRandom { count },
+            DestinationSampler::Cluster { count },
+            DestinationSampler::Broadcast,
+        ] {
+            let d = sampler.sample(&topo, src, &mut rng);
+            prop_assert!(!d.is_empty());
+            prop_assert!(!d.contains(&src));
+            let mut sorted = d.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), d.len(), "no duplicates");
+            for &p in &d {
+                prop_assert!(topo.is_processor(p));
+            }
+            if matches!(sampler, DestinationSampler::Broadcast) {
+                prop_assert_eq!(d.len(), procs.len() - 1);
+            } else {
+                prop_assert_eq!(d.len(), count);
+            }
+        }
+    }
+
+    #[test]
+    fn all_arrival_kinds_generate(
+        topo_seed in any::<u64>(),
+        kind_pick in 0u8..3,
+    ) {
+        let topo = IrregularConfig::with_switches(12).generate(topo_seed);
+        let arrival = match kind_pick {
+            0 => ArrivalKind::NegativeBinomial { r: 3 },
+            1 => ArrivalKind::Poisson,
+            _ => ArrivalKind::Deterministic,
+        };
+        let cfg = MixedTrafficConfig {
+            arrival,
+            ..MixedTrafficConfig::figure3(0.01, 3, 40)
+        };
+        let specs = cfg.generate(&topo, 9);
+        prop_assert_eq!(specs.len(), 40);
+    }
+}

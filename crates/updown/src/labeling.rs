@@ -1,0 +1,521 @@
+//! The up*/down* labeling: spanning tree, levels, channel classes, and the
+//! ancestor / extended-ancestor relations of Definition 1.
+
+use crate::bitmat::BitMatrix;
+use netgraph::algo;
+use netgraph::{ChannelId, NodeId, Topology};
+use rand::seq::IteratorRandom;
+use rand::SeedableRng;
+
+/// The four-way channel classification of §3.1.
+///
+/// Tree channels follow spanning-tree edges; cross channels are the
+/// remaining (switch-to-switch) links. "Up" points towards the root — for a
+/// cross channel between same-level switches, from the larger node id to the
+/// smaller (the paper's tie-break).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelClass {
+    /// Tree channel directed towards the root.
+    UpTree,
+    /// Cross channel directed towards the root (lower level, or same level
+    /// from larger to smaller id).
+    UpCross,
+    /// Tree channel directed away from the root. The only class a multicast
+    /// worm may use past the LCA, and the only class that may deliver to a
+    /// processor.
+    DownTree,
+    /// Cross channel directed away from the root.
+    DownCross,
+}
+
+impl ChannelClass {
+    /// True for [`ChannelClass::UpTree`] / [`ChannelClass::UpCross`].
+    #[inline]
+    pub fn is_up(self) -> bool {
+        matches!(self, ChannelClass::UpTree | ChannelClass::UpCross)
+    }
+
+    /// True for [`ChannelClass::DownTree`] / [`ChannelClass::DownCross`].
+    #[inline]
+    pub fn is_down(self) -> bool {
+        !self.is_up()
+    }
+}
+
+/// How the spanning-tree root switch is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootSelection {
+    /// A caller-chosen switch (e.g. node 1 in Figure 1).
+    Fixed(NodeId),
+    /// The switch with the smallest id ("an arbitrary vertex", determinized).
+    LowestId,
+    /// The switch with the most links; shallow trees on hub-ish networks.
+    MaxDegree,
+    /// A network center: the switch of minimum eccentricity. Minimizes the
+    /// worst-case tree depth — one of the §5 tree-selection policies.
+    MinEccentricity,
+    /// Uniformly random switch from a seeded RNG.
+    RandomSeeded(u64),
+}
+
+/// An immutable up*/down* labeling of a topology.
+///
+/// Construction is `O(V·depth + V²/64·cross)`: BFS tree, per-channel
+/// classification, then bit-matrix closures for the ancestor and extended
+/// ancestor relations so routing-time queries are O(1).
+#[derive(Debug, Clone)]
+pub struct UpDownLabeling {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    level: Vec<u32>,
+    class: Vec<ChannelClass>,
+    children: Vec<Vec<NodeId>>,
+    /// `anc.get(u, v)` ⇔ `u` is an ancestor of `v` (reflexive).
+    anc: BitMatrix,
+    /// `ext.get(u, v)` ⇔ `u` is an extended ancestor of `v` (reflexive).
+    ext: BitMatrix,
+}
+
+impl UpDownLabeling {
+    /// Builds the labeling for `topo` with the given root policy.
+    ///
+    /// The spanning tree is a deterministic BFS tree (neighbors visited in
+    /// ascending node-id order), matching the construction the Figure 1
+    /// walkthrough assumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no switches, is disconnected, or the fixed
+    /// root is not a switch.
+    pub fn build(topo: &Topology, root_sel: RootSelection) -> Self {
+        let root = resolve_root(topo, root_sel);
+        assert!(topo.is_switch(root), "root {root} must be a switch");
+
+        let parent_raw = algo::bfs_parents(topo, root);
+        assert!(
+            parent_raw.iter().all(|p| p.is_some()),
+            "up*/down* labeling requires a connected network"
+        );
+        let n = topo.num_nodes();
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut level = vec![0u32; n];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        // bfs_parents encodes the root as its own parent.
+        let order = bfs_order(topo, root);
+        for &v in &order {
+            let p = parent_raw[v.index()].unwrap();
+            if v != root {
+                parent[v.index()] = Some(p);
+                level[v.index()] = level[p.index()] + 1;
+                children[p.index()].push(v);
+            }
+        }
+        for c in children.iter_mut() {
+            c.sort_unstable();
+        }
+
+        // Per-channel classification.
+        let mut class = Vec::with_capacity(topo.num_channels());
+        for c in topo.channel_ids() {
+            let ch = topo.channel(c);
+            let (u, v) = (ch.src, ch.dst);
+            let k = if parent[v.index()] == Some(u) {
+                ChannelClass::DownTree
+            } else if parent[u.index()] == Some(v) {
+                ChannelClass::UpTree
+            } else {
+                // Cross channel (switch to switch).
+                let (lu, lv) = (level[u.index()], level[v.index()]);
+                if lv < lu || (lv == lu && u > v) {
+                    ChannelClass::UpCross
+                } else {
+                    ChannelClass::DownCross
+                }
+            };
+            class.push(k);
+        }
+
+        // Ancestor matrix: walk each node's ancestor chain. Reflexive.
+        let mut anc = BitMatrix::new(n);
+        for v in topo.nodes() {
+            let mut cur = v;
+            anc.set(cur.index(), v.index());
+            while let Some(p) = parent[cur.index()] {
+                anc.set(p.index(), v.index());
+                cur = p;
+            }
+        }
+
+        // Down-cross reachability DP in reverse (level, id) order — the
+        // down-cross digraph is acyclic because every edge strictly
+        // increases (level, id) lexicographically.
+        let mut by_depth: Vec<NodeId> = topo.nodes().collect();
+        by_depth.sort_unstable_by_key(|v| (level[v.index()], *v));
+        let mut dc = BitMatrix::new(n);
+        for &u in by_depth.iter().rev() {
+            dc.set(u.index(), u.index());
+            for &c in topo.out_channels(u) {
+                if class[c.index()] == ChannelClass::DownCross {
+                    let w = topo.channel(c).dst;
+                    dc.or_row_into(w.index(), u.index());
+                }
+            }
+        }
+
+        // Extended ancestors: u ext-anc v ⇔ some w down-cross-reachable
+        // from u is a (tree) ancestor of v. ext[u] = ⋃_{w∈DC(u)} desc[w],
+        // and desc[w] is row w of `anc`.
+        let mut ext = BitMatrix::new(n);
+        for u in topo.nodes() {
+            let ws: Vec<usize> = dc.row_ones(u.index()).collect();
+            for w in ws {
+                // anc row w = descendants of w.
+                let (src, dst) = (w, u.index());
+                // Borrow juggling: copy via or using a temporary view on anc.
+                ext_or_anc_row(&mut ext, &anc, src, dst);
+            }
+        }
+
+        UpDownLabeling {
+            root,
+            parent,
+            level,
+            class,
+            children,
+            anc,
+            ext,
+        }
+    }
+
+    /// The spanning-tree root switch.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Tree parent of `v` (`None` for the root).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Tree depth of `v` (root = 0).
+    #[inline]
+    pub fn level(&self, v: NodeId) -> u32 {
+        self.level[v.index()]
+    }
+
+    /// Tree children of `v`, ascending by id.
+    #[inline]
+    pub fn tree_children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Class of channel `c`.
+    #[inline]
+    pub fn class(&self, c: ChannelId) -> ChannelClass {
+        self.class[c.index()]
+    }
+
+    /// Definition 1: `u` is an **ancestor** of `v` — a (possibly empty)
+    /// down-tree path leads from `u` to `v`. Reflexive.
+    #[inline]
+    pub fn is_ancestor(&self, u: NodeId, v: NodeId) -> bool {
+        self.anc.get(u.index(), v.index())
+    }
+
+    /// Definition 1: `u` is an **extended ancestor** of `v` — zero or more
+    /// down-cross channels followed by zero or more down-tree channels lead
+    /// from `u` to `v`. Reflexive; implied by [`Self::is_ancestor`].
+    #[inline]
+    pub fn is_extended_ancestor(&self, u: NodeId, v: NodeId) -> bool {
+        self.ext.get(u.index(), v.index())
+    }
+
+    /// Least common ancestor of `a` and `b` in the spanning tree.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut x, mut y) = (a, b);
+        while self.level[x.index()] > self.level[y.index()] {
+            x = self.parent[x.index()].expect("non-root has a parent");
+        }
+        while self.level[y.index()] > self.level[x.index()] {
+            y = self.parent[y.index()].expect("non-root has a parent");
+        }
+        while x != y {
+            x = self.parent[x.index()].expect("walk meets at the root");
+            y = self.parent[y.index()].expect("walk meets at the root");
+        }
+        x
+    }
+
+    /// Least common ancestor of a set of nodes; `None` for the empty set.
+    ///
+    /// For a single destination this is the destination itself, which is
+    /// exactly why "the multicast algorithm simply reduces to the unicast
+    /// algorithm" (§3.2).
+    pub fn lca_of(&self, nodes: &[NodeId]) -> Option<NodeId> {
+        let mut it = nodes.iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, &n| self.lca(acc, n)))
+    }
+
+    /// The tree child of `n` whose subtree contains `dest`, if any. This is
+    /// the branch a multicast worm must take at `n` for `dest`.
+    pub fn child_towards(&self, n: NodeId, dest: NodeId) -> Option<NodeId> {
+        self.children[n.index()]
+            .iter()
+            .copied()
+            .find(|&c| self.is_ancestor(c, dest))
+    }
+
+    /// Number of nodes in the labeling.
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Iterator over `(ChannelId, ChannelClass)` pairs.
+    pub fn classes(&self) -> impl Iterator<Item = (ChannelId, ChannelClass)> + '_ {
+        self.class
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (ChannelId(i as u32), *k))
+    }
+
+    /// Count of channels per class `(up_tree, up_cross, down_tree,
+    /// down_cross)` — handy for topology statistics and tests.
+    pub fn class_counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for k in &self.class {
+            match k {
+                ChannelClass::UpTree => counts.0 += 1,
+                ChannelClass::UpCross => counts.1 += 1,
+                ChannelClass::DownTree => counts.2 += 1,
+                ChannelClass::DownCross => counts.3 += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// `ext[dst_row] |= anc[src_row]` across two different matrices.
+fn ext_or_anc_row(ext: &mut BitMatrix, anc: &BitMatrix, src_row: usize, dst_row: usize) {
+    // BitMatrix doesn't expose raw words; emulate with an iterator. The
+    // construction is one-time per labeling, so clarity wins here.
+    for col in anc.row_ones(src_row) {
+        ext.set(dst_row, col);
+    }
+}
+
+/// BFS visit order (deterministic: neighbors ascending by id).
+fn bfs_order(topo: &Topology, root: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; topo.num_nodes()];
+    let mut order = Vec::with_capacity(topo.num_nodes());
+    let mut q = std::collections::VecDeque::new();
+    seen[root.index()] = true;
+    q.push_back(root);
+    while let Some(u) = q.pop_front() {
+        order.push(u);
+        for v in topo.neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                q.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+fn resolve_root(topo: &Topology, sel: RootSelection) -> NodeId {
+    match sel {
+        RootSelection::Fixed(n) => n,
+        RootSelection::LowestId => topo.switches().next().expect("topology has a switch"),
+        RootSelection::MaxDegree => {
+            algo::max_degree_switch(topo).expect("topology has a switch")
+        }
+        RootSelection::MinEccentricity => {
+            algo::min_eccentricity_switch(topo).expect("topology has a switch")
+        }
+        RootSelection::RandomSeeded(seed) => {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            topo.switches()
+                .choose(&mut rng)
+                .expect("topology has a switch")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::gen::fixtures::figure1;
+    use netgraph::gen::regular::mesh2d;
+
+    fn fig1() -> (Topology, netgraph::gen::fixtures::Figure1Labels, UpDownLabeling) {
+        let (t, l) = figure1();
+        let root = l.by_label(1).unwrap();
+        let ud = UpDownLabeling::build(&t, RootSelection::Fixed(root));
+        (t, l, ud)
+    }
+
+    #[test]
+    fn figure1_tree_structure() {
+        let (_, l, ud) = fig1();
+        let by = |x| l.by_label(x).unwrap();
+        assert_eq!(ud.root(), by(1));
+        assert_eq!(ud.parent(by(1)), None);
+        assert_eq!(ud.parent(by(4)), Some(by(2)));
+        assert_eq!(ud.level(by(1)), 0);
+        assert_eq!(ud.level(by(4)), 2);
+        assert_eq!(ud.level(by(8)), 4);
+        assert_eq!(ud.tree_children(by(4)), &[by(6), by(7)]);
+        assert_eq!(ud.tree_children(by(6)), &[by(8), by(9), by(10)]);
+    }
+
+    #[test]
+    fn figure1_channel_classes() {
+        let (t, l, ud) = fig1();
+        let by = |x| l.by_label(x).unwrap();
+        let class_of = |a: u32, b: u32| {
+            let c = t.channel_between(by(a), by(b)).unwrap();
+            ud.class(c)
+        };
+        // Tree channels.
+        assert_eq!(class_of(1, 2), ChannelClass::DownTree);
+        assert_eq!(class_of(2, 1), ChannelClass::UpTree);
+        assert_eq!(class_of(4, 6), ChannelClass::DownTree);
+        assert_eq!(class_of(5, 2), ChannelClass::UpTree); // processor up-link
+        assert_eq!(class_of(6, 8), ChannelClass::DownTree);
+        // Cross channel between same-level switches 2 and 3: down from the
+        // smaller id to the larger (the paper's tie-break).
+        assert_eq!(class_of(2, 3), ChannelClass::DownCross);
+        assert_eq!(class_of(3, 2), ChannelClass::UpCross);
+        // Cross channel from level 1 (node 3) to level 2 (node 4): down.
+        assert_eq!(class_of(3, 4), ChannelClass::DownCross);
+        assert_eq!(class_of(4, 3), ChannelClass::UpCross);
+    }
+
+    #[test]
+    fn figure1_ancestors_and_extended_ancestors() {
+        let (_, l, ud) = fig1();
+        let by = |x| l.by_label(x).unwrap();
+        // Plain ancestors.
+        assert!(ud.is_ancestor(by(1), by(8)));
+        assert!(ud.is_ancestor(by(4), by(11)));
+        assert!(ud.is_ancestor(by(6), by(9)));
+        assert!(!ud.is_ancestor(by(6), by(11)));
+        assert!(!ud.is_ancestor(by(3), by(8)), "3 is not a tree ancestor");
+        assert!(ud.is_ancestor(by(4), by(4)), "reflexive");
+        // Every ancestor is an extended ancestor.
+        assert!(ud.is_extended_ancestor(by(4), by(11)));
+        // 3 reaches 4 by a down-cross channel, hence ext-ancestor of the
+        // whole subtree under 4 — this is what legalizes the path 5,2,3,4.
+        assert!(ud.is_extended_ancestor(by(3), by(4)));
+        assert!(ud.is_extended_ancestor(by(3), by(8)));
+        assert!(ud.is_extended_ancestor(by(3), by(11)));
+        // 2 reaches 3 by a down-cross channel, then 3 reaches 4.
+        assert!(ud.is_extended_ancestor(by(2), by(8)));
+        // But 6 can never reach 11.
+        assert!(!ud.is_extended_ancestor(by(6), by(11)));
+        // 7 is not an extended ancestor of 8.
+        assert!(!ud.is_extended_ancestor(by(7), by(8)));
+    }
+
+    #[test]
+    fn figure1_lca_matches_paper_example() {
+        let (_, l, ud) = fig1();
+        let by = |x| l.by_label(x).unwrap();
+        let dests = [by(8), by(9), by(10), by(11)];
+        assert_eq!(ud.lca_of(&dests), Some(by(4)));
+        assert_eq!(ud.lca_of(&[by(8), by(9)]), Some(by(6)));
+        assert_eq!(ud.lca_of(&[by(8)]), Some(by(8)), "singleton LCA is itself");
+        assert_eq!(ud.lca_of(&[]), None);
+        assert_eq!(ud.lca(by(5), by(11)), by(2));
+        assert_eq!(ud.lca(by(1), by(10)), by(1));
+    }
+
+    #[test]
+    fn child_towards_picks_correct_branch() {
+        let (_, l, ud) = fig1();
+        let by = |x| l.by_label(x).unwrap();
+        assert_eq!(ud.child_towards(by(4), by(9)), Some(by(6)));
+        assert_eq!(ud.child_towards(by(4), by(11)), Some(by(7)));
+        assert_eq!(ud.child_towards(by(6), by(11)), None);
+        assert_eq!(ud.child_towards(by(1), by(8)), Some(by(2)));
+    }
+
+    #[test]
+    fn class_counts_partition_all_channels() {
+        let (t, _, ud) = fig1();
+        let (ut, uc, dt, dc) = ud.class_counts();
+        assert_eq!(ut + uc + dt + dc, t.num_channels());
+        assert_eq!(ut, dt, "tree channels pair up");
+        assert_eq!(uc, dc, "cross channels pair up");
+        assert_eq!(dt, 10, "ten tree links in Figure 1");
+        assert_eq!(dc, 2, "two cross links in Figure 1");
+    }
+
+    #[test]
+    fn up_and_down_are_mutually_reverse() {
+        let t = mesh2d(4, 4);
+        let ud = UpDownLabeling::build(&t, RootSelection::LowestId);
+        for c in t.channel_ids() {
+            let r = t.reverse(c);
+            assert_eq!(
+                ud.class(c).is_up(),
+                ud.class(r).is_down(),
+                "each link has one up and one down direction"
+            );
+        }
+    }
+
+    #[test]
+    fn root_selection_policies() {
+        let t = mesh2d(3, 5);
+        let ud = UpDownLabeling::build(&t, RootSelection::MinEccentricity);
+        // Center of a 3x5 mesh is switch (1,2) = id 7.
+        assert_eq!(ud.root(), NodeId(7));
+        let ud2 = UpDownLabeling::build(&t, RootSelection::LowestId);
+        assert_eq!(ud2.root(), NodeId(0));
+        let ud3 = UpDownLabeling::build(&t, RootSelection::RandomSeeded(3));
+        assert!(t.is_switch(ud3.root()));
+        let ud4 = UpDownLabeling::build(&t, RootSelection::MaxDegree);
+        assert!(t.degree(ud4.root()) >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a switch")]
+    fn processor_root_rejected() {
+        let (t, l) = figure1();
+        UpDownLabeling::build(&t, RootSelection::Fixed(l.by_label(5).unwrap()));
+    }
+
+    #[test]
+    fn processors_are_leaves_with_tree_links_only() {
+        let t = mesh2d(3, 3);
+        let ud = UpDownLabeling::build(&t, RootSelection::LowestId);
+        for p in t.processors() {
+            assert!(ud.tree_children(p).is_empty());
+            for &c in t.out_channels(p) {
+                assert_eq!(ud.class(c), ChannelClass::UpTree);
+            }
+            for &c in t.in_channels(p) {
+                assert_eq!(ud.class(c), ChannelClass::DownTree);
+            }
+        }
+    }
+
+    #[test]
+    fn lca_is_ancestor_of_all_inputs() {
+        let t = netgraph::gen::lattice::IrregularConfig::with_switches(32).generate(9);
+        let ud = UpDownLabeling::build(&t, RootSelection::LowestId);
+        let procs: Vec<NodeId> = t.processors().take(6).collect();
+        let lca = ud.lca_of(&procs).unwrap();
+        for &p in &procs {
+            assert!(ud.is_ancestor(lca, p));
+        }
+        // And it is the *least* such: no child of the LCA covers all.
+        for &c in ud.tree_children(lca) {
+            assert!(!procs.iter().all(|&p| ud.is_ancestor(c, p)));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # updown — up*/down* spanning-tree machinery for irregular networks
+//!
+//! SPAM (§3.1 of the paper) partitions the network "in a fashion similar to
+//! that used in the up*/down* routing algorithm proposed by Schroeder et
+//! al." (Autonet): pick a root switch, build a spanning tree, and orient
+//! every unidirectional channel as *up* (towards the root) or *down* (away
+//! from it). Unlike classic up*/down*, SPAM additionally distinguishes
+//! **down tree** channels from **down cross** channels — the distinction
+//! that makes deadlock-free tree-based multicast possible.
+//!
+//! This crate owns everything that is a pure function of (topology, root):
+//!
+//! * [`UpDownLabeling`] — BFS spanning tree, levels, and the per-channel
+//!   [`ChannelClass`] assignment, including the paper's id-based tie-break
+//!   for cross channels between same-level switches;
+//! * the **ancestor** and **extended ancestor** relations of Definition 1,
+//!   precomputed as bit matrices for O(1) routing-time queries;
+//! * least-common-ancestor queries over arbitrary destination sets (the
+//!   multicast split point);
+//! * structural sanity checks used by the deadlock-freedom property tests
+//!   (the up-channel and down-channel digraphs must be acyclic).
+//!
+//! ```
+//! use netgraph::gen::fixtures::figure1;
+//! use updown::{ChannelClass, RootSelection, UpDownLabeling};
+//!
+//! let (topo, labels) = figure1();
+//! let by = |l| labels.by_label(l).unwrap();
+//! let ud = UpDownLabeling::build(&topo, RootSelection::Fixed(by(1)));
+//!
+//! // The example multicast of §3.2: LCA of {8, 9, 10, 11} is node 4.
+//! let dests = [by(8), by(9), by(10), by(11)];
+//! assert_eq!(ud.lca_of(&dests), Some(by(4)));
+//!
+//! // (3,4) is a down cross channel; (4,6) is a down tree channel.
+//! let c34 = topo.channel_between(by(3), by(4)).unwrap();
+//! let c46 = topo.channel_between(by(4), by(6)).unwrap();
+//! assert_eq!(ud.class(c34), ChannelClass::DownCross);
+//! assert_eq!(ud.class(c46), ChannelClass::DownTree);
+//! ```
+
+mod bitmat;
+pub mod labeling;
+pub mod validate;
+
+pub use bitmat::BitMatrix;
+pub use labeling::{ChannelClass, RootSelection, UpDownLabeling};
+pub use validate::{check_acyclic_subnetworks, AcyclicityReport};

@@ -1,0 +1,179 @@
+//! Property tests validating the optimized bit-matrix relations against
+//! naive graph-walk reference implementations, over random topologies.
+
+use netgraph::gen::lattice::{IrregularConfig, LatticeStrategy};
+use netgraph::{NodeId, Topology};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use updown::{ChannelClass, RootSelection, UpDownLabeling};
+
+/// Reference ancestor: walk the parent chain of `v` looking for `u`.
+fn ancestor_ref(ud: &UpDownLabeling, u: NodeId, v: NodeId) -> bool {
+    let mut cur = v;
+    loop {
+        if cur == u {
+            return true;
+        }
+        match ud.parent(cur) {
+            Some(p) => cur = p,
+            None => return false,
+        }
+    }
+}
+
+/// Reference extended ancestor: BFS over down-cross channels then check
+/// plain ancestry — literally Definition 1.
+fn extended_ancestor_ref(topo: &Topology, ud: &UpDownLabeling, u: NodeId, v: NodeId) -> bool {
+    let mut seen = vec![false; topo.num_nodes()];
+    let mut q = VecDeque::new();
+    seen[u.index()] = true;
+    q.push_back(u);
+    while let Some(x) = q.pop_front() {
+        if ancestor_ref(ud, x, v) {
+            return true;
+        }
+        for &c in topo.out_channels(x) {
+            if ud.class(c) == ChannelClass::DownCross {
+                let w = topo.channel(c).dst;
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    q.push_back(w);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Reference LCA: intersect ancestor chains.
+fn lca_ref(ud: &UpDownLabeling, a: NodeId, b: NodeId) -> NodeId {
+    let chain = |mut n: NodeId| {
+        let mut v = vec![n];
+        while let Some(p) = ud.parent(n) {
+            v.push(p);
+            n = p;
+        }
+        v
+    };
+    let ca = chain(a);
+    let cb = chain(b);
+    *ca.iter()
+        .find(|x| cb.contains(x))
+        .expect("chains share the root")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ancestor_matrix_matches_parent_walks(
+        switches in 6usize..28,
+        seed in any::<u64>(),
+    ) {
+        let topo = IrregularConfig::with_switches(switches).generate(seed);
+        let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+        for u in topo.nodes() {
+            for v in topo.nodes() {
+                prop_assert_eq!(
+                    ud.is_ancestor(u, v),
+                    ancestor_ref(&ud, u, v),
+                    "ancestor({}, {})", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extended_ancestor_matrix_matches_definition_1(
+        switches in 6usize..20,
+        seed in any::<u64>(),
+    ) {
+        let topo = IrregularConfig::with_switches(switches)
+            .strategy(LatticeStrategy::UniformRetry)
+            .generate(seed);
+        let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+        for u in topo.nodes() {
+            for v in topo.nodes() {
+                prop_assert_eq!(
+                    ud.is_extended_ancestor(u, v),
+                    extended_ancestor_ref(&topo, &ud, u, v),
+                    "ext_ancestor({}, {})", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lca_matches_chain_intersection(
+        switches in 6usize..28,
+        seed in any::<u64>(),
+        picks in prop::collection::vec(any::<u32>(), 2..6),
+    ) {
+        let topo = IrregularConfig::with_switches(switches).generate(seed);
+        let ud = UpDownLabeling::build(&topo, RootSelection::MaxDegree);
+        let procs: Vec<NodeId> = topo.processors().collect();
+        let dests: Vec<NodeId> = picks
+            .iter()
+            .map(|p| procs[(*p as usize) % procs.len()])
+            .collect();
+        let fast = ud.lca_of(&dests).unwrap();
+        let slow = dests
+            .iter()
+            .copied()
+            .reduce(|a, b| lca_ref(&ud, a, b))
+            .unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn classification_covers_exactly_the_channel_set(
+        switches in 4usize..32,
+        seed in any::<u64>(),
+    ) {
+        let topo = IrregularConfig::with_switches(switches).generate(seed);
+        let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+        // Pairing: each link has exactly one up and one down direction.
+        for c in topo.channel_ids() {
+            let rev = topo.reverse(c);
+            prop_assert_ne!(ud.class(c).is_up(), ud.class(rev).is_up());
+            // Tree-ness agrees between the two directions.
+            let tree = |k: ChannelClass| {
+                matches!(k, ChannelClass::UpTree | ChannelClass::DownTree)
+            };
+            prop_assert_eq!(tree(ud.class(c)), tree(ud.class(rev)));
+        }
+        // Tree channels form a spanning tree: node count - 1 links.
+        let (ut, _, dt, _) = ud.class_counts();
+        prop_assert_eq!(ut, topo.num_nodes() - 1);
+        prop_assert_eq!(dt, topo.num_nodes() - 1);
+        // Up channels strictly decrease (level, id); down strictly increase.
+        for (c, class) in ud.classes() {
+            let ch = topo.channel(c);
+            let key = |n: NodeId| (ud.level(n), n);
+            if class.is_up() {
+                prop_assert!(key(ch.dst) < key(ch.src), "{c}: up must descend the key");
+            } else {
+                prop_assert!(key(ch.dst) > key(ch.src), "{c}: down must ascend the key");
+            }
+        }
+    }
+
+    #[test]
+    fn levels_match_tree_distance_from_root(
+        switches in 4usize..32,
+        seed in any::<u64>(),
+    ) {
+        let topo = IrregularConfig::with_switches(switches).generate(seed);
+        let ud = UpDownLabeling::build(&topo, RootSelection::MinEccentricity);
+        for v in topo.nodes() {
+            let mut level = 0;
+            let mut cur = v;
+            while let Some(p) = ud.parent(cur) {
+                level += 1;
+                cur = p;
+            }
+            prop_assert_eq!(cur, ud.root());
+            prop_assert_eq!(ud.level(v), level);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-channel simulator state: buffers, wire, ownership, and the OCRQ.
+
+use crate::flit::{Flit, MsgId};
+use std::collections::VecDeque;
+
+/// Runtime state of one unidirectional channel.
+///
+/// A flit path through a channel: producer (the owning message's segment at
+/// the source node) pushes into `out_buf`; the wire moves the `out_buf` head
+/// into `in_buf` after the propagation delay, during which the flit keeps
+/// occupying its `out_buf` slot (so channel bandwidth is one flit per
+/// propagation delay); the consumer at the destination node pops `in_buf`.
+#[derive(Debug, Clone)]
+pub struct Chan {
+    /// Sender-side buffer.
+    pub out_buf: VecDeque<Flit>,
+    /// Receiver-side buffer.
+    pub in_buf: VecDeque<Flit>,
+    /// A flit is currently crossing the wire (its slot still in `out_buf`).
+    pub wire_busy: bool,
+    /// Receiver slots promised to in-flight wire transfers.
+    pub reserved_in: u8,
+    /// Message currently holding this channel (set at acquisition, cleared
+    /// when the tail is replicated into `out_buf`).
+    pub owner: Option<MsgId>,
+    /// Output channel request queue (§3.2): FIFO of messages waiting to
+    /// acquire this channel. The head may acquire once the channel is free.
+    pub ocrq: VecDeque<MsgId>,
+    /// A routing decision for the header at the head of `in_buf` has been
+    /// scheduled but not executed yet (prevents double-scheduling).
+    pub route_pending: bool,
+    /// Total flits (real + bubble) that have crossed this channel's wire —
+    /// per-channel utilization for hot-spot analyses.
+    pub crossings: u64,
+}
+
+impl Chan {
+    /// Fresh idle channel.
+    pub fn new() -> Self {
+        Chan {
+            out_buf: VecDeque::with_capacity(2),
+            in_buf: VecDeque::with_capacity(2),
+            wire_busy: false,
+            reserved_in: 0,
+            owner: None,
+            ocrq: VecDeque::new(),
+            route_pending: false,
+            crossings: 0,
+        }
+    }
+
+    /// Free for acquisition: unowned and fully drained on the sender side.
+    /// (An unowned channel may still hold the previous worm's tail in its
+    /// output buffer until the wire carries it away.)
+    pub fn free_for_acquisition(&self) -> bool {
+        self.owner.is_none() && self.out_buf.is_empty()
+    }
+
+    /// Sender-side space check against the configured capacity.
+    pub fn out_has_space(&self, cap: usize) -> bool {
+        self.out_buf.len() < cap
+    }
+
+    /// Receiver-side space check, counting slots reserved by in-flight
+    /// transfers.
+    pub fn in_has_space(&self, cap: usize) -> bool {
+        self.in_buf.len() + (self.reserved_in as usize) < cap
+    }
+
+    /// True when the channel is completely quiescent (used by end-of-run
+    /// invariant checks).
+    pub fn is_quiescent(&self) -> bool {
+        self.out_buf.is_empty()
+            && self.in_buf.is_empty()
+            && !self.wire_busy
+            && self.reserved_in == 0
+            && self.owner.is_none()
+            && self.ocrq.is_empty()
+            && !self.route_pending
+    }
+}
+
+impl Default for Chan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::FlitKind;
+
+    #[test]
+    fn fresh_channel_is_quiescent_and_free() {
+        let c = Chan::new();
+        assert!(c.is_quiescent());
+        assert!(c.free_for_acquisition());
+        assert!(c.out_has_space(1));
+        assert!(c.in_has_space(1));
+    }
+
+    #[test]
+    fn ownership_blocks_acquisition() {
+        let mut c = Chan::new();
+        c.owner = Some(MsgId(1));
+        assert!(!c.free_for_acquisition());
+        assert!(!c.is_quiescent());
+    }
+
+    #[test]
+    fn undrained_out_buf_blocks_acquisition() {
+        let mut c = Chan::new();
+        c.out_buf.push_back(Flit {
+            msg: MsgId(0),
+            kind: FlitKind::Tail(7),
+        });
+        assert!(!c.free_for_acquisition(), "tail still draining");
+        assert!(!c.out_has_space(1));
+        assert!(c.out_has_space(2));
+    }
+
+    #[test]
+    fn reservations_count_toward_input_space() {
+        let mut c = Chan::new();
+        assert!(c.in_has_space(1));
+        c.reserved_in = 1;
+        assert!(!c.in_has_space(1));
+        assert!(c.in_has_space(2));
+        c.in_buf.push_back(Flit::bubble(MsgId(0)));
+        assert!(!c.in_has_space(2));
+    }
+}

@@ -1,0 +1,147 @@
+//! Simulation configuration: the latency model and buffer geometry of §4.
+
+use desim::Duration;
+
+/// The three latency constants of the paper's experiments (§4):
+///
+/// > "The communication startup latency was 10 microseconds, router setup
+/// > latency for each message header was 40 nanoseconds, and channel
+/// > propagation latency was 10 nanoseconds."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyParams {
+    /// Software/injection cost paid once per worm at the source.
+    pub startup: Duration,
+    /// Routing-decision cost paid once per header per router.
+    pub router_setup: Duration,
+    /// Time for one flit to cross one channel; also the per-channel
+    /// bandwidth (one flit per `channel_prop`).
+    pub channel_prop: Duration,
+}
+
+impl LatencyParams {
+    /// The paper's values: 10 µs / 40 ns / 10 ns.
+    pub const fn paper() -> Self {
+        LatencyParams {
+            startup: Duration::from_us(10),
+            router_setup: Duration::from_ns(40),
+            channel_prop: Duration::from_ns(10),
+        }
+    }
+}
+
+impl Default for LatencyParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Latency model.
+    pub latency: LatencyParams,
+    /// Input buffer capacity per channel, in flits. The paper's headline
+    /// result holds at 1; §5 proposes studying larger values (ablation B).
+    pub input_buffer_flits: usize,
+    /// Output buffer capacity per channel, in flits.
+    pub output_buffer_flits: usize,
+    /// Watchdog: if no *real* flit moves anywhere in the network for this
+    /// long while messages are in flight, declare deadlock. Must exceed any
+    /// legitimate network-wide stall; the default (1 ms, i.e. 100 startup
+    /// latencies) is orders of magnitude above any legal stall in the
+    /// paper-scale experiments.
+    pub watchdog: Duration,
+    /// Hard cap on processed events — a backstop against runaway
+    /// simulations (e.g. unbounded bubble generation in a deadlocked run
+    /// with a generous watchdog).
+    pub max_events: u64,
+    /// Additional header flits per worm beyond the first. The paper
+    /// models a single header flit carrying the destination set; real
+    /// tree-based routers may need several flits to encode many
+    /// destination addresses. Extra header flits travel like data flits
+    /// (the routing decision still costs one router setup per hop) but
+    /// lengthen every worm, so large destination sets pay a small,
+    /// size-dependent serialization cost.
+    pub extra_header_flits: u32,
+}
+
+impl SimConfig {
+    /// The paper's configuration: paper latencies, single-flit buffers.
+    pub const fn paper() -> Self {
+        SimConfig {
+            latency: LatencyParams::paper(),
+            input_buffer_flits: 1,
+            output_buffer_flits: 1,
+            watchdog: Duration::from_us(1_000),
+            max_events: u64::MAX,
+            extra_header_flits: 0,
+        }
+    }
+
+    /// Sets both buffer depths (ablation B in DESIGN.md).
+    pub fn with_buffers(mut self, input: usize, output: usize) -> Self {
+        assert!(input >= 1 && output >= 1, "buffers must hold >= 1 flit");
+        self.input_buffer_flits = input;
+        self.output_buffer_flits = output;
+        self
+    }
+
+    /// Replaces the watchdog timeout.
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Replaces the latency model.
+    pub fn with_latency(mut self, latency: LatencyParams) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the number of extra header flits (multi-flit address encoding).
+    pub fn with_extra_header_flits(mut self, extra: u32) -> Self {
+        self.extra_header_flits = extra;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let l = LatencyParams::paper();
+        assert_eq!(l.startup.as_ns(), 10_000);
+        assert_eq!(l.router_setup.as_ns(), 40);
+        assert_eq!(l.channel_prop.as_ns(), 10);
+        let c = SimConfig::paper();
+        assert_eq!(c.input_buffer_flits, 1);
+        assert_eq!(c.output_buffer_flits, 1);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = SimConfig::paper()
+            .with_buffers(4, 2)
+            .with_watchdog(Duration::from_us(77))
+            .with_extra_header_flits(3);
+        assert_eq!(c.input_buffer_flits, 4);
+        assert_eq!(c.output_buffer_flits, 2);
+        assert_eq!(c.watchdog.as_ns(), 77_000);
+        assert_eq!(c.extra_header_flits, 3);
+        assert_eq!(SimConfig::paper().extra_header_flits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffers must hold")]
+    fn zero_buffers_rejected() {
+        SimConfig::paper().with_buffers(0, 1);
+    }
+}

@@ -1,0 +1,762 @@
+//! The event-driven simulation engine.
+//!
+//! Three event types consume simulated time — message startup completion
+//! (`SourceReady`), routing-decision completion (`RouteDecision`, one
+//! router-setup latency after a header arrives at a switch), and wire
+//! transfer completion (`WireDone`, one channel-propagation latency per
+//! flit). Everything else — OCRQ acquisition, flit replication from input
+//! to output buffers, bubble injection, channel release — is an
+//! instantaneous state transition cascaded synchronously from those events,
+//! matching the §4 cost model where only startup, router setup, and channel
+//! propagation carry latency.
+//!
+//! A message's presence at a router is a **segment**, keyed by the channel
+//! its flits arrive on (or by the message itself at its source). Keying by
+//! input channel — not by node — matters: a legal SPAM walk under a
+//! non-greedy selection policy may pass through the same switch twice
+//! (e.g. up through it early, down through it later). Phase monotonicity
+//! guarantees the two traversals use distinct input and output channels, so
+//! per-channel segments model the physical router exactly.
+
+use crate::channel::Chan;
+use crate::config::SimConfig;
+use crate::flit::{Flit, FlitKind, MsgId};
+use crate::message::{MessageSpec, SpecError};
+use crate::outcome::{Counters, DeadlockInfo, MessageResult, SimOutcome};
+use crate::routing::{CompletionHook, NoHook, RoutingAlgorithm};
+use crate::trace::{Trace, TraceEvent};
+use desim::{Schedule, Time};
+use netgraph::{ChannelId, NodeId, Topology};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Startup latency elapsed; the worm is ready at its source processor.
+    SourceReady(MsgId),
+    /// Router-setup latency elapsed for a header waiting at the receiving
+    /// end of `in_ch`.
+    RouteDecision { msg: MsgId, in_ch: ChannelId },
+    /// A flit finished crossing this channel's wire.
+    WireDone(ChannelId),
+}
+
+/// Identity of one worm traversal of one router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SegKey {
+    /// The message's injection segment at its source processor.
+    Source(MsgId),
+    /// A transit segment, identified by the channel the worm entered on.
+    Transit(MsgId, ChannelId),
+}
+
+impl SegKey {
+    fn msg(self) -> MsgId {
+        match self {
+            SegKey::Source(m) | SegKey::Transit(m, _) => m,
+        }
+    }
+}
+
+/// Where a segment's flits come from.
+#[derive(Debug, Clone, Copy)]
+enum SegInput {
+    /// The source processor synthesizes the worm; `next` is the sequence
+    /// number of the next flit to emit.
+    Source { next: u32 },
+    /// Flits arrive in the input buffer of this channel.
+    Channel(ChannelId),
+}
+
+/// One traversal's state: input side and the output channels it has
+/// requested (and, once `acquired`, owns).
+#[derive(Debug)]
+struct Segment {
+    input: SegInput,
+    outputs: Vec<ChannelId>,
+    acquired: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DestState {
+    /// Sequence number the destination expects next (in-order invariant).
+    next_seq: u32,
+    done_at: Option<Time>,
+}
+
+struct MsgState {
+    spec: MessageSpec,
+    /// Flits on the wire: `spec.len` plus any extra header flits.
+    worm_len: u32,
+    dest_index: HashMap<NodeId, usize>,
+    dests: Vec<DestState>,
+    remaining: usize,
+    completed_at: Option<Time>,
+}
+
+/// The flit-level wormhole network simulator. See the crate docs for the
+/// modelled mechanics and [`crate::SimConfig`] for parameters.
+pub struct NetworkSim<'a, R: RoutingAlgorithm> {
+    topo: &'a Topology,
+    routing: R,
+    cfg: SimConfig,
+    sched: Schedule<Event>,
+    chans: Vec<Chan>,
+    msgs: Vec<MsgState>,
+    segs: HashMap<SegKey, Segment>,
+    /// For every OCRQ entry `(msg, out_channel)`, the segment that made the
+    /// request — the reverse index release/acquisition retries need.
+    requester: HashMap<(MsgId, ChannelId), SegKey>,
+    branch_state: HashMap<(MsgId, ChannelId), R::Header>,
+    counters: Counters,
+    last_progress: Time,
+    /// Messages past startup but not yet fully delivered.
+    active: usize,
+    pending_completions: Vec<MsgId>,
+    /// Protocol-level trace; `None` unless enabled (zero hot-loop cost).
+    trace: Option<Trace>,
+    /// Branch segments that found a sibling output blocked during this
+    /// simulated instant. Bubble insertion is deferred to the end of the
+    /// instant: hardware replicates at cycle boundaries where all buffers
+    /// freed in the same cycle are seen free *together*, while our events
+    /// within one timestamp fire serially — inserting a bubble eagerly
+    /// would steal a slot that the real flit could claim a few events
+    /// later in the same instant, livelocking symmetric branches.
+    bubble_candidates: Vec<SegKey>,
+}
+
+impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
+    /// Creates a simulator over `topo` driven by `routing`.
+    pub fn new(topo: &'a Topology, routing: R, cfg: SimConfig) -> Self {
+        NetworkSim {
+            topo,
+            routing,
+            cfg,
+            sched: Schedule::new(),
+            chans: (0..topo.num_channels()).map(|_| Chan::new()).collect(),
+            msgs: Vec::new(),
+            segs: HashMap::new(),
+            requester: HashMap::new(),
+            branch_state: HashMap::new(),
+            counters: Counters::default(),
+            last_progress: Time::ZERO,
+            active: 0,
+            pending_completions: Vec::new(),
+            trace: None,
+            bubble_candidates: Vec::new(),
+        }
+    }
+
+    /// Enables protocol-level tracing for this run (see [`crate::trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::default());
+    }
+
+    #[inline]
+    fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.events.push(f());
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.sched.now()
+    }
+
+    /// Submits a message. `spec.gen_time` must not be in the simulator's
+    /// past. Returns the message id used in the outcome.
+    pub fn submit(&mut self, spec: MessageSpec) -> Result<MsgId, SpecError> {
+        spec.validate(self.topo)?;
+        assert!(
+            spec.gen_time >= self.sched.now(),
+            "message generated in the past"
+        );
+        let id = MsgId(self.msgs.len() as u32);
+        let dest_index = spec
+            .dests
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (*d, i))
+            .collect();
+        let dests = vec![
+            DestState {
+                next_seq: 0,
+                done_at: None,
+            };
+            spec.dests.len()
+        ];
+        let remaining = spec.dests.len();
+        let worm_len = spec.len + self.cfg.extra_header_flits;
+        self.sched.at(
+            spec.gen_time + self.cfg.latency.startup,
+            Event::SourceReady(id),
+        );
+        self.msgs.push(MsgState {
+            spec,
+            worm_len,
+            dest_index,
+            dests,
+            remaining,
+            completed_at: None,
+        });
+        Ok(id)
+    }
+
+    /// Runs to completion (or deadlock) with no completion hook.
+    pub fn run(self) -> SimOutcome {
+        self.run_with_hook(&mut NoHook)
+    }
+
+    /// Runs to completion (or deadlock). The hook fires once per completed
+    /// message and may inject follow-up messages.
+    pub fn run_with_hook(mut self, hook: &mut dyn CompletionHook) -> SimOutcome {
+        let mut deadlock: Option<DeadlockInfo> = None;
+        while let Some(next_time) = self.sched.peek_time() {
+            // Watchdog: real-flit progress must occur while work is active.
+            if self.active > 0
+                && next_time.saturating_since(self.last_progress) > self.cfg.watchdog
+            {
+                deadlock = Some(self.deadlock_info(next_time, false));
+                break;
+            }
+            if self.counters.events >= self.cfg.max_events {
+                deadlock = Some(self.deadlock_info(next_time, false));
+                break;
+            }
+            let (t, ev) = self.sched.next().expect("peeked event exists");
+            self.counters.events += 1;
+            self.handle(t, ev);
+            // Completion hooks run between events; they may submit.
+            while let Some(m) = self.pending_completions.pop() {
+                let specs = hook.on_complete(m, &self.msgs[m.index()].spec, t);
+                for s in specs {
+                    self.submit(s).expect("hook submitted an invalid message");
+                }
+            }
+            // End of this simulated instant: resolve deferred bubbles.
+            if self.sched.peek_time() != Some(t) {
+                self.flush_bubbles(t);
+            }
+        }
+        if deadlock.is_none() && self.msgs.iter().any(|m| m.completed_at.is_none()) {
+            let now = self.sched.now();
+            deadlock = Some(self.deadlock_info(now, true));
+        }
+        if deadlock.is_none() {
+            debug_assert!(self.chans.iter().all(|c| c.is_quiescent()));
+            debug_assert!(self.segs.is_empty());
+            debug_assert!(self.requester.is_empty());
+            debug_assert!(self.branch_state.is_empty());
+        }
+        let messages = self
+            .msgs
+            .into_iter()
+            .map(|m| MessageResult {
+                spec: m.spec,
+                completed_at: m.completed_at,
+                dest_done_at: m.dests.iter().map(|d| d.done_at).collect(),
+            })
+            .collect();
+        SimOutcome {
+            messages,
+            deadlock,
+            end_time: self.sched.now(),
+            counters: self.counters,
+            channel_crossings: self.chans.iter().map(|c| c.crossings).collect(),
+            trace: self.trace.take().unwrap_or_default(),
+        }
+    }
+
+    fn deadlock_info(&self, at: Time, queue_exhausted: bool) -> DeadlockInfo {
+        DeadlockInfo {
+            detected_at: at,
+            last_progress: self.last_progress,
+            stuck_messages: self
+                .msgs
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.completed_at.is_none())
+                .map(|(i, _)| MsgId(i as u32))
+                .collect(),
+            queue_exhausted,
+        }
+    }
+
+    fn handle(&mut self, now: Time, ev: Event) {
+        match ev {
+            Event::SourceReady(msg) => self.on_source_ready(now, msg),
+            Event::RouteDecision { msg, in_ch } => self.on_route_decision(now, msg, in_ch),
+            Event::WireDone(ch) => self.on_wire_done(now, ch),
+        }
+    }
+
+    fn on_source_ready(&mut self, now: Time, msg: MsgId) {
+        self.active += 1;
+        self.last_progress = now;
+        let src = self.msgs[msg.index()].spec.src;
+        self.emit(|| TraceEvent::SourceReady { msg, src, at: now });
+        let out = self.topo.out_channels(src);
+        assert_eq!(out.len(), 1, "source {src} must be an attached processor");
+        let inj = out[0];
+        let header = self.routing.initial_header(&self.msgs[msg.index()].spec);
+        if self.topo.is_switch(self.topo.channel(inj).dst) {
+            self.branch_state.insert((msg, inj), header);
+        }
+        let key = SegKey::Source(msg);
+        self.segs.insert(
+            key,
+            Segment {
+                input: SegInput::Source { next: 0 },
+                outputs: vec![inj],
+                acquired: false,
+            },
+        );
+        self.requester.insert((msg, inj), key);
+        self.chans[inj.index()].ocrq.push_back(msg);
+        self.try_acquire(now, key);
+    }
+
+    fn on_route_decision(&mut self, now: Time, msg: MsgId, in_ch: ChannelId) {
+        let node = self.topo.channel(in_ch).dst;
+        self.chans[in_ch.index()].route_pending = false;
+        debug_assert!(
+            matches!(
+                self.chans[in_ch.index()].in_buf.front(),
+                Some(f) if f.msg == msg && f.kind == FlitKind::Header
+            ),
+            "header must still be at the input-buffer head during setup"
+        );
+        let header = self
+            .branch_state
+            .remove(&(msg, in_ch))
+            .expect("header state travels with the worm");
+        let decision =
+            self.routing
+                .route(self.topo, node, in_ch, &header, &self.msgs[msg.index()].spec);
+        assert!(
+            !decision.requests.is_empty(),
+            "routing returned no channels for {msg} at {node}"
+        );
+        let key = SegKey::Transit(msg, in_ch);
+        let mut outputs = Vec::with_capacity(decision.requests.len());
+        for (ch, st) in decision.requests {
+            let rec = self.topo.channel(ch);
+            assert_eq!(rec.src, node, "requested channel must leave {node}");
+            assert!(!outputs.contains(&ch), "duplicate channel request {ch}");
+            outputs.push(ch);
+            if self.topo.is_switch(rec.dst) {
+                let clash = self.branch_state.insert((msg, ch), st);
+                assert!(
+                    clash.is_none(),
+                    "{msg} requested {ch} twice; phase monotonicity violated"
+                );
+            }
+            let clash = self.requester.insert((msg, ch), key);
+            assert!(clash.is_none(), "{msg} already queued on {ch}");
+            // Atomic enqueue: the whole request set lands in this one event
+            // before any other message can enqueue at this router (§3.2).
+            self.chans[ch.index()].ocrq.push_back(msg);
+        }
+        self.emit(|| TraceEvent::Requested {
+            msg,
+            node,
+            channels: outputs.clone(),
+            at: now,
+        });
+        let prev = self.segs.insert(
+            key,
+            Segment {
+                input: SegInput::Channel(in_ch),
+                outputs,
+                acquired: false,
+            },
+        );
+        assert!(prev.is_none(), "one channel delivers one header per worm");
+        self.try_acquire(now, key);
+    }
+
+    fn on_wire_done(&mut self, now: Time, ch: ChannelId) {
+        let flit = {
+            let c = &mut self.chans[ch.index()];
+            debug_assert!(c.wire_busy);
+            c.wire_busy = false;
+            c.reserved_in -= 1;
+            let f = c.out_buf.pop_front().expect("in-flight flit in out_buf");
+            c.in_buf.push_back(f);
+            c.crossings += 1;
+            f
+        };
+        self.counters.wire_transfers += 1;
+        if flit.is_real() {
+            self.last_progress = now;
+        }
+        // The sender-side slot freed up: the owner refills it, or — if the
+        // channel was released and has now drained — the next OCRQ waiter
+        // may acquire.
+        match self.chans[ch.index()].owner {
+            Some(owner) => {
+                let key = self.requester[&(owner, ch)];
+                self.try_replicate(now, key);
+            }
+            None => {
+                if self.chans[ch.index()].free_for_acquisition() {
+                    if let Some(&front) = self.chans[ch.index()].ocrq.front() {
+                        let key = self.requester[&(front, ch)];
+                        self.try_acquire(now, key);
+                    }
+                }
+            }
+        }
+        self.try_start_wire(ch);
+        self.process_in_buf(now, ch);
+    }
+
+    /// Starts a wire transfer if a flit is waiting, the wire is idle, and
+    /// the receiver will have a slot.
+    fn try_start_wire(&mut self, ch: ChannelId) {
+        let cap = self.cfg.input_buffer_flits;
+        let c = &mut self.chans[ch.index()];
+        if !c.wire_busy && !c.out_buf.is_empty() && c.in_has_space(cap) {
+            c.wire_busy = true;
+            c.reserved_in += 1;
+            self.sched
+                .after(self.cfg.latency.channel_prop, Event::WireDone(ch));
+        }
+    }
+
+    /// Attempts the all-or-nothing acquisition of §3.2: every requested
+    /// channel must have this message at its OCRQ head and be free. On
+    /// success the header flit is replicated to all outputs at once.
+    fn try_acquire(&mut self, now: Time, key: SegKey) {
+        let msg = key.msg();
+        let Some(seg) = self.segs.get(&key) else {
+            return;
+        };
+        if seg.acquired {
+            return;
+        }
+        // The header must be ready on the input side.
+        match seg.input {
+            SegInput::Source { next } => debug_assert_eq!(next, 0),
+            SegInput::Channel(ic) => match self.chans[ic.index()].in_buf.front() {
+                Some(f) if f.msg == msg && f.kind == FlitKind::Header => {}
+                _ => return,
+            },
+        }
+        let ready = seg.outputs.iter().all(|&o| {
+            let c = &self.chans[o.index()];
+            c.ocrq.front() == Some(&msg) && c.free_for_acquisition()
+        });
+        if !ready {
+            return;
+        }
+        let outputs = seg.outputs.clone();
+        let input = seg.input;
+        self.counters.acquisitions += 1;
+        self.last_progress = now;
+        let node = match input {
+            SegInput::Source { .. } => self.msgs[msg.index()].spec.src,
+            SegInput::Channel(ic) => self.topo.channel(ic).dst,
+        };
+        self.emit(|| TraceEvent::Acquired {
+            msg,
+            node,
+            channels: outputs.clone(),
+            at: now,
+        });
+        for &o in &outputs {
+            let c = &mut self.chans[o.index()];
+            let popped = c.ocrq.pop_front();
+            debug_assert_eq!(popped, Some(msg));
+            c.owner = Some(msg);
+            c.out_buf.push_back(Flit {
+                msg,
+                kind: FlitKind::Header,
+            });
+        }
+        for &o in &outputs {
+            self.try_start_wire(o);
+        }
+        // Consume the header on the input side.
+        match input {
+            SegInput::Source { .. } => {
+                if let Some(seg) = self.segs.get_mut(&key) {
+                    seg.input = SegInput::Source { next: 1 };
+                }
+            }
+            SegInput::Channel(ic) => {
+                let f = self.chans[ic.index()].in_buf.pop_front();
+                debug_assert!(matches!(f, Some(f) if f.kind == FlitKind::Header));
+                self.try_start_wire(ic);
+            }
+        }
+        self.segs.get_mut(&key).expect("segment exists").acquired = true;
+        self.try_replicate(now, key);
+    }
+
+    /// Forwards as many flits as possible for an acquired segment. A flit
+    /// is replicated only when *all* owned output buffers have space; when
+    /// a present flit is blocked by a full sibling, the segment becomes a
+    /// bubble candidate (asynchronous replication, §3.2; insertion happens
+    /// at the end of the instant). Replicating the tail releases the
+    /// channels.
+    fn try_replicate(&mut self, now: Time, key: SegKey) {
+        let msg = key.msg();
+        loop {
+            let Some(seg) = self.segs.get(&key) else {
+                return;
+            };
+            if !seg.acquired {
+                return;
+            }
+            let input = seg.input;
+            let outputs = seg.outputs.clone();
+            let len = self.msgs[msg.index()].worm_len;
+            let next_flit = match input {
+                SegInput::Source { next } => {
+                    debug_assert!(next < len, "tail emission releases the segment");
+                    Some(Flit::nth(msg, next, len))
+                }
+                SegInput::Channel(ic) => match self.chans[ic.index()].in_buf.front() {
+                    Some(f) => {
+                        debug_assert_eq!(
+                            f.msg, msg,
+                            "foreign flit at input head while segment alive"
+                        );
+                        Some(*f)
+                    }
+                    None => None,
+                },
+            };
+            let out_cap = self.cfg.output_buffer_flits;
+            let all_free = outputs
+                .iter()
+                .all(|&o| self.chans[o.index()].out_has_space(out_cap));
+            match next_flit {
+                Some(f) if all_free => {
+                    for &o in &outputs {
+                        self.chans[o.index()].out_buf.push_back(f);
+                        self.try_start_wire(o);
+                    }
+                    match input {
+                        SegInput::Source { next } => {
+                            if let Some(s) = self.segs.get_mut(&key) {
+                                s.input = SegInput::Source { next: next + 1 };
+                            }
+                        }
+                        SegInput::Channel(ic) => {
+                            self.chans[ic.index()].in_buf.pop_front();
+                            self.try_start_wire(ic);
+                        }
+                    }
+                    if f.is_tail() {
+                        self.release(now, key, &outputs, input);
+                        return;
+                    }
+                }
+                Some(_) => {
+                    // Blocked by a sibling: mark for end-of-instant bubble
+                    // insertion. A single-output segment simply stalls (no
+                    // divergence to mask).
+                    if outputs.len() > 1 && !self.bubble_candidates.contains(&key) {
+                        self.bubble_candidates.push(key);
+                    }
+                    return;
+                }
+                None => return, // input starved; the worm holds its channels
+            }
+        }
+    }
+
+    /// End-of-instant bubble resolution: for every branch segment that was
+    /// sibling-blocked during this instant and *still* is, inject one
+    /// bubble flit into each free output buffer so that branch keeps
+    /// advancing (asynchronous replication, §3.2). If the blockage cleared
+    /// within the instant, ordinary replication runs instead.
+    fn flush_bubbles(&mut self, now: Time) {
+        while let Some(key) = self.bubble_candidates.pop() {
+            let msg = key.msg();
+            let Some(seg) = self.segs.get(&key) else {
+                continue;
+            };
+            if !seg.acquired || seg.outputs.len() < 2 {
+                continue;
+            }
+            let outputs = seg.outputs.clone();
+            let input = seg.input;
+            let input_present = match input {
+                SegInput::Source { next } => next < self.msgs[msg.index()].worm_len,
+                SegInput::Channel(ic) => self.chans[ic.index()]
+                    .in_buf
+                    .front()
+                    .is_some_and(|f| f.msg == msg),
+            };
+            if !input_present {
+                continue;
+            }
+            let out_cap = self.cfg.output_buffer_flits;
+            let all_free = outputs
+                .iter()
+                .all(|&o| self.chans[o.index()].out_has_space(out_cap));
+            if all_free {
+                // The sibling drained later in the same instant; the real
+                // flit advances and no bubble is needed.
+                self.try_replicate(now, key);
+                continue;
+            }
+            // Bubbles are generated only while a *real* flit is stuck in a
+            // sibling buffer. A sibling full of bubbles is self-inflicted
+            // back-pressure from this very replication unit; breeding more
+            // bubbles against it would let two branches ping-pong bubbles
+            // forever (each freeing at a different instant) and starve the
+            // real flits — a livelock hardware avoids because its cycle-
+            // synchronous buffers free together.
+            let real_blockage = outputs.iter().any(|&o| {
+                let c = &self.chans[o.index()];
+                !c.out_has_space(out_cap) && c.out_buf.iter().any(|f| f.is_real())
+            });
+            if !real_blockage {
+                continue;
+            }
+            let node = match input {
+                SegInput::Source { .. } => self.msgs[msg.index()].spec.src,
+                SegInput::Channel(ic) => self.topo.channel(ic).dst,
+            };
+            for &o in &outputs {
+                if self.chans[o.index()].out_has_space(out_cap) {
+                    self.chans[o.index()].out_buf.push_back(Flit::bubble(msg));
+                    self.counters.bubbles_created += 1;
+                    self.emit(|| TraceEvent::Bubble {
+                        msg,
+                        node,
+                        channel: o,
+                        at: now,
+                    });
+                    self.try_start_wire(o);
+                }
+            }
+        }
+    }
+
+    /// Tail replicated: release every owned channel to its next waiter and
+    /// retire the segment.
+    fn release(&mut self, now: Time, key: SegKey, outputs: &[ChannelId], input: SegInput) {
+        let msg = key.msg();
+        let node = match input {
+            SegInput::Source { .. } => self.msgs[msg.index()].spec.src,
+            SegInput::Channel(ic) => self.topo.channel(ic).dst,
+        };
+        self.emit(|| TraceEvent::Released {
+            msg,
+            node,
+            channels: outputs.to_vec(),
+            at: now,
+        });
+        self.segs.remove(&key);
+        for &o in outputs {
+            self.requester.remove(&(msg, o));
+            let c = &mut self.chans[o.index()];
+            debug_assert_eq!(c.owner, Some(msg));
+            c.owner = None;
+            // The freed channel may already satisfy its next waiter (the
+            // tail might still be draining; try_acquire re-checks).
+            if let Some(&front) = self.chans[o.index()].ocrq.front() {
+                let waiter = self.requester[&(front, o)];
+                self.try_acquire(now, waiter);
+            }
+        }
+        // With multi-flit input buffers the next message's header may
+        // already sit behind our tail.
+        if let SegInput::Channel(ic) = input {
+            self.process_in_buf(now, ic);
+        }
+    }
+
+    /// Drains the input buffer of `ch` as far as the protocol allows.
+    fn process_in_buf(&mut self, now: Time, ch: ChannelId) {
+        let dst = self.topo.channel(ch).dst;
+        let deliver_here = self.topo.is_processor(dst);
+        loop {
+            let Some(&head) = self.chans[ch.index()].in_buf.front() else {
+                return;
+            };
+            if deliver_here {
+                self.chans[ch.index()].in_buf.pop_front();
+                self.deliver(now, head, dst);
+                self.try_start_wire(ch);
+                continue;
+            }
+            let before = self.chans[ch.index()].in_buf.len();
+            let key = SegKey::Transit(head.msg, ch);
+            match head.kind {
+                FlitKind::Header => {
+                    if self.segs.contains_key(&key) {
+                        self.try_acquire(now, key);
+                    } else if !self.chans[ch.index()].route_pending {
+                        self.chans[ch.index()].route_pending = true;
+                        self.sched.after(
+                            self.cfg.latency.router_setup,
+                            Event::RouteDecision {
+                                msg: head.msg,
+                                in_ch: ch,
+                            },
+                        );
+                        return;
+                    } else {
+                        return;
+                    }
+                }
+                _ => {
+                    debug_assert!(
+                        self.segs.get(&key).is_some_and(|s| s.acquired),
+                        "body flit without an acquired segment"
+                    );
+                    self.try_replicate(now, key);
+                }
+            }
+            if self.chans[ch.index()].in_buf.len() == before {
+                return; // no progress possible right now
+            }
+        }
+    }
+
+    /// Absorbs a flit at a destination processor, enforcing the in-order,
+    /// exactly-once delivery invariants of wormhole routing.
+    fn deliver(&mut self, now: Time, flit: Flit, proc: NodeId) {
+        if !flit.is_real() {
+            return; // bubbles are discarded silently at consumption channels
+        }
+        self.counters.flits_delivered += 1;
+        self.last_progress = now;
+        let ms = &mut self.msgs[flit.msg.index()];
+        let di = *ms
+            .dest_index
+            .get(&proc)
+            .unwrap_or_else(|| panic!("{} misrouted to {proc}", flit.msg));
+        let d = &mut ms.dests[di];
+        let seq = flit.seq().expect("real flits carry a sequence number");
+        assert_eq!(
+            seq, d.next_seq,
+            "out-of-order delivery of {} at {proc}",
+            flit.msg
+        );
+        d.next_seq += 1;
+        if flit.is_tail() {
+            debug_assert_eq!(seq + 1, ms.worm_len, "tail carries the last sequence");
+            d.done_at = Some(now);
+            ms.remaining -= 1;
+            let fully_done = ms.remaining == 0;
+            if fully_done {
+                ms.completed_at = Some(now);
+                self.active -= 1;
+                self.counters.messages_completed += 1;
+                self.pending_completions.push(flit.msg);
+            }
+            self.emit(|| TraceEvent::DeliveredTail {
+                msg: flit.msg,
+                dest: proc,
+                at: now,
+            });
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Simulation results: per-message records, counters, deadlock reports.
+
+use crate::flit::MsgId;
+use crate::message::MessageSpec;
+use desim::{Duration, Time};
+use netgraph::NodeId;
+
+/// Result of one message.
+#[derive(Debug, Clone)]
+pub struct MessageResult {
+    /// The submitted spec.
+    pub spec: MessageSpec,
+    /// Tail arrival time at the last destination; `None` if the run ended
+    /// (deadlock / event cap) before delivery completed.
+    pub completed_at: Option<Time>,
+    /// Per-destination tail arrival times, parallel to `spec.dests`.
+    pub dest_done_at: Vec<Option<Time>>,
+}
+
+impl MessageResult {
+    /// End-to-end latency per the paper's §4 definition: from `gen_time`
+    /// (send initiation, before startup) to the last tail arrival.
+    pub fn latency(&self) -> Option<Duration> {
+        self.completed_at.map(|t| t.since(self.spec.gen_time))
+    }
+
+    /// Latency to a particular destination.
+    pub fn latency_to(&self, dest: NodeId) -> Option<Duration> {
+        let i = self.spec.dests.iter().position(|d| *d == dest)?;
+        self.dest_done_at[i].map(|t| t.since(self.spec.gen_time))
+    }
+
+    /// True once every destination received the tail flit.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+}
+
+/// Why and where a run was declared deadlocked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockInfo {
+    /// Simulation time at detection.
+    pub detected_at: Time,
+    /// Last time any real flit made progress.
+    pub last_progress: Time,
+    /// Messages still incomplete at detection.
+    pub stuck_messages: Vec<MsgId>,
+    /// True when detection came from event-queue exhaustion (hard deadlock
+    /// with no bubble traffic); false when the progress watchdog fired.
+    pub queue_exhausted: bool,
+}
+
+/// Aggregate event/flit counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Events processed by the engine loop.
+    pub events: u64,
+    /// Flit wire crossings (including bubbles).
+    pub wire_transfers: u64,
+    /// Bubble flits created at branch routers.
+    pub bubbles_created: u64,
+    /// Real flits absorbed by destination processors.
+    pub flits_delivered: u64,
+    /// Messages completed.
+    pub messages_completed: u64,
+    /// Channel acquisitions performed.
+    pub acquisitions: u64,
+}
+
+/// Everything a finished (or aborted) run reports.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Per-message results, indexed by [`MsgId`].
+    pub messages: Vec<MessageResult>,
+    /// Deadlock report, if the run did not complete cleanly.
+    pub deadlock: Option<DeadlockInfo>,
+    /// Simulation clock at the end of the run.
+    pub end_time: Time,
+    /// Aggregate counters.
+    pub counters: Counters,
+    /// Flits (real + bubble) that crossed each channel, indexed by
+    /// [`netgraph::ChannelId`] — per-channel utilization.
+    pub channel_crossings: Vec<u64>,
+    /// Protocol-level trace (empty unless tracing was enabled).
+    pub trace: crate::trace::Trace,
+}
+
+impl SimOutcome {
+    /// True when every message completed and no deadlock was declared.
+    pub fn all_delivered(&self) -> bool {
+        self.deadlock.is_none() && self.messages.iter().all(|m| m.is_complete())
+    }
+
+    /// Mean latency in microseconds over completed messages matching
+    /// `filter` (e.g. only multicasts, only a warm-up-excluded window).
+    pub fn mean_latency_us(&self, filter: impl Fn(&MessageResult) -> bool) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for m in &self.messages {
+            if let Some(l) = m.latency() {
+                if filter(m) {
+                    sum += l.as_us_f64();
+                    n += 1;
+                }
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Latencies (µs) of completed messages matching `filter`.
+    pub fn latencies_us(&self, filter: impl Fn(&MessageResult) -> bool) -> Vec<f64> {
+        self.messages
+            .iter()
+            .filter(|m| filter(m))
+            .filter_map(|m| m.latency().map(|l| l.as_us_f64()))
+            .collect()
+    }
+
+    /// The `k` busiest channels as `(channel, crossings)`, descending.
+    pub fn hottest_channels(&self, k: usize) -> Vec<(netgraph::ChannelId, u64)> {
+        let mut v: Vec<(netgraph::ChannelId, u64)> = self
+            .channel_crossings
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (netgraph::ChannelId(i as u32), c))
+            .collect();
+        v.sort_by_key(|&(id, c)| (std::cmp::Reverse(c), id));
+        v.truncate(k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(gen_us: u64, done_us: Option<u64>) -> MessageResult {
+        MessageResult {
+            spec: MessageSpec::unicast(NodeId(10), NodeId(11), 8).at(Time::from_us(gen_us)),
+            completed_at: done_us.map(Time::from_us),
+            dest_done_at: vec![done_us.map(Time::from_us)],
+        }
+    }
+
+    #[test]
+    fn latency_measured_from_generation() {
+        let r = result(5, Some(18));
+        assert_eq!(r.latency(), Some(Duration::from_us(13)));
+        assert_eq!(r.latency_to(NodeId(11)), Some(Duration::from_us(13)));
+        assert_eq!(r.latency_to(NodeId(99)), None);
+        assert!(r.is_complete());
+        assert!(!result(5, None).is_complete());
+    }
+
+    #[test]
+    fn outcome_aggregations() {
+        let out = SimOutcome {
+            messages: vec![result(0, Some(10)), result(0, Some(20)), result(0, None)],
+            deadlock: None,
+            end_time: Time::from_us(20),
+            counters: Counters::default(),
+            channel_crossings: vec![5, 9, 1],
+            trace: Default::default(),
+        };
+        assert!(!out.all_delivered(), "one message incomplete");
+        assert_eq!(out.mean_latency_us(|_| true), Some(15.0));
+        assert_eq!(out.latencies_us(|_| true), vec![10.0, 20.0]);
+        assert_eq!(out.mean_latency_us(|_| false), None);
+        assert_eq!(
+            out.hottest_channels(2),
+            vec![(NodeId(1).0.into(), 9), (netgraph::ChannelId(0), 5)]
+        );
+    }
+}

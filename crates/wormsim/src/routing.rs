@@ -1,0 +1,235 @@
+//! The routing-algorithm interface and testing utilities.
+//!
+//! The simulator is generic over a [`RoutingAlgorithm`]: at every router a
+//! header visits, the algorithm is consulted once (after the router-setup
+//! latency) and returns the **set** of output channels the message must
+//! atomically request there — one channel for a unicast hop, several where a
+//! multi-head worm branches. Each requested channel carries a successor
+//! header state, which the engine delivers to the algorithm again when that
+//! branch's header reaches the next router.
+//!
+//! Header state is how phase information ("has this worm already used a
+//! down-cross channel?") and the destination set travel with the worm — in
+//! hardware they are header-flit fields; here they are a typed value.
+
+use crate::flit::MsgId;
+use crate::message::MessageSpec;
+use desim::Time;
+use netgraph::{ChannelId, NodeId, Topology};
+use std::collections::HashMap;
+
+/// The channels a header requests at one router, with the header state each
+/// branch carries onward.
+#[derive(Debug, Clone)]
+pub struct RouteDecision<H> {
+    /// `(channel, successor state)` pairs; all channels must originate at
+    /// the deciding router and be pairwise distinct. Must be non-empty.
+    pub requests: Vec<(ChannelId, H)>,
+}
+
+impl<H> RouteDecision<H> {
+    /// Single-channel decision (unicast hop).
+    pub fn single(ch: ChannelId, state: H) -> Self {
+        RouteDecision {
+            requests: vec![(ch, state)],
+        }
+    }
+}
+
+/// A wormhole routing algorithm driven by the simulator.
+pub trait RoutingAlgorithm {
+    /// Per-branch header state.
+    type Header: Clone;
+
+    /// Header state when the worm leaves its source processor.
+    fn initial_header(&self, spec: &MessageSpec) -> Self::Header;
+
+    /// Routing decision for a header arriving at switch `node` on channel
+    /// `in_ch` with state `header`.
+    ///
+    /// # Contract
+    ///
+    /// Must return at least one request; every requested channel must have
+    /// `src == node`; channels must be distinct. The engine panics on
+    /// violations — they are algorithm bugs, not runtime conditions.
+    fn route(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        in_ch: ChannelId,
+        header: &Self::Header,
+        spec: &MessageSpec,
+    ) -> RouteDecision<Self::Header>;
+}
+
+/// Observer invoked when a message has been fully delivered; may inject
+/// follow-up messages (multi-phase schemes such as unicast-based multicast,
+/// barrier/gather protocols, request-reply workloads).
+pub trait CompletionHook {
+    /// Called once per message, at the instant its tail reaches its last
+    /// destination. Returned specs are submitted with their `gen_time`
+    /// (must be ≥ `completed_at`).
+    fn on_complete(&mut self, msg: MsgId, spec: &MessageSpec, completed_at: Time)
+        -> Vec<MessageSpec>;
+}
+
+/// A [`CompletionHook`] that does nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHook;
+
+impl CompletionHook for NoHook {
+    fn on_complete(&mut self, _: MsgId, _: &MessageSpec, _: Time) -> Vec<MessageSpec> {
+        Vec::new()
+    }
+}
+
+/// A scripted routing algorithm for tests: every message `tag` is assigned
+/// an explicit routing tree (node → outgoing channels). This is how the
+/// engine is exercised independently of SPAM, and how *deliberately
+/// deadlocking* channel-dependency cycles are constructed as positive
+/// controls for the deadlock detector.
+#[derive(Debug, Clone)]
+pub struct OracleRouting {
+    topo: Topology,
+    /// `(tag, node) -> outgoing channels to request there`.
+    plan: HashMap<(u64, NodeId), Vec<ChannelId>>,
+}
+
+impl OracleRouting {
+    /// New oracle for a topology (kept by value for path resolution).
+    pub fn new(topo: &Topology) -> Self {
+        OracleRouting {
+            topo: topo.clone(),
+            plan: HashMap::new(),
+        }
+    }
+
+    /// Scripts a unicast path `nodes[0] (processor) → ... → nodes.last()
+    /// (processor)` for messages tagged `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive nodes are not linked.
+    pub fn add_unicast_path(&mut self, tag: u64, nodes: &[NodeId]) {
+        assert!(nodes.len() >= 2, "path needs at least source and dest");
+        // The engine itself requests the processor's injection channel, so
+        // the plan covers the intermediate switches only.
+        let hops: Vec<(NodeId, NodeId)> = nodes
+            .windows(2)
+            .skip(1) // first hop is the injection channel
+            .map(|w| (w[0], w[1]))
+            .collect();
+        self.add_tree_edges(tag, hops);
+    }
+
+    /// Scripts an arbitrary routing tree from `(from, to)` link pairs: at
+    /// each `from` node, the message requests the channel towards `to`.
+    /// Pairs sharing a `from` become a branching (multi-head) request set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair is not linked in the topology.
+    pub fn add_tree_edges(&mut self, tag: u64, edges: impl IntoIterator<Item = (NodeId, NodeId)>) {
+        for (from, to) in edges {
+            let ch = self
+                .topo
+                .channel_between(from, to)
+                .unwrap_or_else(|| panic!("no link {from} -> {to}"));
+            self.plan.entry((tag, from)).or_default().push(ch);
+        }
+    }
+}
+
+impl RoutingAlgorithm for OracleRouting {
+    type Header = ();
+
+    fn initial_header(&self, _spec: &MessageSpec) -> Self::Header {}
+
+    fn route(
+        &self,
+        _topo: &Topology,
+        node: NodeId,
+        _in_ch: ChannelId,
+        _header: &(),
+        spec: &MessageSpec,
+    ) -> RouteDecision<()> {
+        let chans = self
+            .plan
+            .get(&(spec.tag, node))
+            .unwrap_or_else(|| panic!("oracle has no plan for tag {} at {node}", spec.tag));
+        RouteDecision {
+            requests: chans.iter().map(|c| (*c, ())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (Topology, Vec<NodeId>) {
+        // p3 - s0 - s1 - s2 - p4, plus p5 on s1
+        let mut b = Topology::builder();
+        let s0 = b.add_switch();
+        let s1 = b.add_switch();
+        let s2 = b.add_switch();
+        let p3 = b.add_processor();
+        let p4 = b.add_processor();
+        let p5 = b.add_processor();
+        b.link(s0, s1).unwrap();
+        b.link(s1, s2).unwrap();
+        b.link(p3, s0).unwrap();
+        b.link(p4, s2).unwrap();
+        b.link(p5, s1).unwrap();
+        (b.build(), vec![s0, s1, s2, p3, p4, p5])
+    }
+
+    #[test]
+    fn oracle_unicast_plan_resolves_channels() {
+        let (t, n) = line3();
+        let mut o = OracleRouting::new(&t);
+        o.add_unicast_path(7, &[n[3], n[0], n[1], n[2], n[4]]);
+        let spec = MessageSpec::unicast(n[3], n[4], 4).tag(7);
+        // At s0 the plan sends towards s1.
+        let d = o.route(&t, n[0], ChannelId(0), &(), &spec);
+        assert_eq!(d.requests.len(), 1);
+        assert_eq!(t.channel(d.requests[0].0).dst, n[1]);
+        // At s2 the plan delivers to p4.
+        let d2 = o.route(&t, n[2], ChannelId(0), &(), &spec);
+        assert_eq!(t.channel(d2.requests[0].0).dst, n[4]);
+    }
+
+    #[test]
+    fn oracle_branching_plan() {
+        let (t, n) = line3();
+        let mut o = OracleRouting::new(&t);
+        // At s1 split to both p5 and s2.
+        o.add_tree_edges(1, [(n[1], n[5]), (n[1], n[2])]);
+        let spec = MessageSpec::multicast(n[3], vec![n[5], n[4]], 4).tag(1);
+        let d = o.route(&t, n[1], ChannelId(0), &(), &spec);
+        assert_eq!(d.requests.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no plan for tag")]
+    fn oracle_missing_plan_panics() {
+        let (t, n) = line3();
+        let o = OracleRouting::new(&t);
+        let spec = MessageSpec::unicast(n[3], n[4], 4).tag(99);
+        o.route(&t, n[0], ChannelId(0), &(), &spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn oracle_rejects_unlinked_edges() {
+        let (t, n) = line3();
+        let mut o = OracleRouting::new(&t);
+        o.add_tree_edges(0, [(n[0], n[2])]); // s0 and s2 not adjacent
+    }
+
+    #[test]
+    fn route_decision_single() {
+        let d: RouteDecision<u8> = RouteDecision::single(ChannelId(5), 42);
+        assert_eq!(d.requests, vec![(ChannelId(5), 42)]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Failure injection: the engine must fail *loudly and precisely* when a
+//! routing algorithm violates its contract, when resource limits trip, or
+//! when callers misuse the API — silent misbehaviour in a simulator
+//! produces wrong science, which is worse than a crash.
+
+use desim::{Duration, Time};
+use netgraph::{ChannelId, NodeId, Topology};
+use wormsim::routing::OracleRouting;
+use wormsim::{
+    MessageSpec, NetworkSim, RouteDecision, RoutingAlgorithm, SimConfig, SpecError,
+};
+
+fn line2() -> (Topology, [NodeId; 4]) {
+    let mut b = Topology::builder();
+    let s0 = b.add_switch();
+    let s1 = b.add_switch();
+    let p0 = b.add_processor();
+    let p1 = b.add_processor();
+    b.link(s0, s1).unwrap();
+    b.link(p0, s0).unwrap();
+    b.link(p1, s1).unwrap();
+    (b.build(), [s0, s1, p0, p1])
+}
+
+/// A router that returns whatever channel list it is configured with.
+struct EvilRouter {
+    mode: EvilMode,
+}
+
+#[derive(Clone, Copy)]
+enum EvilMode {
+    Empty,
+    Duplicate,
+    ForeignChannel,
+}
+
+impl RoutingAlgorithm for EvilRouter {
+    type Header = ();
+
+    fn initial_header(&self, _spec: &MessageSpec) -> Self::Header {}
+
+    fn route(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        _in_ch: ChannelId,
+        _header: &(),
+        _spec: &MessageSpec,
+    ) -> RouteDecision<()> {
+        match self.mode {
+            EvilMode::Empty => RouteDecision { requests: vec![] },
+            EvilMode::Duplicate => {
+                let c = topo.out_channels(node)[0];
+                RouteDecision {
+                    requests: vec![(c, ()), (c, ())],
+                }
+            }
+            EvilMode::ForeignChannel => {
+                // A channel that does not leave `node`.
+                let foreign = topo
+                    .channel_ids()
+                    .find(|&c| topo.channel(c).src != node)
+                    .unwrap();
+                RouteDecision::single(foreign, ())
+            }
+        }
+    }
+}
+
+fn run_evil(mode: EvilMode) {
+    let (topo, [_, _, p0, p1]) = line2();
+    let mut sim = NetworkSim::new(&topo, EvilRouter { mode }, SimConfig::paper());
+    sim.submit(MessageSpec::unicast(p0, p1, 8)).unwrap();
+    sim.run();
+}
+
+#[test]
+#[should_panic(expected = "routing returned no channels")]
+fn empty_route_decision_panics() {
+    run_evil(EvilMode::Empty);
+}
+
+#[test]
+#[should_panic(expected = "duplicate channel request")]
+fn duplicate_channel_request_panics() {
+    run_evil(EvilMode::Duplicate);
+}
+
+#[test]
+#[should_panic(expected = "requested channel must leave")]
+fn foreign_channel_request_panics() {
+    run_evil(EvilMode::ForeignChannel);
+}
+
+#[test]
+#[should_panic(expected = "generated in the past")]
+fn submitting_into_the_past_panics() {
+    let (topo, [_, _, p0, p1]) = line2();
+    let mut oracle = OracleRouting::new(&topo);
+    oracle.add_unicast_path(0, &[p0, NodeId(0), NodeId(1), p1]);
+    let mut sim = NetworkSim::new(&topo, oracle, SimConfig::paper());
+    sim.submit(MessageSpec::unicast(p0, p1, 8)).unwrap();
+    // Drive the clock forward by running... run consumes; so instead give
+    // the sim a first message and submit the second during a hook with a
+    // past timestamp — simpler: craft via direct second submit after run
+    // is impossible, so emulate with gen_time earlier than now by using a
+    // hook that returns a stale spec.
+    struct StaleHook(NodeId, NodeId);
+    impl wormsim::CompletionHook for StaleHook {
+        fn on_complete(
+            &mut self,
+            _m: wormsim::MsgId,
+            _spec: &MessageSpec,
+            _at: Time,
+        ) -> Vec<MessageSpec> {
+            vec![MessageSpec::unicast(self.0, self.1, 8).at(Time::ZERO)]
+        }
+    }
+    sim.run_with_hook(&mut StaleHook(p0, p1));
+}
+
+#[test]
+fn event_cap_aborts_runaway_runs() {
+    let (topo, [s0, s1, p0, p1]) = line2();
+    let mut oracle = OracleRouting::new(&topo);
+    oracle.add_unicast_path(0, &[p0, s0, s1, p1]);
+    let cfg = SimConfig {
+        max_events: 10, // far too few to deliver anything
+        ..SimConfig::paper()
+    };
+    let mut sim = NetworkSim::new(&topo, oracle, cfg);
+    sim.submit(MessageSpec::unicast(p0, p1, 128)).unwrap();
+    let out = sim.run();
+    assert!(!out.all_delivered());
+    let dl = out.deadlock.expect("event cap must be reported");
+    assert!(!dl.queue_exhausted);
+    assert!(out.counters.events <= 10);
+}
+
+#[test]
+fn zero_watchdog_flags_any_stall() {
+    // A pathological watchdog of 0 ns: the very first gap between progress
+    // instants aborts the run. Checks the watchdog path itself.
+    let (topo, [s0, s1, p0, p1]) = line2();
+    let mut oracle = OracleRouting::new(&topo);
+    oracle.add_unicast_path(0, &[p0, s0, s1, p1]);
+    let cfg = SimConfig::paper().with_watchdog(Duration::ZERO);
+    let mut sim = NetworkSim::new(&topo, oracle, cfg);
+    sim.submit(MessageSpec::unicast(p0, p1, 128)).unwrap();
+    let out = sim.run();
+    // The run may still complete if every event makes progress, but any
+    // setup wait (40 ns with no flit motion) trips the watchdog; with the
+    // paper's latencies the router setup always creates such a gap.
+    assert!(out.deadlock.is_some());
+}
+
+#[test]
+fn submit_rejects_invalid_specs_without_state_damage() {
+    let (topo, [s0, s1, p0, p1]) = line2();
+    let mut oracle = OracleRouting::new(&topo);
+    oracle.add_unicast_path(0, &[p0, s0, s1, p1]);
+    let mut sim = NetworkSim::new(&topo, oracle, SimConfig::paper());
+    assert_eq!(
+        sim.submit(MessageSpec::unicast(p0, p0, 8)),
+        Err(SpecError::SelfDestination(p0))
+    );
+    assert_eq!(
+        sim.submit(MessageSpec::unicast(s0, p1, 8)),
+        Err(SpecError::SourceNotProcessor(s0))
+    );
+    // A valid message still goes through untouched by the failed submits.
+    sim.submit(MessageSpec::unicast(p0, p1, 8)).unwrap();
+    let out = sim.run();
+    assert!(out.all_delivered());
+    assert_eq!(out.messages.len(), 1);
+}

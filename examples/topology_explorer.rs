@@ -1,0 +1,73 @@
+//! Topology and labeling statistics: what the §4 network distribution
+//! actually looks like, and how the spanning-tree root shapes it.
+//!
+//! ```text
+//! cargo run --example topology_explorer --release
+//! ```
+
+use netgraph::algo;
+use spam_net::prelude::*;
+
+fn tree_depth(topo: &netgraph::Topology, ud: &UpDownLabeling) -> u32 {
+    topo.nodes().map(|n| ud.level(n)).max().unwrap_or(0)
+}
+
+fn main() {
+    println!("§4 irregular lattice networks (one processor per switch):\n");
+    println!(
+        "{:>6} {:>6} {:>7} {:>9} {:>10} {:>11} {:>11}",
+        "seed", "sw", "links", "diameter", "tree-depth", "down-cross", "root"
+    );
+    for switches in [128usize, 256] {
+        for seed in 0..3u64 {
+            let topo = IrregularConfig::with_switches(switches).generate(seed);
+            let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+            let (_, _, _, down_cross) = ud.class_counts();
+            println!(
+                "{seed:>6} {switches:>6} {:>7} {:>9} {:>10} {:>11} {:>11}",
+                topo.num_channels() / 2,
+                algo::switch_diameter(&topo),
+                tree_depth(&topo, &ud),
+                down_cross,
+                ud.root().to_string(),
+            );
+        }
+    }
+
+    println!("\nroot-selection policies on one 128-switch network (seed 0):");
+    let topo = IrregularConfig::with_switches(128).generate(0);
+    println!(
+        "{:>18} {:>6} {:>11} {:>13}",
+        "policy", "root", "tree-depth", "root-degree"
+    );
+    for (name, sel) in [
+        ("lowest-id", RootSelection::LowestId),
+        ("max-degree", RootSelection::MaxDegree),
+        ("min-eccentricity", RootSelection::MinEccentricity),
+        ("random(7)", RootSelection::RandomSeeded(7)),
+    ] {
+        let ud = UpDownLabeling::build(&topo, sel);
+        println!(
+            "{name:>18} {:>6} {:>11} {:>13}",
+            ud.root().to_string(),
+            tree_depth(&topo, &ud),
+            topo.degree(ud.root()),
+        );
+    }
+
+    println!("\nregular topologies (§5) under the same machinery:");
+    for (name, t) in [
+        ("8x8 mesh", netgraph::gen::regular::mesh2d(8, 8)),
+        ("8x8 torus", netgraph::gen::regular::torus2d(8, 8)),
+        ("6-cube", netgraph::gen::regular::hypercube(6)),
+    ] {
+        let ud = UpDownLabeling::build(&t, RootSelection::MinEccentricity);
+        let (_, _, _, dc) = ud.class_counts();
+        println!(
+            "  {name:<10} switches {:>3}, diameter {:>2}, tree depth {:>2}, down-cross channels {dc}",
+            t.num_switches(),
+            algo::switch_diameter(&t),
+            tree_depth(&t, &ud),
+        );
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # spam-net — facade crate
+//!
+//! Re-exports the whole SPAM reproduction workspace behind one dependency:
+//!
+//! * [`netgraph`] — switch/processor topologies and generators,
+//! * [`updown`] — up*/down* labeling, ancestors, LCA,
+//! * [`desim`] — the discrete-event engine,
+//! * [`wormsim`] — the flit-level wormhole network simulator,
+//! * [`spam`] — the SPAM routing algorithm (paper's contribution),
+//! * [`baselines`] — up*/down* unicast and unicast-based multicast,
+//! * [`traffic`] — workload generation,
+//! * [`simstats`] — statistics and CI-driven replication control.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use baselines;
+pub use desim;
+pub use netgraph;
+pub use simstats;
+pub use spam_core as spam;
+pub use traffic;
+pub use updown;
+pub use wormsim;
+
+/// Convenience prelude pulling in the names used by virtually every
+/// experiment: topology generation, labeling, simulation, and SPAM routing.
+pub mod prelude {
+    pub use baselines::{lower_bound, ucast_multicast::UnicastMulticast, UpDownUnicastRouting};
+    pub use desim::{Duration, Time};
+    pub use netgraph::gen::{fixtures::figure1, IrregularConfig};
+    pub use netgraph::{ChannelId, NodeId, Topology};
+    pub use simstats::{ConfidenceInterval, RunningStats};
+    pub use spam_core::{SelectionPolicy, SpamRouting};
+    pub use traffic::{DestinationSampler, MixedTrafficConfig};
+    pub use updown::{RootSelection, UpDownLabeling};
+    pub use wormsim::{LatencyParams, MessageSpec, NetworkSim, SimConfig, SimOutcome};
+}

@@ -1,0 +1,78 @@
+//! Golden regression values: exact latencies for pinned seeds. Any change
+//! to the engine's event ordering, the routing tables, the generators, or
+//! the labeling that alters simulated behaviour will trip these — on
+//! purpose. Update the constants only for *intentional* semantic changes,
+//! and record why in the commit.
+
+use spam_net::prelude::*;
+
+fn fig1_multicast_latency_ns() -> u64 {
+    let (topo, labels) = figure1();
+    let by = |l: u32| labels.by_label(l).unwrap();
+    let ud = UpDownLabeling::build(&topo, RootSelection::Fixed(by(1)));
+    let spam = SpamRouting::new(&topo, &ud);
+    let mut sim = NetworkSim::new(&topo, spam, SimConfig::paper());
+    sim.submit(MessageSpec::multicast(
+        by(5),
+        vec![by(8), by(9), by(10), by(11)],
+        128,
+    ))
+    .unwrap();
+    let out = sim.run();
+    assert!(out.all_delivered());
+    out.messages[0].latency().unwrap().as_ns()
+}
+
+#[test]
+fn figure1_multicast_latency_is_pinned() {
+    // 10_000 (startup) + 4 channels x 10 + 3 switches x 40 + 127 x 10.
+    assert_eq!(fig1_multicast_latency_ns(), 11_430);
+}
+
+#[test]
+fn seeded_64_node_broadcast_is_pinned() {
+    let topo = IrregularConfig::with_switches(64).generate(2024);
+    let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+    let spam = SpamRouting::new(&topo, &ud);
+    let procs: Vec<NodeId> = topo.processors().collect();
+    let dests: Vec<NodeId> = procs[1..].to_vec();
+    let mut sim = NetworkSim::new(&topo, spam, SimConfig::paper());
+    sim.submit(MessageSpec::multicast(procs[0], dests, 128))
+        .unwrap();
+    let out = sim.run();
+    assert!(out.all_delivered());
+    let lat = out.messages[0].latency().unwrap().as_ns();
+    // Golden value for (seed 2024, lowest-id root, min-distance selection).
+    assert_eq!(lat, 12_130);
+    assert_eq!(out.counters.flits_delivered, 128 * 63);
+    // Even an idle network produces some bubbles on a broadcast: subtree
+    // depths differ, so a branch whose header is still paying router setup
+    // transiently blocks its siblings, which then advance on bubbles.
+    assert_eq!(out.counters.bubbles_created, 1_204);
+}
+
+#[test]
+fn seeded_mixed_traffic_run_is_pinned() {
+    let topo = IrregularConfig::with_switches(32).generate(7);
+    let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+    let spam = SpamRouting::new(&topo, &ud);
+    let stream = MixedTrafficConfig::figure3(0.02, 8, 250).generate(&topo, 7);
+    let mut sim = NetworkSim::new(&topo, spam, SimConfig::paper());
+    for s in stream {
+        sim.submit(s).unwrap();
+    }
+    let out = sim.run();
+    assert!(out.all_delivered());
+    let mean = out.mean_latency_us(|_| true).unwrap();
+    // Golden mean latency for this exact (topology, stream) pair.
+    let expect = 11.802_480_000_000_005;
+    assert!(
+        (mean - expect).abs() < 1e-6,
+        "mean latency drifted: {mean} vs {expect}"
+    );
+}
+
+#[test]
+fn golden_values_are_stable_across_repeated_runs() {
+    assert_eq!(fig1_multicast_latency_ns(), fig1_multicast_latency_ns());
+}
