@@ -149,10 +149,7 @@ fn build_binomial(order: &[NodeId], children: &mut HashMap<NodeId, Vec<NodeId>>)
         return;
     }
     let mid = order.len().div_ceil(2);
-    children
-        .entry(order[0])
-        .or_default()
-        .push(order[mid]);
+    children.entry(order[0]).or_default().push(order[mid]);
     build_binomial(&order[mid..], children);
     build_binomial(&order[..mid], children);
 }
@@ -243,10 +240,7 @@ mod tests {
         assert!(out.all_delivered(), "{:?}", out.deadlock);
         assert_eq!(out.messages.len(), 15, "one unicast per destination");
         let makespan = um.makespan(&out).unwrap();
-        let bound = crate::lower_bound::software_multicast_lower_bound(
-            15,
-            Duration::from_us(10),
-        );
+        let bound = crate::lower_bound::software_multicast_lower_bound(15, Duration::from_us(10));
         assert!(
             makespan >= bound,
             "makespan {makespan} beat the lower bound {bound}"

@@ -85,7 +85,8 @@ fn root_policy_rep(switches: usize, root: RootSelection, dests: usize, seed: u64
     others.shuffle(&mut rng);
     others.truncate(dests);
     let mut sim = NetworkSim::new(&topo, spam, SimConfig::paper());
-    sim.submit(MessageSpec::multicast(src, others, 128)).unwrap();
+    sim.submit(MessageSpec::multicast(src, others, 128))
+        .unwrap();
     let out = sim.run();
     assert!(out.all_delivered());
     out.messages[0].latency().unwrap().as_us_f64()
@@ -139,11 +140,8 @@ pub fn run_buffer_depth(
                     let spam = SpamRouting::new(&topo, &ud);
                     let stream = MixedTrafficConfig::figure3(rate, 8, messages)
                         .generate(&topo, crate::split_seed(s, 0xB));
-                    let mut sim = NetworkSim::new(
-                        &topo,
-                        spam,
-                        SimConfig::paper().with_buffers(depth, depth),
-                    );
+                    let mut sim =
+                        NetworkSim::new(&topo, spam, SimConfig::paper().with_buffers(depth, depth));
                     for spec in stream {
                         sim.submit(spec).unwrap();
                     }

@@ -17,14 +17,7 @@ fn main() {
     let (target, reps) = if quick { (0.05, 16) } else { (0.01, 500) };
     println!(
         "{:>6} {:>12} {:>14} {:>12} {:>12} {:>10} {:>10} {:>6}",
-        "nodes",
-        "SPAM (µs)",
-        "software(µs)",
-        "bound d-1",
-        "bound d",
-        "x bound",
-        "x soft",
-        "reps"
+        "nodes", "SPAM (µs)", "software(µs)", "bound d-1", "bound d", "x bound", "x soft", "reps"
     );
     let mut rows = Vec::new();
     for nodes in [128usize, 256] {

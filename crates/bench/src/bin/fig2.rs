@@ -37,8 +37,12 @@ fn main() {
         eprintln!("fig2: {n}-node sweep finished in {:.1?}", t0.elapsed());
 
         let path = PathBuf::from(format!("results/fig2_{n}.csv"));
-        report::write_csv(&path, "destinations,latency_us,ci_half_width_us,reps,met_1pct", &points)
-            .expect("write csv");
+        report::write_csv(
+            &path,
+            "destinations,latency_us,ci_half_width_us,reps,met_1pct",
+            &points,
+        )
+        .expect("write csv");
 
         println!(
             "{}",

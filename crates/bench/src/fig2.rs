@@ -79,9 +79,13 @@ pub fn single_multicast_latency_us(switches: usize, dests: usize, len: u32, seed
     others.shuffle(&mut rng);
     others.truncate(dests);
     let mut sim = NetworkSim::new(&topo, spam, SimConfig::paper());
-    sim.submit(MessageSpec::multicast(src, others, len)).unwrap();
+    sim.submit(MessageSpec::multicast(src, others, len))
+        .unwrap();
     let out = sim.run();
-    assert!(out.all_delivered(), "Fig.2 replication deadlocked (seed {seed})");
+    assert!(
+        out.all_delivered(),
+        "Fig.2 replication deadlocked (seed {seed})"
+    );
     out.messages[0].latency().expect("delivered").as_us_f64()
 }
 

@@ -154,9 +154,6 @@ mod tests {
     fn latency_rises_with_load() {
         let lo = mixed_traffic_mean_latency_us(24, 0.004, 4, 400, 0.1, 9);
         let hi = mixed_traffic_mean_latency_us(24, 0.08, 4, 400, 0.1, 9);
-        assert!(
-            hi > lo,
-            "latency must rise with load: {lo} !< {hi}"
-        );
+        assert!(hi > lo, "latency must rise with load: {lo} !< {hi}");
     }
 }

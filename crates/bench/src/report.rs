@@ -7,11 +7,7 @@ use std::io::Write as _;
 use std::path::Path;
 
 /// Writes `(x, mean, ci, reps)` rows as CSV.
-pub fn write_csv(
-    path: &Path,
-    header: &str,
-    rows: &[PointSummary],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, header: &str, rows: &[PointSummary]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
@@ -132,7 +128,12 @@ mod tests {
     fn csv_round_trips() {
         let dir = std::env::temp_dir().join("spam_bench_test");
         let path = dir.join("t.csv");
-        write_csv(&path, "x,mean,ci,reps,met", &pts(&[(1.0, 11.0), (2.0, 12.0)])).unwrap();
+        write_csv(
+            &path,
+            "x,mean,ci,reps,met",
+            &pts(&[(1.0, 11.0), (2.0, 12.0)]),
+        )
+        .unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.starts_with("x,mean,ci,reps,met\n"));
         assert_eq!(body.lines().count(), 3);

@@ -60,8 +60,7 @@ pub fn partition_destinations(
                     None => groups.push((child, vec![d])),
                 }
             }
-            let mut groups: Vec<Vec<NodeId>> =
-                groups.into_iter().map(|(_, g)| g).collect();
+            let mut groups: Vec<Vec<NodeId>> = groups.into_iter().map(|(_, g)| g).collect();
             // Merge smallest pairs until the budget is met.
             while groups.len() > max_groups {
                 groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
@@ -117,7 +116,11 @@ mod tests {
     use netgraph::gen::fixtures::figure1;
     use updown::RootSelection;
 
-    fn fig1() -> (netgraph::Topology, netgraph::gen::fixtures::Figure1Labels, UpDownLabeling) {
+    fn fig1() -> (
+        netgraph::Topology,
+        netgraph::gen::fixtures::Figure1Labels,
+        UpDownLabeling,
+    ) {
         let (t, l) = figure1();
         let ud = UpDownLabeling::build(&t, RootSelection::Fixed(l.by_label(1).unwrap()));
         (t, l, ud)
@@ -158,8 +161,7 @@ mod tests {
         let (_, l, ud) = fig1();
         let by = |x: u32| l.by_label(x).unwrap();
         let dests = vec![by(11), by(8), by(10), by(9)];
-        let groups =
-            partition_destinations(&ud, &dests, PartitionStrategy::IdChunks { groups: 3 });
+        let groups = partition_destinations(&ud, &dests, PartitionStrategy::IdChunks { groups: 3 });
         assert_eq!(groups.len(), 3);
         let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
         assert_eq!(sizes, vec![2, 1, 1]);
@@ -171,18 +173,12 @@ mod tests {
     fn more_groups_than_destinations_collapses() {
         let (_, l, ud) = fig1();
         let by = |x: u32| l.by_label(x).unwrap();
-        let groups = partition_destinations(
-            &ud,
-            &[by(8)],
-            PartitionStrategy::IdChunks { groups: 5 },
-        );
+        let groups =
+            partition_destinations(&ud, &[by(8)], PartitionStrategy::IdChunks { groups: 5 });
         assert_eq!(groups, vec![vec![by(8)]]);
-        assert!(partition_destinations(
-            &ud,
-            &[],
-            PartitionStrategy::IdChunks { groups: 3 }
-        )
-        .is_empty());
+        assert!(
+            partition_destinations(&ud, &[], PartitionStrategy::IdChunks { groups: 3 }).is_empty()
+        );
     }
 
     #[test]

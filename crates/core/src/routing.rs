@@ -166,11 +166,7 @@ impl<'a> SpamRouting<'a> {
     fn tree_requests(&self, node: NodeId, header: &SpamHeader) -> Vec<(ChannelId, SpamHeader)> {
         let mut requests = Vec::new();
         for &child in self.ud.tree_children(node) {
-            if header
-                .dests
-                .iter()
-                .any(|&d| self.ud.is_ancestor(child, d))
-            {
+            if header.dests.iter().any(|&d| self.ud.is_ancestor(child, d)) {
                 let ch = self
                     .topo
                     .channel_between(node, child)
@@ -272,8 +268,7 @@ mod tests {
         let (t, l, ud) = fig1();
         let spam = SpamRouting::new(&t, &ud);
         let by = |x: u32| l.by_label(x).unwrap();
-        let spec =
-            MessageSpec::multicast(by(5), vec![by(8), by(9), by(10), by(11)], 128);
+        let spec = MessageSpec::multicast(by(5), vec![by(8), by(9), by(10), by(11)], 128);
         let h = spam.initial_header(&spec);
         assert_eq!(h.lca, by(4));
         assert_eq!(h.phase, Phase::Up);
@@ -399,12 +394,8 @@ mod tests {
         ] {
             let spam = base.with_policy(policy);
             let mut sim = NetworkSim::new(&t, spam, SimConfig::paper());
-            sim.submit(MessageSpec::multicast(
-                procs[0],
-                procs[1..].to_vec(),
-                64,
-            ))
-            .unwrap();
+            sim.submit(MessageSpec::multicast(procs[0], procs[1..].to_vec(), 64))
+                .unwrap();
             let out = sim.run();
             assert!(out.all_delivered(), "{policy:?} failed to deliver");
         }

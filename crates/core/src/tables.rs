@@ -140,7 +140,11 @@ mod tests {
     use netgraph::gen::lattice::IrregularConfig;
     use updown::RootSelection;
 
-    fn fig1() -> (Topology, netgraph::gen::fixtures::Figure1Labels, UpDownLabeling) {
+    fn fig1() -> (
+        Topology,
+        netgraph::gen::fixtures::Figure1Labels,
+        UpDownLabeling,
+    ) {
         let (t, l) = figure1();
         let ud = UpDownLabeling::build(&t, RootSelection::Fixed(l.by_label(1).unwrap()));
         (t, l, ud)

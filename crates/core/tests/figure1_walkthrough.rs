@@ -174,8 +174,5 @@ fn unicast_special_case_reduces_to_unicast_routing() {
         }
     }
     // Shortest legal route: 5 -> 2(up) -> 4(down tree) -> 7 -> 11.
-    assert_eq!(
-        t.itinerary(MsgId(0)),
-        vec![w.by(2), w.by(4), w.by(7)],
-    );
+    assert_eq!(t.itinerary(MsgId(0)), vec![w.by(2), w.by(4), w.by(7)],);
 }

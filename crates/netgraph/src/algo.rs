@@ -186,7 +186,7 @@ mod tests {
         let t = path(5); // switches 0..4 in a line
         assert_eq!(switch_diameter(&t), 4);
         assert_eq!(eccentricity(&t, NodeId(2)), 3); // to end processors
-        // Center of the path is switch 2.
+                                                    // Center of the path is switch 2.
         assert_eq!(min_eccentricity_switch(&t), Some(NodeId(2)));
     }
 

@@ -143,10 +143,9 @@ impl IrregularConfig {
         for attempt in 0..self.max_retries {
             // Derive a fresh stream per attempt so retries are independent
             // but the whole procedure stays a pure function of `seed`.
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(
-                    seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64 + 1),
-                );
+            let mut rng = rand::rngs::StdRng::seed_from_u64(
+                seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64 + 1),
+            );
             let mut pick = cells.clone();
             pick.shuffle(&mut rng);
             pick.truncate(self.switches);
@@ -217,10 +216,7 @@ mod tests {
     fn switch_links_capped_at_four() {
         let t = IrregularConfig::with_switches(128).generate(42);
         for s in t.switches() {
-            let switch_links = t
-                .neighbors(s)
-                .filter(|n| t.is_switch(*n))
-                .count();
+            let switch_links = t.neighbors(s).filter(|n| t.is_switch(*n)).count();
             assert!(switch_links <= 4, "lattice adjacency limits switch links");
             // 8-port budget: ≤4 switch links + 1 processor.
             assert!(t.degree(s) <= 5);

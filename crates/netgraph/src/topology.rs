@@ -208,8 +208,7 @@ impl Topology {
     ///
     /// Panics if `p` is not a processor.
     pub fn switch_of(&self, p: NodeId) -> NodeId {
-        self.host_switch[p.index()]
-            .unwrap_or_else(|| panic!("{p} is not an attached processor"))
+        self.host_switch[p.index()].unwrap_or_else(|| panic!("{p} is not an attached processor"))
     }
 
     /// Degree of `node` in links (pairs of channels).
@@ -225,9 +224,7 @@ impl Topology {
             match self.kind(n) {
                 NodeKind::Processor => {
                     let ok = self.degree(n) == 1
-                        && self
-                            .neighbors(n)
-                            .all(|m| self.kind(m) == NodeKind::Switch);
+                        && self.neighbors(n).all(|m| self.kind(m) == NodeKind::Switch);
                     if !ok {
                         return Err(TopologyError::BadProcessorAttachment(n));
                     }
@@ -334,7 +331,10 @@ impl TopologyBuilder {
 
     /// Number of links incident to `n` so far (port usage).
     pub fn degree(&self, n: NodeId) -> usize {
-        self.links.iter().filter(|&&(a, b)| a == n || b == n).count()
+        self.links
+            .iter()
+            .filter(|&&(a, b)| a == n || b == n)
+            .count()
     }
 
     /// Finalizes the topology. Channel ids are assigned in link-insertion
@@ -438,7 +438,11 @@ mod tests {
     fn adjacency_is_sorted_and_consistent() {
         let t = tiny();
         for n in t.nodes() {
-            let dsts: Vec<_> = t.out_channels(n).iter().map(|c| t.channel(*c).dst).collect();
+            let dsts: Vec<_> = t
+                .out_channels(n)
+                .iter()
+                .map(|c| t.channel(*c).dst)
+                .collect();
             let mut sorted = dsts.clone();
             sorted.sort();
             assert_eq!(dsts, sorted, "out channels of {n} sorted by dst");

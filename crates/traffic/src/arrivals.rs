@@ -87,10 +87,7 @@ impl NegativeBinomial {
         assert!(rate > 0.0 && r >= 1 && slot > Duration::ZERO);
         let mean_gap_ns = 1_000.0 / rate;
         let mean_slots = mean_gap_ns / slot.as_ns() as f64;
-        assert!(
-            mean_slots >= 1.0,
-            "arrival rate too high for the slot size"
-        );
+        assert!(mean_slots >= 1.0, "arrival rate too high for the slot size");
         NegativeBinomial {
             r,
             p: r as f64 / (r as f64 + mean_slots),
@@ -129,7 +126,10 @@ mod tests {
 
     fn empirical_mean<P: ArrivalProcess>(p: &P, n: usize, seed: u64) -> f64 {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p.next_gap(&mut rng).as_ns() as f64).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| p.next_gap(&mut rng).as_ns() as f64)
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]

@@ -113,14 +113,12 @@ impl MixedTrafficConfig {
 
     fn draw_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
         match self.arrival {
-            ArrivalKind::NegativeBinomial { r } => {
-                NegativeBinomial::with_rate_per_us(
-                    self.rate_per_node_per_us,
-                    r,
-                    Duration::from_ns(10),
-                )
-                .next_gap(rng)
-            }
+            ArrivalKind::NegativeBinomial { r } => NegativeBinomial::with_rate_per_us(
+                self.rate_per_node_per_us,
+                r,
+                Duration::from_ns(10),
+            )
+            .next_gap(rng),
             ArrivalKind::Poisson => {
                 Poisson::with_rate_per_us(self.rate_per_node_per_us).next_gap(rng)
             }

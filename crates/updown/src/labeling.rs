@@ -329,9 +329,7 @@ fn resolve_root(topo: &Topology, sel: RootSelection) -> NodeId {
     match sel {
         RootSelection::Fixed(n) => n,
         RootSelection::LowestId => topo.switches().next().expect("topology has a switch"),
-        RootSelection::MaxDegree => {
-            algo::max_degree_switch(topo).expect("topology has a switch")
-        }
+        RootSelection::MaxDegree => algo::max_degree_switch(topo).expect("topology has a switch"),
         RootSelection::MinEccentricity => {
             algo::min_eccentricity_switch(topo).expect("topology has a switch")
         }
@@ -350,7 +348,11 @@ mod tests {
     use netgraph::gen::fixtures::figure1;
     use netgraph::gen::regular::mesh2d;
 
-    fn fig1() -> (Topology, netgraph::gen::fixtures::Figure1Labels, UpDownLabeling) {
+    fn fig1() -> (
+        Topology,
+        netgraph::gen::fixtures::Figure1Labels,
+        UpDownLabeling,
+    ) {
         let (t, l) = figure1();
         let root = l.by_label(1).unwrap();
         let ud = UpDownLabeling::build(&t, RootSelection::Fixed(root));

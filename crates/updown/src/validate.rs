@@ -52,10 +52,7 @@ fn is_acyclic(topo: &Topology, keep: impl Fn(netgraph::ChannelId) -> bool) -> bo
             indeg[topo.channel(c).dst.index()] += 1;
         }
     }
-    let mut queue: Vec<NodeId> = topo
-        .nodes()
-        .filter(|v| indeg[v.index()] == 0)
-        .collect();
+    let mut queue: Vec<NodeId> = topo.nodes().filter(|v| indeg[v.index()] == 0).collect();
     let mut removed = 0usize;
     while let Some(u) = queue.pop() {
         removed += 1;

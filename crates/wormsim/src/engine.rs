@@ -213,8 +213,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         let mut deadlock: Option<DeadlockInfo> = None;
         while let Some(next_time) = self.sched.peek_time() {
             // Watchdog: real-flit progress must occur while work is active.
-            if self.active > 0
-                && next_time.saturating_since(self.last_progress) > self.cfg.watchdog
+            if self.active > 0 && next_time.saturating_since(self.last_progress) > self.cfg.watchdog
             {
                 deadlock = Some(self.deadlock_info(next_time, false));
                 break;
@@ -330,9 +329,13 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             .branch_state
             .remove(&(msg, in_ch))
             .expect("header state travels with the worm");
-        let decision =
-            self.routing
-                .route(self.topo, node, in_ch, &header, &self.msgs[msg.index()].spec);
+        let decision = self.routing.route(
+            self.topo,
+            node,
+            in_ch,
+            &header,
+            &self.msgs[msg.index()].spec,
+        );
         assert!(
             !decision.requests.is_empty(),
             "routing returned no channels for {msg} at {node}"

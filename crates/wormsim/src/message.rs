@@ -105,9 +105,8 @@ impl MessageSpec {
         if self.dests.is_empty() {
             return Err(SpecError::NoDestinations);
         }
-        let is_proc = |n: NodeId| {
-            n.index() < topo.num_nodes() && topo.kind(n) == NodeKind::Processor
-        };
+        let is_proc =
+            |n: NodeId| n.index() < topo.num_nodes() && topo.kind(n) == NodeKind::Processor;
         if !is_proc(self.src) {
             return Err(SpecError::SourceNotProcessor(self.src));
         }
@@ -147,7 +146,9 @@ mod tests {
     fn valid_specs_pass() {
         let (t, _, p0, p1) = topo();
         MessageSpec::unicast(p0, p1, 128).validate(&t).unwrap();
-        MessageSpec::multicast(p1, vec![p0], 2).validate(&t).unwrap();
+        MessageSpec::multicast(p1, vec![p0], 2)
+            .validate(&t)
+            .unwrap();
     }
 
     #[test]

@@ -69,8 +69,12 @@ pub trait CompletionHook {
     /// Called once per message, at the instant its tail reaches its last
     /// destination. Returned specs are submitted with their `gen_time`
     /// (must be ≥ `completed_at`).
-    fn on_complete(&mut self, msg: MsgId, spec: &MessageSpec, completed_at: Time)
-        -> Vec<MessageSpec>;
+    fn on_complete(
+        &mut self,
+        msg: MsgId,
+        spec: &MessageSpec,
+        completed_at: Time,
+    ) -> Vec<MessageSpec>;
 }
 
 /// A [`CompletionHook`] that does nothing.

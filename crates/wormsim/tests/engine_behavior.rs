@@ -349,9 +349,11 @@ impl CompletionHook for ReplyHook {
     fn on_complete(&mut self, _m: MsgId, spec: &MessageSpec, at: Time) -> Vec<MessageSpec> {
         if spec.tag == 0 {
             self.replies_sent += 1;
-            vec![MessageSpec::unicast(spec.dests[0], spec.src, self.reply_len)
-                .tag(1)
-                .at(at)]
+            vec![
+                MessageSpec::unicast(spec.dests[0], spec.src, self.reply_len)
+                    .tag(1)
+                    .at(at),
+            ]
         } else {
             Vec::new()
         }
@@ -391,12 +393,9 @@ fn deeper_buffers_never_hurt_latency() {
         path.extend(&c.s);
         path.push(c.p[4]);
         oracle.add_unicast_path(0, &path);
-        let mut sim = NetworkSim::new(
-            &c.topo,
-            oracle,
-            SimConfig::paper().with_buffers(inp, outp),
-        );
-        sim.submit(MessageSpec::unicast(c.p[0], c.p[4], 128)).unwrap();
+        let mut sim = NetworkSim::new(&c.topo, oracle, SimConfig::paper().with_buffers(inp, outp));
+        sim.submit(MessageSpec::unicast(c.p[0], c.p[4], 128))
+            .unwrap();
         let out = sim.run();
         assert!(out.all_delivered());
         out.messages[0].latency().unwrap().as_ns()
@@ -413,10 +412,7 @@ fn identical_runs_are_bit_identical() {
         let net = star(3);
         let mut oracle = OracleRouting::new(&net.topo);
         for (tag, leaf) in [(0u64, 1usize), (1, 2), (2, 3)] {
-            oracle.add_unicast_path(
-                tag,
-                &[net.p[0], net.s[0], net.s[leaf], net.p[leaf]],
-            );
+            oracle.add_unicast_path(tag, &[net.p[0], net.s[0], net.s[leaf], net.p[leaf]]);
         }
         let mut sim = NetworkSim::new(&net.topo, oracle, SimConfig::paper());
         for tag in 0..3u64 {
@@ -447,7 +443,8 @@ fn flit_accounting_is_exact() {
     let mut oracle = OracleRouting::new(&c.topo);
     oracle.add_unicast_path(0, &[c.p[0], c.s[0], c.s[1], c.s[2], c.p[2]]);
     let mut sim = NetworkSim::new(&c.topo, oracle, SimConfig::paper());
-    sim.submit(MessageSpec::unicast(c.p[0], c.p[2], 100)).unwrap();
+    sim.submit(MessageSpec::unicast(c.p[0], c.p[2], 100))
+        .unwrap();
     let out = sim.run();
     assert_eq!(out.counters.flits_delivered, 100);
     assert_eq!(out.counters.bubbles_created, 0);
@@ -469,7 +466,8 @@ fn extra_header_flits_lengthen_worms_predictably() {
             oracle,
             SimConfig::paper().with_extra_header_flits(extra),
         );
-        sim.submit(MessageSpec::unicast(c.p[0], c.p[2], 128)).unwrap();
+        sim.submit(MessageSpec::unicast(c.p[0], c.p[2], 128))
+            .unwrap();
         let out = sim.run();
         assert!(out.all_delivered());
         out.messages[0].latency().unwrap().as_ns()
@@ -487,7 +485,8 @@ fn channel_crossings_account_for_all_wire_traffic() {
     let mut oracle = OracleRouting::new(&c.topo);
     oracle.add_unicast_path(0, &[c.p[0], c.s[0], c.s[1], c.p[1]]);
     let mut sim = NetworkSim::new(&c.topo, oracle, SimConfig::paper());
-    sim.submit(MessageSpec::unicast(c.p[0], c.p[1], 64)).unwrap();
+    sim.submit(MessageSpec::unicast(c.p[0], c.p[1], 64))
+        .unwrap();
     let out = sim.run();
     assert!(out.all_delivered());
     let total: u64 = out.channel_crossings.iter().sum();

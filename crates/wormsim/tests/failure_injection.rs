@@ -6,9 +6,7 @@
 use desim::{Duration, Time};
 use netgraph::{ChannelId, NodeId, Topology};
 use wormsim::routing::OracleRouting;
-use wormsim::{
-    MessageSpec, NetworkSim, RouteDecision, RoutingAlgorithm, SimConfig, SpecError,
-};
+use wormsim::{MessageSpec, NetworkSim, RouteDecision, RoutingAlgorithm, SimConfig, SpecError};
 
 fn line2() -> (Topology, [NodeId; 4]) {
     let mut b = Topology::builder();

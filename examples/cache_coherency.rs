@@ -57,10 +57,8 @@ fn ownership_latency_spam(
 ) -> f64 {
     let spam = SpamRouting::new(topo, ud);
     let mut sim = NetworkSim::new(topo, spam, SimConfig::paper());
-    sim.submit(
-        MessageSpec::multicast(home, sharers.to_vec(), 16).tag(INVALIDATE_TAG),
-    )
-    .unwrap();
+    sim.submit(MessageSpec::multicast(home, sharers.to_vec(), 16).tag(INVALIDATE_TAG))
+        .unwrap();
     let mut hook = AckOnInvalidate { home };
     let out = sim.run_with_hook(&mut hook);
     assert!(out.all_delivered());
@@ -110,11 +108,13 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
 
     println!("write-ownership latency (invalidate all sharers + collect acks):\n");
-    println!("{:>8} {:>14} {:>16} {:>8}", "sharers", "SPAM (µs)", "unicasts (µs)", "ratio");
+    println!(
+        "{:>8} {:>14} {:>16} {:>8}",
+        "sharers", "SPAM (µs)", "unicasts (µs)", "ratio"
+    );
     for k in [2usize, 4, 8, 16, 32] {
         let home = procs[0];
-        let mut sharers: Vec<NodeId> =
-            procs.iter().copied().filter(|&p| p != home).collect();
+        let mut sharers: Vec<NodeId> = procs.iter().copied().filter(|&p| p != home).collect();
         sharers.shuffle(&mut rng);
         sharers.truncate(k);
         let spam_us = ownership_latency_spam(&topo, &ud, home, &sharers);

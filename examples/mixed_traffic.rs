@@ -34,9 +34,7 @@ fn main() {
             let out = sim.run();
             assert!(out.all_delivered(), "deadlock at rate {rate}, k {k}");
             let warmup = (messages / 10) as u64;
-            let mean = out
-                .mean_latency_us(|m| m.spec.tag >= warmup)
-                .unwrap();
+            let mean = out.mean_latency_us(|m| m.spec.tag >= warmup).unwrap();
             row.push_str(&format!(" {mean:>12.2}"));
         }
         println!("{row}");

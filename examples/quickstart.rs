@@ -11,7 +11,8 @@ fn main() {
     // 1. A 64-switch NOW on a random integer lattice, one workstation per
     //    switch, 8-port switches (§4 of the paper).
     let topo = IrregularConfig::with_switches(64).generate(2024);
-    topo.validate(8).expect("generator respects the port budget");
+    topo.validate(8)
+        .expect("generator respects the port budget");
     println!(
         "network: {} switches, {} processors, {} unidirectional channels",
         topo.num_switches(),

@@ -1,0 +1,212 @@
+#![warn(missing_docs)]
+
+//! # criterion (workspace shim)
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the Criterion.rs API the workspace's benches use
+//! ([`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`criterion_group!`], [`criterion_main!`]) backed by a simple wall-clock
+//! timing loop instead of Criterion's statistical machinery.
+//!
+//! Each benchmark is warmed up once, then run in batches until a time budget
+//! (default 300 ms, `CRITERION_SHIM_BUDGET_MS` to override) is exhausted; the
+//! mean per-iteration time is printed. Good enough to rank implementations
+//! and spot order-of-magnitude regressions; swap in real Criterion for
+//! publication-grade statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Formats a per-iteration duration with a human-friendly unit.
+fn fmt_per_iter(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    name: String,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, printing the mean wall-clock cost per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also seeds the batch-size estimate).
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+
+        let mut iters: u64 = 1;
+        let mut elapsed = first;
+        let per_batch = (self.budget.as_nanos() / 10 / first.as_nanos()).clamp(1, 10_000) as u64;
+        while elapsed < self.budget {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            elapsed += t.elapsed();
+            iters += per_batch;
+        }
+        let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        println!(
+            "bench: {:<44} {:>12}/iter  ({iters} iters)",
+            self.name,
+            fmt_per_iter(per_iter)
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's stopping rule is a time
+    /// budget, so the requested sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored by the shim.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against `input` under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            name: format!("{}/{}", self.name, id.id),
+            budget: budget(),
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Benchmarks `f` under `id` (a [`BenchmarkId`] or string) in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            name: format!("{}/{}", self.name, id.into().id),
+            budget: budget(),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            name: name.to_string(),
+            budget: budget(),
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box` (same as `std::hint`).
+pub use std::hint::black_box;
+
+/// Declares a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; none apply here.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,140 @@
+//! The [`Strategy`] trait and the built-in strategies the workspace uses:
+//! integer ranges, `any::<T>()`, and tuples of strategies.
+
+use crate::test_runner::TestRng;
+use rand::distributions::SampleUniform;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a pure
+/// function of the per-case RNG.
+pub trait Strategy {
+    /// Type of the generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Values producible by [`any`].
+pub trait Arbitrary {
+    /// Generates an unconstrained value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`]: unconstrained values of `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy generating arbitrary values of `T` (`any::<u64>()`, ...).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("strategy::bounds", 0);
+        for _ in 0..2_000 {
+            let a = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&a));
+            let b = (2u32..=40).generate(&mut rng);
+            assert!((2..=40).contains(&b));
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::for_case("strategy::tuples", 1);
+        let (flag, x) = (any::<bool>(), 0u64..500).generate(&mut rng);
+        let _: bool = flag;
+        assert!(x < 500);
+        let (a, v, c, d) = (
+            any::<u32>(),
+            crate::collection::vec(any::<u32>(), 1..5),
+            2u32..40,
+            0u64..30_000,
+        )
+            .generate(&mut rng);
+        let _ = a;
+        assert!((1..5).contains(&v.len()));
+        assert!((2..40).contains(&c));
+        assert!(d < 30_000);
+    }
+}

@@ -1,0 +1,287 @@
+#![warn(missing_docs)]
+
+//! # rand (workspace shim)
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the *exact* subset of the `rand` 0.8 API surface used by the
+//! SPAM workspace: [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! the [`Rng`] extension trait (`gen_range`, `gen_bool`), and the sequence
+//! helpers [`seq::SliceRandom`] / [`seq::IteratorRandom`].
+//!
+//! The generator is SplitMix64: deterministic, fast, and statistically solid
+//! for simulation workloads. It is **not** the same stream as upstream
+//! `StdRng` (ChaCha12), so seeded values differ from a crates.io build; all
+//! golden values in this workspace were produced with this shim.
+
+/// Low-level uniform random source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`a..b` or `a..=b`; integers or `f64`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1) with full double precision.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Range-sampling support for [`Rng::gen_range`](crate::Rng::gen_range).
+
+    use super::{unit_f64, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types with a uniform sampler over half-open and inclusive ranges.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform sample from `[lo, hi)`.
+        fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+        /// Uniform sample from `[lo, hi]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let span = (hi as u128).wrapping_sub(lo as u128);
+                    lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                    lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let v = lo + (hi - lo) * (unit_f64(rng.next_u64()) as $t);
+                    // Guard against rounding up to the excluded endpoint.
+                    if v >= hi { lo } else { v }
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    lo + (hi - lo) * (unit_f64(rng.next_u64()) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_float!(f32, f64);
+
+    /// A range that can produce a uniform sample of `T`.
+    ///
+    /// Blanket-implemented over [`SampleUniform`] (one impl per range shape,
+    /// not per element type) so integer-literal inference flows through
+    /// `gen_range` exactly as it does with the real `rand`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+}
+
+pub mod seq {
+    //! Random selection and permutation of sequences.
+
+    use super::{Rng, RngCore};
+
+    /// Slice extensions: in-place shuffling and uniform element choice.
+    pub trait SliceRandom {
+        /// Element type of the underlying slice.
+        type Item;
+
+        /// Fisher–Yates shuffles the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+
+    /// Iterator extension: uniform choice via reservoir sampling.
+    pub trait IteratorRandom: Iterator + Sized {
+        /// Returns a uniformly random item of the iterator, or `None` if it
+        /// is empty. Consumes the iterator (single pass, O(1) memory).
+        fn choose<R: RngCore + ?Sized>(mut self, rng: &mut R) -> Option<Self::Item> {
+            let mut picked = self.next()?;
+            for (seen, item) in (2usize..).zip(self) {
+                if rng.gen_range(0..seen) == 0 {
+                    picked = item;
+                }
+            }
+            Some(picked)
+        }
+    }
+
+    impl<I: Iterator> IteratorRandom for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::{IteratorRandom, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = crate::rngs::StdRng::seed_from_u64(42);
+        let mut b = crate::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(2u32..=160);
+            assert!((2..=160).contains(&y));
+            let f = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_all_elements_eventually() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(3);
+        let v = [1usize, 2, 3, 4];
+        let mut hit = [false; 4];
+        for _ in 0..200 {
+            hit[*v.as_slice().choose(&mut rng).unwrap() - 1] = true;
+            hit[v.iter().copied().choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
+        assert!(std::iter::empty::<u8>().choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # serde (workspace shim)
+//!
+//! The build environment has no access to crates.io. The workspace only uses
+//! serde as *derive markers* on plain data types (no serialization is ever
+//! performed — results are written as hand-rolled CSV), so this shim provides
+//! empty `Serialize` / `Deserialize` traits plus no-op derive macros that
+//! keep `#[derive(Serialize, Deserialize)]` compiling. If real serialization
+//! is ever needed, swap this path dependency for the crates.io `serde`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; never invoked).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; never invoked).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,17 @@
+//! No-op derive macros backing the workspace `serde` shim: the derives must
+//! parse so `#[derive(Serialize, Deserialize)]` compiles, but no impl is
+//! emitted because nothing in the workspace ever serializes.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -42,13 +42,14 @@ fn seeded_64_node_broadcast_is_pinned() {
     let out = sim.run();
     assert!(out.all_delivered());
     let lat = out.messages[0].latency().unwrap().as_ns();
-    // Golden value for (seed 2024, lowest-id root, min-distance selection).
-    assert_eq!(lat, 12_130);
+    // Golden value for (seed 2024, lowest-id root, min-distance selection),
+    // pinned against the workspace's deterministic SplitMix64 `rand` shim.
+    assert_eq!(lat, 12_230);
     assert_eq!(out.counters.flits_delivered, 128 * 63);
     // Even an idle network produces some bubbles on a broadcast: subtree
     // depths differ, so a branch whose header is still paying router setup
     // transiently blocks its siblings, which then advance on bubbles.
-    assert_eq!(out.counters.bubbles_created, 1_204);
+    assert_eq!(out.counters.bubbles_created, 1_232);
 }
 
 #[test]
@@ -64,8 +65,9 @@ fn seeded_mixed_traffic_run_is_pinned() {
     let out = sim.run();
     assert!(out.all_delivered());
     let mean = out.mean_latency_us(|_| true).unwrap();
-    // Golden mean latency for this exact (topology, stream) pair.
-    let expect = 11.802_480_000_000_005;
+    // Golden mean latency for this exact (topology, stream) pair, pinned
+    // against the workspace's deterministic SplitMix64 `rand` shim.
+    let expect = 11.709_800_000_000_005;
     assert!(
         (mean - expect).abs() < 1e-6,
         "mean latency drifted: {mean} vs {expect}"

@@ -31,10 +31,8 @@ fn figure1_walkthrough_end_to_end() {
 
     // The §3.2 worked example plus simultaneous reverse traffic.
     let mut sim = NetworkSim::new(&topo, spam, SimConfig::paper());
-    sim.submit(
-        MessageSpec::multicast(by(5), vec![by(8), by(9), by(10), by(11)], 128).tag(0),
-    )
-    .unwrap();
+    sim.submit(MessageSpec::multicast(by(5), vec![by(8), by(9), by(10), by(11)], 128).tag(0))
+        .unwrap();
     sim.submit(MessageSpec::unicast(by(11), by(5), 128).tag(1))
         .unwrap();
     sim.submit(MessageSpec::unicast(by(8), by(10), 128).tag(2))
@@ -72,10 +70,12 @@ fn spam_multicast_beats_software_multicast_end_to_end() {
     let soft_us = um.makespan(&soft_out).unwrap().as_us_f64();
 
     // 32 destinations: bound is 6 startups = 60 µs; SPAM ~12 µs.
-    let bound =
-        lower_bound::software_multicast_lower_bound(32, Duration::from_us(10)).as_us_f64();
+    let bound = lower_bound::software_multicast_lower_bound(32, Duration::from_us(10)).as_us_f64();
     assert!(spam_us < 15.0, "SPAM {spam_us} µs");
-    assert!(soft_us >= bound * 0.99, "software {soft_us} vs bound {bound}");
+    assert!(
+        soft_us >= bound * 0.99,
+        "software {soft_us} vs bound {bound}"
+    );
     assert!(
         soft_us / spam_us > 3.0,
         "expected a clear hardware-multicast win: {spam_us} vs {soft_us}"
@@ -86,12 +86,7 @@ fn spam_multicast_beats_software_multicast_end_to_end() {
 fn mixed_traffic_pipeline_with_stats_protocol() {
     // Run the §4 statistics protocol end-to-end at smoke scale: replicate
     // a mixed-traffic point until the CI is within 5 %.
-    let mut ctl = simstats::PrecisionController::new(
-        0.05,
-        simstats::ConfidenceLevel::P95,
-        3,
-        40,
-    );
+    let mut ctl = simstats::PrecisionController::new(0.05, simstats::ConfidenceLevel::P95, 3, 40);
     let mut rep = 0u64;
     while !ctl.satisfied() {
         rep += 1;
