@@ -257,6 +257,7 @@ mod tests {
         let empty = wormsim::SimOutcome {
             messages: vec![],
             deadlock: None,
+            error: None,
             end_time: Time::ZERO,
             counters: Default::default(),
             channel_crossings: Vec::new(),

@@ -15,7 +15,7 @@ use netgraph::{ChannelId, NodeId, Topology};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use updown::{BitMatrix, ChannelClass, UpDownLabeling};
-use wormsim::{MessageSpec, RouteDecision, RoutingAlgorithm};
+use wormsim::{MessageSpec, RouteDecision, RouteError, RoutingAlgorithm};
 
 /// Routing phase: up channels first, then down channels only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,15 +165,19 @@ impl<'a> UpDownUnicastRouting<'a> {
 impl RoutingAlgorithm for UpDownUnicastRouting<'_> {
     type Header = UdHeader;
 
-    fn initial_header(&self, spec: &MessageSpec) -> UdHeader {
+    fn initial_header(&self, spec: &MessageSpec) -> Result<UdHeader, RouteError> {
         assert!(
             spec.is_unicast(),
             "up*/down* baseline routes unicasts only; use a multicast scheme on top"
         );
-        UdHeader {
-            target: spec.dests[0],
-            phase: UdPhase::Up,
+        let target = spec.dests[0];
+        if !self.ud.is_labeled(target) {
+            return Err(RouteError::UnreachableDestination { dest: target });
         }
+        Ok(UdHeader {
+            target,
+            phase: UdPhase::Up,
+        })
     }
 
     fn route(
@@ -183,27 +187,25 @@ impl RoutingAlgorithm for UpDownUnicastRouting<'_> {
         _in_ch: ChannelId,
         header: &UdHeader,
         _spec: &MessageSpec,
-    ) -> RouteDecision<UdHeader> {
+    ) -> Result<RouteDecision<UdHeader>, RouteError> {
         let legal = self.legal_moves(node, header.phase, header.target);
-        assert!(
-            !legal.is_empty(),
-            "up*/down* invariant violated at {node} towards {}",
-            header.target
-        );
         let (ch, phase) = legal
             .into_iter()
             .min_by_key(|&(c, ph)| {
                 let v = self.topo.channel(c).dst;
                 (self.dist(header.target, v, ph), c)
             })
-            .expect("non-empty");
-        RouteDecision::single(
+            .ok_or(RouteError::NoLegalMove {
+                node,
+                target: header.target,
+            })?;
+        Ok(RouteDecision::single(
             ch,
             UdHeader {
                 target: header.target,
                 phase,
             },
-        )
+        ))
     }
 }
 
@@ -295,6 +297,6 @@ mod tests {
         let router = UpDownUnicastRouting::new(&t, &ud);
         let by = |x: u32| l.by_label(x).unwrap();
         let spec = MessageSpec::multicast(by(5), vec![by(8), by(9)], 8);
-        router.initial_header(&spec);
+        let _ = router.initial_header(&spec);
     }
 }

@@ -6,7 +6,8 @@
 //! ```
 
 use spam_bench::ablations::{run_root_selection, AblationConfig};
-use spam_bench::report;
+use spam_bench::report::{self, BenchJson};
+use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -44,4 +45,17 @@ fn main() {
     )
     .expect("write csv");
     println!("-> results/ablation_root.csv (rows in table order)");
+    let bench = BenchJson {
+        name: "ablation_root".to_string(),
+        params: vec![
+            ("switches".to_string(), cfg.switches.to_string()),
+            ("dests".to_string(), dests.to_string()),
+        ],
+        series: rows
+            .iter()
+            .map(|(label, p)| (label.clone(), vec![p.clone()]))
+            .collect(),
+    };
+    let json = report::write_bench_json(Path::new("results"), &bench).expect("write json");
+    println!("-> {}", json.display());
 }

@@ -1,0 +1,108 @@
+//! The static-fault experiment: SPAM vs software multicast on **degraded**
+//! irregular networks — fault rate × multicast size, beyond the paper's
+//! pristine Figures 2–3.
+//!
+//! ```text
+//! cargo run -p spam-bench --bin fault_sweep --release
+//! cargo run -p spam-bench --bin fault_sweep --release -- --quick
+//! cargo run -p spam-bench --bin fault_sweep --release -- --switches 128
+//! ```
+//!
+//! Writes `results/fault_sweep.csv`, `results/BENCH_fault_sweep.json`,
+//! and a root-level `BENCH_fault_sweep.json` copy (the perf-trajectory
+//! record), and prints both curves.
+
+use spam_bench::fault_sweep::{run, write_csv, FaultSweepConfig};
+use spam_bench::report::{self, BenchJson};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let switches: usize = args
+        .iter()
+        .position(|a| a == "--switches")
+        .map(|i| args[i + 1].parse().expect("--switches takes a number"))
+        .unwrap_or(64);
+    let cfg = if quick {
+        FaultSweepConfig::quick(switches)
+    } else {
+        FaultSweepConfig::paper(switches)
+    };
+
+    eprintln!(
+        "fault_sweep: {switches}-switch networks, rates {:?}, multicast sizes {:?}, target CI {}%",
+        cfg.rates,
+        cfg.dest_counts,
+        cfg.target_rel * 100.0
+    );
+    let t0 = std::time::Instant::now();
+    let points = run(&cfg);
+    eprintln!("fault_sweep: finished in {:.1?}", t0.elapsed());
+
+    let csv_path = PathBuf::from("results/fault_sweep.csv");
+    write_csv(&csv_path, &points).expect("write csv");
+
+    let mut series = Vec::new();
+    for &k in &cfg.dest_counts {
+        let spam: Vec<_> = points
+            .iter()
+            .filter(|p| p.dests == k)
+            .map(|p| p.spam.clone())
+            .collect();
+        let soft: Vec<_> = points
+            .iter()
+            .filter(|p| p.dests == k)
+            .map(|p| p.software.clone())
+            .collect();
+        series.push((format!("SPAM k={k}"), spam));
+        series.push((format!("software k={k}"), soft));
+    }
+    println!(
+        "{}",
+        report::ascii_plot(
+            &format!(
+                "Fault sweep — multicast latency vs link-fault rate, \
+                 {switches}-switch degraded networks (largest component)"
+            ),
+            "link-fault rate",
+            "latency (µs)",
+            &series,
+            18,
+        )
+    );
+    println!(
+        "  {:>6} {:>5} {:>11} {:>11} {:>8} {:>10}",
+        "rate", "k", "SPAM (µs)", "soft (µs)", "speedup", "comp-frac"
+    );
+    for p in &points {
+        println!(
+            "  {:>6.2} {:>5} {:>11.3} {:>11.3} {:>7.2}x {:>10.3}",
+            p.rate,
+            p.dests,
+            p.spam.mean,
+            p.software.mean,
+            p.software.mean / p.spam.mean,
+            p.component_fraction
+        );
+    }
+
+    let bench = BenchJson {
+        name: "fault_sweep".to_string(),
+        params: vec![
+            ("switches".to_string(), switches.to_string()),
+            ("len_flits".to_string(), cfg.len.to_string()),
+            ("target_rel".to_string(), cfg.target_rel.to_string()),
+            ("max_reps".to_string(), cfg.max_reps.to_string()),
+            ("seed".to_string(), cfg.seed.to_string()),
+            ("quick".to_string(), quick.to_string()),
+        ],
+        series,
+    };
+    let json_path = report::write_bench_json(Path::new("results"), &bench).expect("write json");
+    // Root-level copy: the machine-readable perf-trajectory record lives
+    // next to CHANGES.md so run-over-run diffs don't dig through results/.
+    std::fs::copy(&json_path, "BENCH_fault_sweep.json").expect("copy json to repo root");
+    println!("-> {}", csv_path.display());
+    println!("-> {} (+ ./BENCH_fault_sweep.json)", json_path.display());
+}

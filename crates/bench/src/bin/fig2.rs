@@ -7,11 +7,12 @@
 //! cargo run -p spam-bench --bin fig2 --release -- --quick # loose CIs
 //! ```
 //!
-//! Writes `results/fig2_<nodes>.csv` and prints the curves.
+//! Writes `results/fig2_<nodes>.csv` plus the machine-readable
+//! `results/BENCH_fig2.json`, and prints the curves.
 
 use spam_bench::fig2::{run, Fig2Config};
-use spam_bench::report;
-use std::path::PathBuf;
+use spam_bench::report::{self, BenchJson};
+use std::path::{Path, PathBuf};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,6 +22,7 @@ fn main() {
         None => vec![128, 256],
     };
 
+    let mut json_series = Vec::new();
     for n in nodes {
         let cfg = if quick {
             Fig2Config::quick(n)
@@ -64,5 +66,13 @@ fn main() {
             );
         }
         println!("  -> {}", path.display());
+        json_series.push((format!("{n}-node"), points));
     }
+    let bench = BenchJson {
+        name: "fig2".to_string(),
+        params: vec![("quick".to_string(), quick.to_string())],
+        series: json_series,
+    };
+    let json = report::write_bench_json(Path::new("results"), &bench).expect("write json");
+    println!("  -> {}", json.display());
 }

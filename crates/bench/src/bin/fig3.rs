@@ -8,11 +8,12 @@
 //! cargo run -p spam-bench --bin fig3 --release -- --messages 2000
 //! ```
 //!
-//! Writes `results/fig3_k<dests>.csv` per curve and prints the figure.
+//! Writes `results/fig3_k<dests>.csv` per curve plus the machine-readable
+//! `results/BENCH_fig3.json`, and prints the figure.
 
 use spam_bench::fig3::{run, Fig3Config};
-use spam_bench::report;
-use std::path::PathBuf;
+use spam_bench::report::{self, BenchJson};
+use std::path::{Path, PathBuf};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -72,4 +73,18 @@ fn main() {
             );
         }
     }
+    let bench = BenchJson {
+        name: "fig3".to_string(),
+        params: vec![
+            ("switches".to_string(), cfg.switches.to_string()),
+            ("messages".to_string(), cfg.messages.to_string()),
+            ("quick".to_string(), quick.to_string()),
+        ],
+        series: curves
+            .iter()
+            .map(|(k, pts)| (format!("{k} destinations"), pts.clone()))
+            .collect(),
+    };
+    let json = report::write_bench_json(Path::new("results"), &bench).expect("write json");
+    println!("-> {}", json.display());
 }

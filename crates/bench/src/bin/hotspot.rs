@@ -13,8 +13,10 @@
 //! cargo run -p spam-bench --release --bin hotspot [-- --nodes 128]
 //! ```
 
-use spam_bench::paper_network;
+use spam_bench::report::{self, BenchJson};
+use spam_bench::{paper_network, PointSummary};
 use spam_core::{mean_adaptivity, path_stretch, root_transit_probability, SpamRouting};
+use std::path::Path;
 use updown::{RootSelection, UpDownLabeling};
 
 fn main() {
@@ -27,6 +29,7 @@ fn main() {
     let topo = paper_network(nodes, 0xE0);
 
     println!("root hot-spot analysis, {nodes}-node §4 network (500 samples per cell)\n");
+    let mut json_series: Vec<(String, Vec<PointSummary>)> = Vec::new();
     for (name, sel) in [
         ("lowest-id", RootSelection::LowestId),
         ("max-degree", RootSelection::MaxDegree),
@@ -51,6 +54,7 @@ fn main() {
             .filter(|&k| k < nodes - 1)
             .chain([nodes - 1])
             .collect();
+        let mut points = Vec::new();
         for k in ks {
             let r = root_transit_probability(&topo, &ud, &spam, k, 500, 0xE1);
             println!(
@@ -58,9 +62,24 @@ fn main() {
                 r.lca_is_root * 100.0,
                 r.must_cross_root * 100.0
             );
+            points.push(PointSummary {
+                x: k as f64,
+                mean: r.must_cross_root,
+                ci_half_width: 0.0,
+                reps: r.samples as u64,
+                target_met: true,
+            });
         }
+        json_series.push((format!("must_cross_root {name}"), points));
         println!();
     }
+    let bench = BenchJson {
+        name: "hotspot".to_string(),
+        params: vec![("nodes".to_string(), nodes.to_string())],
+        series: json_series,
+    };
+    let json = report::write_bench_json(Path::new("results"), &bench).expect("write json");
+    println!("-> {}", json.display());
     println!("(the growth of both columns with the destination count is the §5");
     println!(" hot-spot argument; destination partitioning — ablation C — is the");
     println!(" paper's proposed mitigation)");

@@ -36,8 +36,16 @@ pub struct BroadcastRow {
     pub speedup_vs_bound: f64,
     /// `software_us / spam_us` — the end-to-end measured ratio.
     pub speedup_vs_software: f64,
-    /// Replications.
+    /// SPAM-arm replications (CI-controlled).
     pub reps: u64,
+    /// 95 % CI half-width of the SPAM mean, µs.
+    pub spam_ci_us: f64,
+    /// Whether the SPAM arm met its precision target within budget.
+    pub spam_target_met: bool,
+    /// Software-arm replications (fixed count, not CI-controlled).
+    pub software_reps: u64,
+    /// 95 % CI half-width of the software mean, µs.
+    pub software_ci_us: f64,
 }
 
 /// SPAM broadcast latency (µs) for one seeded replication.
@@ -104,6 +112,12 @@ pub fn run_row(switches: usize, target_rel: f64, max_reps: u64, seed: u64) -> Br
         speedup_vs_bound: bound_d_us / spam_us,
         speedup_vs_software: software_us / spam_us,
         reps: spam_ctl.count(),
+        spam_ci_us: spam_ctl.interval().map(|ci| ci.half_width).unwrap_or(0.0),
+        spam_target_met: spam_ctl.met_target(),
+        software_reps: soft_reps,
+        software_ci_us: simstats::ConfidenceInterval::from_stats(&soft, ConfidenceLevel::P95)
+            .map(|ci| ci.half_width)
+            .unwrap_or(0.0),
     }
 }
 

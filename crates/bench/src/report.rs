@@ -1,10 +1,12 @@
-//! Result output: CSV files plus terminal-friendly ASCII plots, so every
-//! figure binary both archives its data and shows the curve shape inline.
+//! Result output: CSV files, terminal-friendly ASCII plots, and the
+//! machine-readable `BENCH_<name>.json` records, so every figure binary
+//! archives its data (human- and machine-readable) and shows the curve
+//! shape inline.
 
 use crate::PointSummary;
 use std::fmt::Write as _;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Writes `(x, mean, ci, reps)` rows as CSV.
 pub fn write_csv(path: &Path, header: &str, rows: &[PointSummary]) -> std::io::Result<()> {
@@ -21,6 +23,98 @@ pub fn write_csv(path: &Path, header: &str, rows: &[PointSummary]) -> std::io::R
         )?;
     }
     Ok(())
+}
+
+/// A machine-readable benchmark record. Every figure binary emits one as
+/// `BENCH_<name>.json` next to its CSVs via [`write_bench_json`], seeding
+/// the repo's perf-trajectory record: same schema across binaries, so
+/// tooling can diff runs over time without parsing per-binary CSVs.
+#[derive(Debug, Clone)]
+pub struct BenchJson {
+    /// Benchmark name; the file is `BENCH_<name>.json`.
+    pub name: String,
+    /// Free-form configuration key/value pairs (sizes, seeds, CI targets).
+    pub params: Vec<(String, String)>,
+    /// Named data series, each a list of summarized points.
+    pub series: Vec<(String, Vec<PointSummary>)>,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite JSON number, or `null` (JSON has no NaN/inf).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` is the shortest round-trippable representation.
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Writes `dir/BENCH_<name>.json`, returning the path.
+///
+/// The workspace's `serde` is a no-op offline shim, so the JSON is
+/// hand-rolled here — one schema for every benchmark binary.
+pub fn write_bench_json(dir: &Path, bench: &BenchJson) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{}.json", bench.name));
+    let mut body = String::new();
+    writeln!(body, "{{").unwrap();
+    writeln!(body, "  \"schema\": 1,").unwrap();
+    writeln!(body, "  \"name\": \"{}\",", json_escape(&bench.name)).unwrap();
+    writeln!(body, "  \"params\": {{").unwrap();
+    for (i, (k, v)) in bench.params.iter().enumerate() {
+        let comma = if i + 1 < bench.params.len() { "," } else { "" };
+        writeln!(
+            body,
+            "    \"{}\": \"{}\"{comma}",
+            json_escape(k),
+            json_escape(v)
+        )
+        .unwrap();
+    }
+    writeln!(body, "  }},").unwrap();
+    writeln!(body, "  \"series\": [").unwrap();
+    for (si, (name, points)) in bench.series.iter().enumerate() {
+        writeln!(body, "    {{").unwrap();
+        writeln!(body, "      \"name\": \"{}\",", json_escape(name)).unwrap();
+        writeln!(body, "      \"points\": [").unwrap();
+        for (pi, p) in points.iter().enumerate() {
+            let comma = if pi + 1 < points.len() { "," } else { "" };
+            writeln!(
+                body,
+                "        {{\"x\": {}, \"mean\": {}, \"ci_half_width\": {}, \
+                 \"reps\": {}, \"target_met\": {}}}{comma}",
+                json_num(p.x),
+                json_num(p.mean),
+                json_num(p.ci_half_width),
+                p.reps,
+                p.target_met
+            )
+            .unwrap();
+        }
+        writeln!(body, "      ]").unwrap();
+        let comma = if si + 1 < bench.series.len() { "," } else { "" };
+        writeln!(body, "    }}{comma}").unwrap();
+    }
+    writeln!(body, "  ]").unwrap();
+    writeln!(body, "}}").unwrap();
+    std::fs::write(&path, body)?;
+    Ok(path)
 }
 
 /// Renders one or more named series as an ASCII scatter plot, mimicking
@@ -139,6 +233,42 @@ mod tests {
         assert_eq!(body.lines().count(), 3);
         assert!(body.contains("11.0000"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_json_is_valid_and_complete() {
+        let dir = std::env::temp_dir().join("spam_bench_json_test");
+        let bench = BenchJson {
+            name: "unit_test".to_string(),
+            params: vec![
+                ("switches".to_string(), "64".to_string()),
+                ("note".to_string(), "has \"quotes\"".to_string()),
+            ],
+            series: vec![
+                ("a".to_string(), pts(&[(1.0, 11.0), (2.0, 12.5)])),
+                ("b".to_string(), pts(&[(1.0, 20.0)])),
+            ],
+        };
+        let path = write_bench_json(&dir, &bench).unwrap();
+        assert!(path.ends_with("BENCH_unit_test.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"schema\": 1"));
+        assert!(body.contains("\"switches\": \"64\""));
+        assert!(body.contains("has \\\"quotes\\\""));
+        assert!(body.contains("\"mean\": 12.5"));
+        // Structural sanity: balanced braces/brackets, no trailing commas.
+        assert_eq!(body.matches('{').count(), body.matches('}').count());
+        assert_eq!(body.matches('[').count(), body.matches(']').count());
+        assert!(!body.contains(",\n      ]"));
+        assert!(!body.contains(",\n  }"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_num_handles_non_finite() {
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
     }
 
     #[test]

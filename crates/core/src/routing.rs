@@ -4,7 +4,7 @@ use crate::tables::{Phase, RoutingTables, UNREACHABLE};
 use netgraph::{ChannelId, NodeId, Topology};
 use std::sync::Arc;
 use updown::{ChannelClass, UpDownLabeling};
-use wormsim::{MessageSpec, RouteDecision, RoutingAlgorithm};
+use wormsim::{MessageSpec, RouteDecision, RouteError, RoutingAlgorithm};
 
 /// How the partially adaptive unicast stage picks among legal channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -189,17 +189,23 @@ impl<'a> SpamRouting<'a> {
 impl RoutingAlgorithm for SpamRouting<'_> {
     type Header = SpamHeader;
 
-    fn initial_header(&self, spec: &MessageSpec) -> SpamHeader {
+    fn initial_header(&self, spec: &MessageSpec) -> Result<SpamHeader, RouteError> {
+        // On a degraded network a destination may have been lost to the
+        // dead zone: no labeling covers it, no LCA exists, and no routing
+        // algorithm could reach it — reject before any flit moves.
+        if let Some(&dead) = spec.dests.iter().find(|&&d| !self.ud.is_labeled(d)) {
+            return Err(RouteError::UnreachableDestination { dest: dead });
+        }
         let lca = self
             .ud
             .lca_of(&spec.dests)
-            .expect("validated specs have destinations");
-        SpamHeader {
+            .expect("validated specs have labeled destinations");
+        Ok(SpamHeader {
             dests: spec.dests.clone().into(),
             lca,
             phase: Phase::Up,
             in_tree: false,
-        }
+        })
     }
 
     fn route(
@@ -209,24 +215,26 @@ impl RoutingAlgorithm for SpamRouting<'_> {
         _in_ch: ChannelId,
         header: &SpamHeader,
         spec: &MessageSpec,
-    ) -> RouteDecision<SpamHeader> {
+    ) -> Result<RouteDecision<SpamHeader>, RouteError> {
         // Tree stage: at or below the LCA, split along down tree channels.
         if header.in_tree || node == header.lca {
             let requests = self.tree_requests(node, header);
-            assert!(
-                !requests.is_empty(),
-                "tree stage at {node} found no destination subtrees"
-            );
-            return RouteDecision { requests };
+            if requests.is_empty() {
+                // Theorem 1 guarantees this never fires on a labeled
+                // connected component; it surfaces stale labelings and
+                // out-of-component destinations on degraded networks.
+                return Err(RouteError::NoDestinationSubtree { node });
+            }
+            return Ok(RouteDecision { requests });
         }
         // Unicast stage towards the LCA.
         let legal = self.legal_moves(node, header.phase, header.lca);
-        assert!(
-            !legal.is_empty(),
-            "SPAM invariant violated: no legal move from {node} ({:?}) to {}",
-            header.phase,
-            header.lca
-        );
+        if legal.is_empty() {
+            return Err(RouteError::NoLegalMove {
+                node,
+                target: header.lca,
+            });
+        }
         let (ch, next_phase) = self.select(&legal, header.lca, node, spec.tag);
         debug_assert_ne!(
             self.tables
@@ -234,7 +242,7 @@ impl RoutingAlgorithm for SpamRouting<'_> {
             UNREACHABLE,
             "selected a dead-end channel"
         );
-        RouteDecision::single(
+        Ok(RouteDecision::single(
             ch,
             SpamHeader {
                 dests: header.dests.clone(),
@@ -242,7 +250,7 @@ impl RoutingAlgorithm for SpamRouting<'_> {
                 phase: next_phase,
                 in_tree: false,
             },
-        )
+        ))
     }
 }
 
@@ -269,12 +277,14 @@ mod tests {
         let spam = SpamRouting::new(&t, &ud);
         let by = |x: u32| l.by_label(x).unwrap();
         let spec = MessageSpec::multicast(by(5), vec![by(8), by(9), by(10), by(11)], 128);
-        let h = spam.initial_header(&spec);
+        let h = spam.initial_header(&spec).unwrap();
         assert_eq!(h.lca, by(4));
         assert_eq!(h.phase, Phase::Up);
         assert!(!h.in_tree);
         // Unicast: LCA is the destination itself (§3.2).
-        let u = spam.initial_header(&MessageSpec::unicast(by(5), by(8), 8));
+        let u = spam
+            .initial_header(&MessageSpec::unicast(by(5), by(8), 8))
+            .unwrap();
         assert_eq!(u.lca, by(8));
     }
 

@@ -1,0 +1,211 @@
+//! Reconfiguration: from a fault plan to routable surviving components.
+//!
+//! The Autonet recipe, reproduced: after faults, every surviving
+//! connected component re-runs the up*/down* labeling from a (possibly
+//! re-selected) root. Because each component is connected and its
+//! labeling satisfies the Theorem 1 preconditions, SPAM stays deadlock-
+//! and livelock-free *within* every component; destinations outside a
+//! sender's component are unreachable by any routing algorithm and must
+//! be dropped from destination sets.
+
+use netgraph::{ChannelId, NodeId, Topology};
+use updown::UpDownLabeling;
+
+use crate::model::FaultPlan;
+
+/// One surviving connected component, relabeled and ready to route.
+#[derive(Debug, Clone)]
+pub struct ComponentNet {
+    /// Member nodes (switches and processors), ascending.
+    pub nodes: Vec<NodeId>,
+    /// The spanning-tree root chosen for this component.
+    pub root: NodeId,
+    /// Partial up*/down* labeling of the masked topology covering exactly
+    /// this component.
+    pub labeling: UpDownLabeling,
+}
+
+impl ComponentNet {
+    /// True when `n` survived into this component.
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.nodes.binary_search(&n).is_ok()
+    }
+
+    /// The component's processors, ascending — the valid sources and
+    /// destinations for traffic on this island.
+    pub fn processors(&self, topo: &Topology) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&n| topo.is_processor(n))
+            .collect()
+    }
+
+    /// Number of member switches.
+    pub fn num_switches(&self, topo: &Topology) -> usize {
+        self.nodes.iter().filter(|&&n| topo.is_switch(n)).count()
+    }
+}
+
+/// A degraded network after reconfiguration: the masked topology (node
+/// ids preserved from the base) plus every surviving component with its
+/// rebuilt labeling.
+#[derive(Debug, Clone)]
+pub struct DegradedNetwork {
+    /// The surviving subgraph. Node ids match the base topology; dead
+    /// nodes are present but isolated. Channel ids are recompacted.
+    pub topo: Topology,
+    /// `base channel id → masked channel id` (`None` for dead channels).
+    pub channel_map: Vec<Option<ChannelId>>,
+    /// Surviving components, largest first, each relabeled.
+    pub components: Vec<ComponentNet>,
+}
+
+impl DegradedNetwork {
+    /// Applies `plan` to `base` and reconfigures every surviving
+    /// component.
+    ///
+    /// Root re-selection: a component keeps `preferred_root` (the
+    /// pre-fault root, if the caller had one) when that switch survived
+    /// into it; every other component — including all of them when the
+    /// old root died — gets its lowest-id surviving switch, matching the
+    /// deterministic [`updown::RootSelection::LowestId`] policy.
+    pub fn build(base: &Topology, plan: &FaultPlan, preferred_root: Option<NodeId>) -> Self {
+        let view = plan.apply(base);
+        let (topo, channel_map) = view.masked_topology();
+        let components = view
+            .components()
+            .into_iter()
+            .filter_map(|nodes| {
+                let root = match preferred_root {
+                    Some(r) if nodes.binary_search(&r).is_ok() => r,
+                    _ => nodes.iter().copied().find(|&n| topo.is_switch(n))?,
+                };
+                let labeling = UpDownLabeling::build_partial(&topo, root);
+                debug_assert_eq!(labeling.num_labeled(), nodes.len());
+                Some(ComponentNet {
+                    nodes,
+                    root,
+                    labeling,
+                })
+            })
+            .collect();
+        DegradedNetwork {
+            topo,
+            channel_map,
+            components,
+        }
+    }
+
+    /// The largest surviving component (most nodes; ties broken by the
+    /// smallest member id), or `None` if nothing survived.
+    pub fn largest(&self) -> Option<&ComponentNet> {
+        self.components.first()
+    }
+
+    /// The component containing `n`, if `n` survived.
+    pub fn component_of(&self, n: NodeId) -> Option<&ComponentNet> {
+        self.components.iter().find(|c| c.contains(n))
+    }
+
+    /// Fraction of the base topology's nodes that survived into the
+    /// largest component — the headline resilience number of a fault
+    /// scenario.
+    pub fn largest_component_fraction(&self, base: &Topology) -> f64 {
+        self.largest()
+            .map(|c| c.nodes.len() as f64 / base.num_nodes() as f64)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FaultModel;
+    use netgraph::gen::lattice::IrregularConfig;
+    use updown::{check_acyclic_subnetworks, RootSelection};
+
+    #[test]
+    fn pristine_plan_reproduces_the_base_labeling() {
+        let base = IrregularConfig::with_switches(32).generate(4);
+        let ud = UpDownLabeling::build(&base, RootSelection::LowestId);
+        let net = DegradedNetwork::build(&base, &FaultPlan::default(), Some(ud.root()));
+        assert_eq!(net.components.len(), 1);
+        let c = net.largest().unwrap();
+        assert_eq!(c.root, ud.root());
+        assert_eq!(c.nodes.len(), base.num_nodes());
+        assert_eq!(net.topo.num_channels(), base.num_channels());
+        // Identical channel order → identical classes.
+        for ch in base.channel_ids() {
+            assert_eq!(net.channel_map[ch.index()], Some(ch));
+            assert_eq!(c.labeling.class(ch), ud.class(ch));
+        }
+    }
+
+    #[test]
+    fn dead_root_triggers_reselection() {
+        let base = IrregularConfig::with_switches(32).generate(4);
+        let old_root = UpDownLabeling::build(&base, RootSelection::LowestId).root();
+        let plan = FaultPlan {
+            links: Vec::new(),
+            switches: vec![old_root],
+        };
+        let net = DegradedNetwork::build(&base, &plan, Some(old_root));
+        for c in &net.components {
+            assert_ne!(c.root, old_root);
+            assert!(net.topo.is_switch(c.root));
+            assert!(c.contains(c.root));
+        }
+    }
+
+    #[test]
+    fn components_partition_survivors_and_are_internally_connected() {
+        let base = IrregularConfig::with_switches(64).generate(9);
+        let plan = FaultModel::IidLinks { rate: 0.3 }.sample(&base, None, 17);
+        let net = DegradedNetwork::build(&base, &plan, None);
+        let mut seen = vec![false; base.num_nodes()];
+        for c in &net.components {
+            for &n in &c.nodes {
+                assert!(!seen[n.index()], "{n} in two components");
+                seen[n.index()] = true;
+                assert!(c.labeling.is_labeled(n));
+            }
+            // Theorem 1 preconditions hold on the component's labeling.
+            assert!(check_acyclic_subnetworks(&net.topo, &c.labeling).all_ok());
+        }
+        // Survivors of the masked topology = nodes with alive links.
+        for n in net.topo.nodes() {
+            let in_component = seen[n.index()];
+            assert_eq!(net.topo.degree(n) > 0, in_component, "{n}");
+            assert_eq!(net.component_of(n).is_some(), in_component);
+        }
+    }
+
+    #[test]
+    fn largest_component_fraction_shrinks_with_damage() {
+        let base = IrregularConfig::with_switches(64).generate(2);
+        let light = FaultModel::IidLinks { rate: 0.05 }.sample(&base, None, 3);
+        let heavy = FaultModel::IidLinks { rate: 0.5 }.sample(&base, None, 3);
+        let f_light = DegradedNetwork::build(&base, &light, None).largest_component_fraction(&base);
+        let f_heavy = DegradedNetwork::build(&base, &heavy, None).largest_component_fraction(&base);
+        assert!(f_light > f_heavy);
+        assert!(f_light > 0.8, "5% link faults keep most of the network");
+    }
+
+    #[test]
+    fn region_fault_components_exclude_the_dead_zone() {
+        let (base, layout) = IrregularConfig::with_switches(64).generate_with_layout(5);
+        let plan = FaultModel::Region { radius: 1 }.sample(&base, Some(&layout), 8);
+        let net = DegradedNetwork::build(&base, &plan, None);
+        for c in &net.components {
+            for &s in &plan.switches {
+                assert!(!c.contains(s));
+            }
+        }
+        // Every dead switch strands its processor.
+        for &s in &plan.switches {
+            let p = base.processor_of(s).unwrap();
+            assert!(net.component_of(p).is_none());
+        }
+    }
+}

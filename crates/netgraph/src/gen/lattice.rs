@@ -52,6 +52,33 @@ pub struct IrregularConfig {
     pub max_retries: usize,
 }
 
+/// Lattice placement of a generated irregular network: which cell each
+/// switch occupies. Needed by spatially correlated fault models (a failed
+/// rack/region takes out *adjacent* switches) and by visualization.
+#[derive(Debug, Clone)]
+pub struct LatticeLayout {
+    /// Lattice side length.
+    pub side: usize,
+    /// `cell[s]` is the cell index (`row * side + col`) of switch node
+    /// `s`; indexed by switch node id (switches are ids `0..switches`).
+    pub cell: Vec<usize>,
+}
+
+impl LatticeLayout {
+    /// `(row, col)` of switch `s`.
+    pub fn position(&self, s: NodeId) -> (usize, usize) {
+        let c = self.cell[s.index()];
+        (c / self.side, c % self.side)
+    }
+
+    /// Manhattan (L1) lattice distance between two switches.
+    pub fn manhattan(&self, a: NodeId, b: NodeId) -> usize {
+        let (ra, ca) = self.position(a);
+        let (rb, cb) = self.position(b);
+        ra.abs_diff(rb) + ca.abs_diff(cb)
+    }
+}
+
 impl IrregularConfig {
     /// The paper's setup for `n` switches: ~60 % lattice occupancy,
     /// connected-growth sampling.
@@ -81,6 +108,18 @@ impl IrregularConfig {
     ///
     /// Panics if `side * side < switches`.
     pub fn generate(&self, seed: u64) -> Topology {
+        self.generate_with_layout(seed).0
+    }
+
+    /// Like [`IrregularConfig::generate`], but also returns the
+    /// [`LatticeLayout`] (cell of every switch) — the hook spatially
+    /// correlated fault models need. Same seed, same topology as
+    /// `generate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side * side < switches`.
+    pub fn generate_with_layout(&self, seed: u64) -> (Topology, LatticeLayout) {
         assert!(
             self.side * self.side >= self.switches,
             "lattice too small: {}x{} < {} switches",
@@ -108,7 +147,7 @@ impl IrregularConfig {
         .map(move |(rr, cc)| rr * side + cc)
     }
 
-    fn generate_growth(&self, seed: u64) -> Topology {
+    fn generate_growth(&self, seed: u64) -> (Topology, LatticeLayout) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let cells = self.side * self.side;
         let mut occupied = vec![false; cells];
@@ -135,10 +174,16 @@ impl IrregularConfig {
             frontier.extend(self.cell_neighbors(cell).filter(|c| !occupied[*c]));
         }
         chosen.sort_unstable(); // node ids independent of growth order
-        self.assemble(&chosen)
+        (
+            self.assemble(&chosen),
+            LatticeLayout {
+                side: self.side,
+                cell: chosen,
+            },
+        )
     }
 
-    fn generate_uniform(&self, seed: u64) -> Topology {
+    fn generate_uniform(&self, seed: u64) -> (Topology, LatticeLayout) {
         let cells: Vec<usize> = (0..self.side * self.side).collect();
         for attempt in 0..self.max_retries {
             // Derive a fresh stream per attempt so retries are independent
@@ -152,7 +197,11 @@ impl IrregularConfig {
             pick.sort_unstable();
             let topo = self.assemble(&pick);
             if algo::is_connected(&topo) {
-                return topo;
+                let layout = LatticeLayout {
+                    side: self.side,
+                    cell: pick,
+                };
+                return (topo, layout);
             }
         }
         // Deterministic fallback: a connected instance is always available.
@@ -252,6 +301,36 @@ mod tests {
         let links_a: Vec<_> = a.channel_ids().map(|c| a.channel(c)).collect();
         let links_b: Vec<_> = b.channel_ids().map(|c| b.channel(c)).collect();
         assert_ne!(links_a, links_b);
+    }
+
+    #[test]
+    fn layout_matches_topology_adjacency() {
+        let cfg = IrregularConfig::with_switches(40);
+        let (t, layout) = cfg.generate_with_layout(9);
+        assert_eq!(layout.cell.len(), 40);
+        assert_eq!(layout.side, cfg.side);
+        // Same seed without layout gives the identical topology.
+        let t2 = cfg.generate(9);
+        assert_eq!(t.num_channels(), t2.num_channels());
+        for c in t.channel_ids() {
+            assert_eq!(t.channel(c), t2.channel(c));
+        }
+        // Switches are linked iff their cells are lattice-adjacent.
+        for a in t.switches() {
+            for b in t.switches() {
+                if a >= b {
+                    continue;
+                }
+                let adjacent = layout.manhattan(a, b) == 1;
+                assert_eq!(t.channel_between(a, b).is_some(), adjacent, "{a} vs {b}");
+            }
+        }
+        // All occupied cells are distinct and in range.
+        let mut cells = layout.cell.clone();
+        cells.sort_unstable();
+        cells.dedup();
+        assert_eq!(cells.len(), 40);
+        assert!(cells.iter().all(|&c| c < layout.side * layout.side));
     }
 
     #[test]

@@ -33,9 +33,11 @@
 //! ```
 
 pub mod algo;
+pub mod degraded;
 pub mod gen;
 pub mod ids;
 pub mod topology;
 
+pub use degraded::DegradedTopology;
 pub use ids::{ChannelId, NodeId};
 pub use topology::{Channel, NodeKind, Topology, TopologyBuilder, TopologyError};

@@ -68,6 +68,10 @@ pub struct UpDownLabeling {
     root: NodeId,
     parent: Vec<Option<NodeId>>,
     level: Vec<u32>,
+    /// True for nodes in the root's component. Always all-true for
+    /// labelings from [`UpDownLabeling::build`]; partial labelings (built
+    /// on degraded topologies) leave other components unlabeled.
+    labeled: Vec<bool>,
     class: Vec<ChannelClass>,
     children: Vec<Vec<NodeId>>,
     /// `anc.get(u, v)` ⇔ `u` is an ancestor of `v` (reflexive).
@@ -90,17 +94,45 @@ impl UpDownLabeling {
     pub fn build(topo: &Topology, root_sel: RootSelection) -> Self {
         let root = resolve_root(topo, root_sel);
         assert!(topo.is_switch(root), "root {root} must be a switch");
-
-        let parent_raw = algo::bfs_parents(topo, root);
+        let labeling = Self::build_from_root(topo, root);
         assert!(
-            parent_raw.iter().all(|p| p.is_some()),
+            labeling.labeled.iter().all(|l| *l),
             "up*/down* labeling requires a connected network"
         );
+        labeling
+    }
+
+    /// Builds a **partial** labeling covering only the connected component
+    /// of `root` — the reconfiguration primitive for degraded (faulty)
+    /// topologies, where the network may have split and the old root may
+    /// have died.
+    ///
+    /// Nodes outside the root's component are left unlabeled:
+    /// [`Self::is_labeled`] returns `false`, [`Self::level`] returns
+    /// `u32::MAX`, and [`Self::parent`] returns `None` for them. Channels
+    /// between unlabeled nodes still receive a (consistent, acyclic)
+    /// class so the partition is total, but ancestor/LCA queries are only
+    /// meaningful within the labeled component — label each surviving
+    /// component with its own root instead of mixing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a switch.
+    pub fn build_partial(topo: &Topology, root: NodeId) -> Self {
+        assert!(topo.is_switch(root), "root {root} must be a switch");
+        Self::build_from_root(topo, root)
+    }
+
+    fn build_from_root(topo: &Topology, root: NodeId) -> Self {
+        let parent_raw = algo::bfs_parents(topo, root);
+        let labeled: Vec<bool> = parent_raw.iter().map(|p| p.is_some()).collect();
         let n = topo.num_nodes();
         let mut parent: Vec<Option<NodeId>> = vec![None; n];
-        let mut level = vec![0u32; n];
+        let mut level = vec![u32::MAX; n];
+        level[root.index()] = 0;
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        // bfs_parents encodes the root as its own parent.
+        // bfs_parents encodes the root as its own parent; the BFS order
+        // contains exactly the root's component.
         let order = bfs_order(topo, root);
         for &v in &order {
             let p = parent_raw[v.index()].unwrap();
@@ -124,7 +156,11 @@ impl UpDownLabeling {
             } else if parent[u.index()] == Some(v) {
                 ChannelClass::UpTree
             } else {
-                // Cross channel (switch to switch).
+                // Cross channel (switch to switch). A BFS cannot leave its
+                // component, so either both endpoints are labeled (finite
+                // levels) or both are unlabeled (both u32::MAX, falling
+                // through to the id tie-break — still one up and one down
+                // per link, and still acyclic by strictly increasing id).
                 let (lu, lv) = (level[u.index()], level[v.index()]);
                 if lv < lu || (lv == lu && u > v) {
                     ChannelClass::UpCross
@@ -180,6 +216,7 @@ impl UpDownLabeling {
             root,
             parent,
             level,
+            labeled,
             class,
             children,
             anc,
@@ -199,10 +236,25 @@ impl UpDownLabeling {
         self.parent[v.index()]
     }
 
-    /// Tree depth of `v` (root = 0).
+    /// Tree depth of `v` (root = 0). `u32::MAX` for nodes outside a
+    /// partial labeling's component.
     #[inline]
     pub fn level(&self, v: NodeId) -> u32 {
         self.level[v.index()]
+    }
+
+    /// True when `v` belongs to the labeled component. Always true for
+    /// labelings from [`Self::build`]; partial labelings
+    /// ([`Self::build_partial`]) answer ancestor/LCA queries only for
+    /// labeled nodes.
+    #[inline]
+    pub fn is_labeled(&self, v: NodeId) -> bool {
+        self.labeled[v.index()]
+    }
+
+    /// Number of nodes in the labeled component.
+    pub fn num_labeled(&self) -> usize {
+        self.labeled.iter().filter(|l| **l).count()
     }
 
     /// Tree children of `v`, ascending by id.
@@ -233,6 +285,12 @@ impl UpDownLabeling {
     }
 
     /// Least common ancestor of `a` and `b` in the spanning tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is outside a partial labeling's component
+    /// (there is no common tree). Use [`Self::lca_of`] for a total
+    /// variant.
     pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
         let (mut x, mut y) = (a, b);
         while self.level[x.index()] > self.level[y.index()] {
@@ -248,12 +306,17 @@ impl UpDownLabeling {
         x
     }
 
-    /// Least common ancestor of a set of nodes; `None` for the empty set.
+    /// Least common ancestor of a set of nodes; `None` for the empty set
+    /// **or when any node lies outside the labeled component** (a partial
+    /// labeling has no tree covering it, so no LCA exists).
     ///
     /// For a single destination this is the destination itself, which is
     /// exactly why "the multicast algorithm simply reduces to the unicast
     /// algorithm" (§3.2).
     pub fn lca_of(&self, nodes: &[NodeId]) -> Option<NodeId> {
+        if !nodes.iter().all(|&n| self.is_labeled(n)) {
+            return None;
+        }
         let mut it = nodes.iter();
         let first = *it.next()?;
         Some(it.fold(first, |acc, &n| self.lca(acc, n)))
@@ -482,6 +545,48 @@ mod tests {
         assert!(t.is_switch(ud3.root()));
         let ud4 = UpDownLabeling::build(&t, RootSelection::MaxDegree);
         assert!(t.degree(ud4.root()) >= 3);
+    }
+
+    #[test]
+    fn partial_labeling_covers_exactly_the_root_component() {
+        // Two islands: s0-s1 (p4@s0, p5@s1) and s2-s3 (p6@s3).
+        let mut b = Topology::builder();
+        let s: Vec<NodeId> = (0..4).map(|_| b.add_switch()).collect();
+        let p4 = b.add_processor();
+        let p5 = b.add_processor();
+        let p6 = b.add_processor();
+        b.link(s[0], s[1]).unwrap();
+        b.link(s[2], s[3]).unwrap();
+        b.link(p4, s[0]).unwrap();
+        b.link(p5, s[1]).unwrap();
+        b.link(p6, s[3]).unwrap();
+        let t = b.build();
+
+        let ud = UpDownLabeling::build_partial(&t, s[0]);
+        assert_eq!(ud.root(), s[0]);
+        assert_eq!(ud.num_labeled(), 4);
+        for n in [s[0], s[1], p4, p5] {
+            assert!(ud.is_labeled(n));
+        }
+        for n in [s[2], s[3], p6] {
+            assert!(!ud.is_labeled(n));
+            assert_eq!(ud.level(n), u32::MAX);
+            assert_eq!(ud.parent(n), None);
+        }
+        assert_eq!(ud.level(s[1]), 1);
+        assert_eq!(ud.lca(p4, p5), s[0]);
+        assert!(ud.is_ancestor(s[0], p5));
+        // Every channel — labeled component or not — gets one up and one
+        // down direction.
+        for c in t.channel_ids() {
+            assert_ne!(ud.class(c).is_up(), ud.class(t.reverse(c)).is_up());
+        }
+        // The other island is labeled by its own root.
+        let ud2 = UpDownLabeling::build_partial(&t, s[3]);
+        assert_eq!(ud2.num_labeled(), 3);
+        assert!(ud2.is_labeled(p6));
+        assert!(!ud2.is_labeled(p4));
+        assert_eq!(ud2.lca(s[2], p6), s[3]);
     }
 
     #[test]

@@ -176,4 +176,79 @@ proptest! {
             prop_assert_eq!(ud.level(v), level);
         }
     }
+
+    /// Reconfiguration invariant: for random lattices and random fault
+    /// sets, every surviving component's rebuilt labeling is a valid
+    /// up*/down* partition — every surviving channel classed with one up
+    /// and one down direction per link, spanning-tree channel counts,
+    /// acyclic up/down digraphs (the Theorem 1 preconditions), and up
+    /// channels strictly descending the (level, id) key inside the
+    /// component.
+    #[test]
+    fn degraded_components_keep_a_valid_channel_partition(
+        switches in 8usize..48,
+        topo_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        rate in 0.0f64..0.45,
+    ) {
+        use spam_faults::{DegradedNetwork, FaultModel};
+        use updown::check_acyclic_subnetworks;
+
+        let base = IrregularConfig::with_switches(switches).generate(topo_seed);
+        let plan = FaultModel::IidLinks { rate }.sample(&base, None, fault_seed);
+        let net = DegradedNetwork::build(&base, &plan, None);
+        let topo = &net.topo;
+
+        let mut covered = vec![false; topo.num_channels()];
+        for comp in &net.components {
+            let ud = &comp.labeling;
+            // The labeling covers exactly the component.
+            prop_assert_eq!(ud.num_labeled(), comp.nodes.len());
+            for &n in &comp.nodes {
+                prop_assert!(ud.is_labeled(n));
+            }
+            // Theorem 1 preconditions hold for this labeling.
+            prop_assert!(check_acyclic_subnetworks(topo, ud).all_ok());
+            let mut down_tree_in_comp = 0usize;
+            for c in topo.channel_ids() {
+                let ch = topo.channel(c);
+                if !comp.contains(ch.src) {
+                    continue;
+                }
+                // Components are closed under surviving channels.
+                prop_assert!(comp.contains(ch.dst), "{} leaves its component", c);
+                covered[c.index()] = true;
+                // One up and one down direction per surviving link.
+                prop_assert_ne!(
+                    ud.class(c).is_up(),
+                    ud.class(topo.reverse(c)).is_up(),
+                    "link of {} needs one up and one down direction", c
+                );
+                // Up strictly descends (level, id); down strictly ascends.
+                let key = |n| (ud.level(n), n);
+                if ud.class(c).is_up() {
+                    prop_assert!(key(ch.dst) < key(ch.src));
+                } else {
+                    prop_assert!(key(ch.dst) > key(ch.src));
+                }
+                if ud.class(c) == ChannelClass::DownTree {
+                    down_tree_in_comp += 1;
+                }
+            }
+            // The down-tree channels inside the component form a spanning
+            // tree: one per non-root member.
+            prop_assert_eq!(down_tree_in_comp, comp.nodes.len() - 1);
+            // Ancestor sanity inside the component: the root is an
+            // ancestor (and extended ancestor) of every member.
+            for &n in &comp.nodes {
+                prop_assert!(ud.is_ancestor(comp.root, n));
+                prop_assert!(ud.is_extended_ancestor(comp.root, n));
+            }
+        }
+        // Every surviving channel belongs to exactly one component's
+        // labeled region (dead nodes keep no channels in the masked view).
+        for c in topo.channel_ids() {
+            prop_assert!(covered[c.index()], "{} classed by no component", c);
+        }
+    }
 }

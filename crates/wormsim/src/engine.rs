@@ -22,7 +22,7 @@ use crate::channel::Chan;
 use crate::config::SimConfig;
 use crate::flit::{Flit, FlitKind, MsgId};
 use crate::message::{MessageSpec, SpecError};
-use crate::outcome::{Counters, DeadlockInfo, MessageResult, SimOutcome};
+use crate::outcome::{Counters, DeadlockInfo, MessageResult, SimError, SimOutcome};
 use crate::routing::{CompletionHook, NoHook, RoutingAlgorithm};
 use crate::trace::{Trace, TraceEvent};
 use desim::{Schedule, Time};
@@ -108,6 +108,10 @@ pub struct NetworkSim<'a, R: RoutingAlgorithm> {
     requester: HashMap<(MsgId, ChannelId), SegKey>,
     branch_state: HashMap<(MsgId, ChannelId), R::Header>,
     counters: Counters,
+    /// First simulation error; set once, aborts the run at the next event
+    /// boundary (state mutated within the failing instant is not rolled
+    /// back — the outcome is diagnostic, not resumable).
+    error: Option<SimError>,
     last_progress: Time,
     /// Messages past startup but not yet fully delivered.
     active: usize,
@@ -138,6 +142,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             requester: HashMap::new(),
             branch_state: HashMap::new(),
             counters: Counters::default(),
+            error: None,
             last_progress: Time::ZERO,
             active: 0,
             pending_completions: Vec::new(),
@@ -225,6 +230,9 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             let (t, ev) = self.sched.next().expect("peeked event exists");
             self.counters.events += 1;
             self.handle(t, ev);
+            if self.error.is_some() {
+                break;
+            }
             // Completion hooks run between events; they may submit.
             while let Some(m) = self.pending_completions.pop() {
                 let specs = hook.on_complete(m, &self.msgs[m.index()].spec, t);
@@ -237,11 +245,14 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 self.flush_bubbles(t);
             }
         }
-        if deadlock.is_none() && self.msgs.iter().any(|m| m.completed_at.is_none()) {
+        if deadlock.is_none()
+            && self.error.is_none()
+            && self.msgs.iter().any(|m| m.completed_at.is_none())
+        {
             let now = self.sched.now();
             deadlock = Some(self.deadlock_info(now, true));
         }
-        if deadlock.is_none() {
+        if deadlock.is_none() && self.error.is_none() {
             debug_assert!(self.chans.iter().all(|c| c.is_quiescent()));
             debug_assert!(self.segs.is_empty());
             debug_assert!(self.requester.is_empty());
@@ -259,10 +270,19 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         SimOutcome {
             messages,
             deadlock,
+            error: self.error.take(),
             end_time: self.sched.now(),
             counters: self.counters,
             channel_crossings: self.chans.iter().map(|c| c.crossings).collect(),
             trace: self.trace.take().unwrap_or_default(),
+        }
+    }
+
+    /// Records the first simulation error; the run loop aborts at the next
+    /// event boundary.
+    fn fail(&mut self, e: SimError) {
+        if self.error.is_none() {
+            self.error = Some(e);
         }
     }
 
@@ -295,9 +315,21 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         let src = self.msgs[msg.index()].spec.src;
         self.emit(|| TraceEvent::SourceReady { msg, src, at: now });
         let out = self.topo.out_channels(src);
+        // Spec validation rejects detached sources at submit time.
         assert_eq!(out.len(), 1, "source {src} must be an attached processor");
         let inj = out[0];
-        let header = self.routing.initial_header(&self.msgs[msg.index()].spec);
+        let header = match self.routing.initial_header(&self.msgs[msg.index()].spec) {
+            Ok(h) => h,
+            Err(error) => {
+                // E.g. a destination lost to a dead zone: abort with a
+                // typed error before any flit enters the network.
+                return self.fail(SimError::Route {
+                    msg,
+                    node: src,
+                    error,
+                });
+            }
+        };
         if self.topo.is_switch(self.topo.channel(inj).dst) {
             self.branch_state.insert((msg, inj), header);
         }
@@ -329,23 +361,39 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             .branch_state
             .remove(&(msg, in_ch))
             .expect("header state travels with the worm");
-        let decision = self.routing.route(
+        let decision = match self.routing.route(
             self.topo,
             node,
             in_ch,
             &header,
             &self.msgs[msg.index()].spec,
-        );
-        assert!(
-            !decision.requests.is_empty(),
-            "routing returned no channels for {msg} at {node}"
-        );
+        ) {
+            Ok(d) => d,
+            Err(error) => {
+                return self.fail(SimError::Route { msg, node, error });
+            }
+        };
+        if decision.requests.is_empty() {
+            return self.fail(SimError::EmptyDecision { msg, node });
+        }
         let key = SegKey::Transit(msg, in_ch);
         let mut outputs = Vec::with_capacity(decision.requests.len());
         for (ch, st) in decision.requests {
             let rec = self.topo.channel(ch);
-            assert_eq!(rec.src, node, "requested channel must leave {node}");
-            assert!(!outputs.contains(&ch), "duplicate channel request {ch}");
+            if rec.src != node {
+                return self.fail(SimError::ForeignChannel {
+                    msg,
+                    node,
+                    channel: ch,
+                });
+            }
+            if outputs.contains(&ch) {
+                return self.fail(SimError::DuplicateRequest {
+                    msg,
+                    node,
+                    channel: ch,
+                });
+            }
             outputs.push(ch);
             if self.topo.is_switch(rec.dst) {
                 let clash = self.branch_state.insert((msg, ch), st);
@@ -732,10 +780,15 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         self.counters.flits_delivered += 1;
         self.last_progress = now;
         let ms = &mut self.msgs[flit.msg.index()];
-        let di = *ms
-            .dest_index
-            .get(&proc)
-            .unwrap_or_else(|| panic!("{} misrouted to {proc}", flit.msg));
+        let Some(&di) = ms.dest_index.get(&proc) else {
+            // A flit for a processor that is not a destination: the
+            // routing algorithm misrouted the worm (on degraded networks,
+            // typically a stale labeling). Typed error, not a crash.
+            return self.fail(SimError::Misroute {
+                msg: flit.msg,
+                at: proc,
+            });
+        };
         let d = &mut ms.dests[di];
         let seq = flit.seq().expect("real flits carry a sequence number");
         assert_eq!(

@@ -55,7 +55,7 @@
 //! let topo = b.build();
 //!
 //! let mut oracle = OracleRouting::new(&topo);
-//! oracle.add_unicast_path(0, &[p2, s0, s1, p3]);
+//! oracle.add_unicast_path(0, &[p2, s0, s1, p3]).unwrap();
 //!
 //! let mut sim = NetworkSim::new(&topo, oracle, SimConfig::paper());
 //! sim.submit(MessageSpec::unicast(p2, p3, 128).tag(0).at(Time::ZERO)).unwrap();
@@ -79,6 +79,6 @@ pub use config::{LatencyParams, SimConfig};
 pub use engine::NetworkSim;
 pub use flit::{Flit, FlitKind, MsgId};
 pub use message::{MessageSpec, SpecError};
-pub use outcome::{Counters, DeadlockInfo, MessageResult, SimOutcome};
-pub use routing::{CompletionHook, NoHook, RouteDecision, RoutingAlgorithm};
+pub use outcome::{Counters, DeadlockInfo, MessageResult, SimError, SimOutcome};
+pub use routing::{CompletionHook, NoHook, RouteDecision, RouteError, RoutingAlgorithm};
 pub use trace::{Trace, TraceEvent};

@@ -30,6 +30,9 @@ pub struct MessageSpec {
 pub enum SpecError {
     /// The source is not a processor of this topology.
     SourceNotProcessor(NodeId),
+    /// The source processor has no channel — stranded by a fault; it can
+    /// inject nothing.
+    SourceDetached(NodeId),
     /// A destination is not a processor of this topology.
     DestNotProcessor(NodeId),
     /// Empty destination set.
@@ -46,6 +49,9 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::SourceNotProcessor(n) => write!(f, "source {n} is not a processor"),
+            SpecError::SourceDetached(n) => {
+                write!(f, "source {n} has no channel (stranded by a fault)")
+            }
             SpecError::DestNotProcessor(n) => write!(f, "destination {n} is not a processor"),
             SpecError::NoDestinations => write!(f, "message has no destinations"),
             SpecError::DuplicateDestination(n) => write!(f, "duplicate destination {n}"),
@@ -109,6 +115,9 @@ impl MessageSpec {
             |n: NodeId| n.index() < topo.num_nodes() && topo.kind(n) == NodeKind::Processor;
         if !is_proc(self.src) {
             return Err(SpecError::SourceNotProcessor(self.src));
+        }
+        if topo.out_channels(self.src).len() != 1 {
+            return Err(SpecError::SourceDetached(self.src));
         }
         let mut seen = std::collections::HashSet::with_capacity(self.dests.len());
         for &d in &self.dests {
@@ -191,5 +200,23 @@ mod tests {
             MessageSpec::unicast(p0, NodeId(99), 4).validate(&t),
             Err(SpecError::DestNotProcessor(NodeId(99)))
         );
+    }
+
+    #[test]
+    fn rejects_detached_source() {
+        // A processor stranded by a fault (no channels) cannot inject.
+        let mut b = Topology::builder();
+        let s = b.add_switch();
+        let p0 = b.add_processor();
+        let stranded = b.add_processor();
+        b.link(p0, s).unwrap();
+        let t = b.build();
+        assert_eq!(
+            MessageSpec::unicast(stranded, p0, 8).validate(&t),
+            Err(SpecError::SourceDetached(stranded))
+        );
+        // A stranded *destination* is a routing-time concern, not a spec
+        // error — any algorithm reports it as unreachable.
+        MessageSpec::unicast(p0, stranded, 8).validate(&t).unwrap();
     }
 }

@@ -1,9 +1,90 @@
-//! Simulation results: per-message records, counters, deadlock reports.
+//! Simulation results: per-message records, counters, deadlock reports,
+//! and typed simulation errors.
 
 use crate::flit::MsgId;
 use crate::message::MessageSpec;
+use crate::routing::RouteError;
 use desim::{Duration, Time};
-use netgraph::NodeId;
+use netgraph::{ChannelId, NodeId};
+use std::fmt;
+
+/// A typed, run-aborting simulation failure.
+///
+/// Silent misbehaviour in a simulator produces wrong science; crashing
+/// deep inside the event loop produces undiagnosable logs. These errors
+/// are the middle path: the engine stops the run at the first violation
+/// and reports *what* went wrong and *where*, so e.g. a stale labeling on
+/// a degraded network reads as "no legal move from s17 towards s3" rather
+/// than a panic backtrace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The routing algorithm returned a typed failure for this header.
+    Route {
+        /// The affected message.
+        msg: MsgId,
+        /// The switch where routing failed.
+        node: NodeId,
+        /// The algorithm's error.
+        error: RouteError,
+    },
+    /// A real flit reached a processor that is not among its message's
+    /// destinations — the routing algorithm steered the worm wrong.
+    Misroute {
+        /// The misrouted message.
+        msg: MsgId,
+        /// The processor that wrongly received a flit.
+        at: NodeId,
+    },
+    /// The routing algorithm returned an empty request set.
+    EmptyDecision {
+        /// The affected message.
+        msg: MsgId,
+        /// The deciding switch.
+        node: NodeId,
+    },
+    /// The routing algorithm requested a channel that does not leave the
+    /// deciding switch.
+    ForeignChannel {
+        /// The affected message.
+        msg: MsgId,
+        /// The deciding switch.
+        node: NodeId,
+        /// The offending channel.
+        channel: ChannelId,
+    },
+    /// The routing algorithm requested the same channel twice in one
+    /// decision.
+    DuplicateRequest {
+        /// The affected message.
+        msg: MsgId,
+        /// The deciding switch.
+        node: NodeId,
+        /// The twice-requested channel.
+        channel: ChannelId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Route { msg, node, error } => {
+                write!(f, "routing failed for {msg} at {node}: {error}")
+            }
+            SimError::Misroute { msg, at } => write!(f, "{msg} misrouted to {at}"),
+            SimError::EmptyDecision { msg, node } => {
+                write!(f, "routing returned no channels for {msg} at {node}")
+            }
+            SimError::ForeignChannel { msg, node, channel } => {
+                write!(f, "{msg} requested {channel}, which does not leave {node}")
+            }
+            SimError::DuplicateRequest { msg, node, channel } => {
+                write!(f, "{msg} requested {channel} twice at {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Result of one message.
 #[derive(Debug, Clone)]
@@ -74,6 +155,9 @@ pub struct SimOutcome {
     pub messages: Vec<MessageResult>,
     /// Deadlock report, if the run did not complete cleanly.
     pub deadlock: Option<DeadlockInfo>,
+    /// First simulation error, if the run was aborted on one (misroute,
+    /// routing failure, or a routing-contract violation).
+    pub error: Option<SimError>,
     /// Simulation clock at the end of the run.
     pub end_time: Time,
     /// Aggregate counters.
@@ -86,9 +170,11 @@ pub struct SimOutcome {
 }
 
 impl SimOutcome {
-    /// True when every message completed and no deadlock was declared.
+    /// True when every message completed with no deadlock and no error.
     pub fn all_delivered(&self) -> bool {
-        self.deadlock.is_none() && self.messages.iter().all(|m| m.is_complete())
+        self.deadlock.is_none()
+            && self.error.is_none()
+            && self.messages.iter().all(|m| m.is_complete())
     }
 
     /// Mean latency in microseconds over completed messages matching
@@ -157,6 +243,7 @@ mod tests {
         let out = SimOutcome {
             messages: vec![result(0, Some(10)), result(0, Some(20)), result(0, None)],
             deadlock: None,
+            error: None,
             end_time: Time::from_us(20),
             counters: Counters::default(),
             channel_crossings: vec![5, 9, 1],

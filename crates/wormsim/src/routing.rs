@@ -17,6 +17,77 @@ use crate::message::MessageSpec;
 use desim::Time;
 use netgraph::{ChannelId, NodeId, Topology};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A typed routing failure.
+///
+/// On a healthy network with a correct algorithm these never occur — the
+/// paper's Theorem 1 preconditions guarantee a legal move always exists.
+/// On a *degraded* network (dead links/switches) a stale labeling or an
+/// unreachable destination surfaces here as a diagnosable error instead of
+/// a crash, and the engine converts it into
+/// [`crate::SimError::Route`] on the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No legal output channel exists at `node` towards `target` — on a
+    /// degraded network this means the labeling no longer matches the
+    /// surviving channels (relabel the component).
+    NoLegalMove {
+        /// The switch where the worm is stuck.
+        node: NodeId,
+        /// The node it was trying to reach.
+        target: NodeId,
+    },
+    /// The tree stage found no child subtree containing a destination —
+    /// the destination set includes nodes outside the labeled component.
+    NoDestinationSubtree {
+        /// The switch where the split failed.
+        node: NodeId,
+    },
+    /// A scripted (oracle) router had no plan entry for this message here.
+    NoPlan {
+        /// The message's correlation tag.
+        tag: u64,
+        /// The unplanned-for switch.
+        node: NodeId,
+    },
+    /// A scripted route referenced a link that does not exist.
+    NoSuchLink {
+        /// Requested source endpoint.
+        from: NodeId,
+        /// Requested destination endpoint.
+        to: NodeId,
+    },
+    /// A destination lies outside the routing algorithm's labeled
+    /// component — on a degraded network, a node lost to the dead zone.
+    /// Detected when the header is formed, before any flit moves.
+    UnreachableDestination {
+        /// The unreachable destination processor.
+        dest: NodeId,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::NoLegalMove { node, target } => {
+                write!(f, "no legal move from {node} towards {target}")
+            }
+            RouteError::NoDestinationSubtree { node } => {
+                write!(f, "no destination subtree below {node}")
+            }
+            RouteError::NoPlan { tag, node } => {
+                write!(f, "no routing plan for tag {tag} at {node}")
+            }
+            RouteError::NoSuchLink { from, to } => write!(f, "no link {from} -> {to}"),
+            RouteError::UnreachableDestination { dest } => {
+                write!(f, "destination {dest} is outside the routable component")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// The channels a header requests at one router, with the header state each
 /// branch carries onward.
@@ -41,17 +112,24 @@ pub trait RoutingAlgorithm {
     /// Per-branch header state.
     type Header: Clone;
 
-    /// Header state when the worm leaves its source processor.
-    fn initial_header(&self, spec: &MessageSpec) -> Self::Header;
+    /// Header state when the worm leaves its source processor. Errors —
+    /// e.g. [`RouteError::UnreachableDestination`] for a destination the
+    /// algorithm's labeling cannot reach on a degraded network — abort
+    /// the run with a typed [`crate::SimError::Route`] before any flit
+    /// moves.
+    fn initial_header(&self, spec: &MessageSpec) -> Result<Self::Header, RouteError>;
 
     /// Routing decision for a header arriving at switch `node` on channel
     /// `in_ch` with state `header`.
     ///
     /// # Contract
     ///
-    /// Must return at least one request; every requested channel must have
-    /// `src == node`; channels must be distinct. The engine panics on
-    /// violations — they are algorithm bugs, not runtime conditions.
+    /// On success, must return at least one request; every requested
+    /// channel must have `src == node`; channels must be distinct. The
+    /// engine converts violations — and any returned [`RouteError`] —
+    /// into a typed [`crate::SimError`] on the outcome and aborts the
+    /// run, so a bad route (e.g. on a degraded network whose labeling
+    /// went stale) is diagnosable rather than a crash.
     fn route(
         &self,
         topo: &Topology,
@@ -59,7 +137,7 @@ pub trait RoutingAlgorithm {
         in_ch: ChannelId,
         header: &Self::Header,
         spec: &MessageSpec,
-    ) -> RouteDecision<Self::Header>;
+    ) -> Result<RouteDecision<Self::Header>, RouteError>;
 }
 
 /// Observer invoked when a message has been fully delivered; may inject
@@ -109,12 +187,13 @@ impl OracleRouting {
     }
 
     /// Scripts a unicast path `nodes[0] (processor) → ... → nodes.last()
-    /// (processor)` for messages tagged `tag`.
+    /// (processor)` for messages tagged `tag`. Errors with
+    /// [`RouteError::NoSuchLink`] if consecutive nodes are not linked.
     ///
     /// # Panics
     ///
-    /// Panics if consecutive nodes are not linked.
-    pub fn add_unicast_path(&mut self, tag: u64, nodes: &[NodeId]) {
+    /// Panics if the path has fewer than two nodes.
+    pub fn add_unicast_path(&mut self, tag: u64, nodes: &[NodeId]) -> Result<(), RouteError> {
         assert!(nodes.len() >= 2, "path needs at least source and dest");
         // The engine itself requests the processor's injection channel, so
         // the plan covers the intermediate switches only.
@@ -123,31 +202,36 @@ impl OracleRouting {
             .skip(1) // first hop is the injection channel
             .map(|w| (w[0], w[1]))
             .collect();
-        self.add_tree_edges(tag, hops);
+        self.add_tree_edges(tag, hops)
     }
 
     /// Scripts an arbitrary routing tree from `(from, to)` link pairs: at
     /// each `from` node, the message requests the channel towards `to`.
     /// Pairs sharing a `from` become a branching (multi-head) request set.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a pair is not linked in the topology.
-    pub fn add_tree_edges(&mut self, tag: u64, edges: impl IntoIterator<Item = (NodeId, NodeId)>) {
+    /// Errors with [`RouteError::NoSuchLink`] on a pair that is not linked
+    /// in the topology (earlier pairs stay scripted).
+    pub fn add_tree_edges(
+        &mut self,
+        tag: u64,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<(), RouteError> {
         for (from, to) in edges {
             let ch = self
                 .topo
                 .channel_between(from, to)
-                .unwrap_or_else(|| panic!("no link {from} -> {to}"));
+                .ok_or(RouteError::NoSuchLink { from, to })?;
             self.plan.entry((tag, from)).or_default().push(ch);
         }
+        Ok(())
     }
 }
 
 impl RoutingAlgorithm for OracleRouting {
     type Header = ();
 
-    fn initial_header(&self, _spec: &MessageSpec) -> Self::Header {}
+    fn initial_header(&self, _spec: &MessageSpec) -> Result<Self::Header, RouteError> {
+        Ok(())
+    }
 
     fn route(
         &self,
@@ -156,14 +240,14 @@ impl RoutingAlgorithm for OracleRouting {
         _in_ch: ChannelId,
         _header: &(),
         spec: &MessageSpec,
-    ) -> RouteDecision<()> {
-        let chans = self
-            .plan
-            .get(&(spec.tag, node))
-            .unwrap_or_else(|| panic!("oracle has no plan for tag {} at {node}", spec.tag));
-        RouteDecision {
+    ) -> Result<RouteDecision<()>, RouteError> {
+        let chans = self.plan.get(&(spec.tag, node)).ok_or(RouteError::NoPlan {
+            tag: spec.tag,
+            node,
+        })?;
+        Ok(RouteDecision {
             requests: chans.iter().map(|c| (*c, ())).collect(),
-        }
+        })
     }
 }
 
@@ -192,14 +276,15 @@ mod tests {
     fn oracle_unicast_plan_resolves_channels() {
         let (t, n) = line3();
         let mut o = OracleRouting::new(&t);
-        o.add_unicast_path(7, &[n[3], n[0], n[1], n[2], n[4]]);
+        o.add_unicast_path(7, &[n[3], n[0], n[1], n[2], n[4]])
+            .unwrap();
         let spec = MessageSpec::unicast(n[3], n[4], 4).tag(7);
         // At s0 the plan sends towards s1.
-        let d = o.route(&t, n[0], ChannelId(0), &(), &spec);
+        let d = o.route(&t, n[0], ChannelId(0), &(), &spec).unwrap();
         assert_eq!(d.requests.len(), 1);
         assert_eq!(t.channel(d.requests[0].0).dst, n[1]);
         // At s2 the plan delivers to p4.
-        let d2 = o.route(&t, n[2], ChannelId(0), &(), &spec);
+        let d2 = o.route(&t, n[2], ChannelId(0), &(), &spec).unwrap();
         assert_eq!(t.channel(d2.requests[0].0).dst, n[4]);
     }
 
@@ -208,27 +293,38 @@ mod tests {
         let (t, n) = line3();
         let mut o = OracleRouting::new(&t);
         // At s1 split to both p5 and s2.
-        o.add_tree_edges(1, [(n[1], n[5]), (n[1], n[2])]);
+        o.add_tree_edges(1, [(n[1], n[5]), (n[1], n[2])]).unwrap();
         let spec = MessageSpec::multicast(n[3], vec![n[5], n[4]], 4).tag(1);
-        let d = o.route(&t, n[1], ChannelId(0), &(), &spec);
+        let d = o.route(&t, n[1], ChannelId(0), &(), &spec).unwrap();
         assert_eq!(d.requests.len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "no plan for tag")]
-    fn oracle_missing_plan_panics() {
+    fn oracle_missing_plan_is_a_typed_error() {
         let (t, n) = line3();
         let o = OracleRouting::new(&t);
         let spec = MessageSpec::unicast(n[3], n[4], 4).tag(99);
-        o.route(&t, n[0], ChannelId(0), &(), &spec);
+        assert_eq!(
+            o.route(&t, n[0], ChannelId(0), &(), &spec).unwrap_err(),
+            RouteError::NoPlan {
+                tag: 99,
+                node: n[0]
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "no link")]
     fn oracle_rejects_unlinked_edges() {
         let (t, n) = line3();
         let mut o = OracleRouting::new(&t);
-        o.add_tree_edges(0, [(n[0], n[2])]); // s0 and s2 not adjacent
+        // s0 and s2 not adjacent.
+        assert_eq!(
+            o.add_tree_edges(0, [(n[0], n[2])]),
+            Err(RouteError::NoSuchLink {
+                from: n[0],
+                to: n[2]
+            })
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn unicast_latency_matches_cost_model() {
         let mut path = vec![c.p[0]];
         path.extend(&c.s);
         path.push(c.p[hops - 1]);
-        oracle.add_unicast_path(0, &path);
+        oracle.add_unicast_path(0, &path).unwrap();
         let mut sim = NetworkSim::new(&c.topo, oracle, SimConfig::paper());
         sim.submit(MessageSpec::unicast(c.p[0], c.p[hops - 1], 128))
             .unwrap();
@@ -68,7 +68,9 @@ fn unicast_latency_matches_cost_model() {
 fn short_message_latency() {
     let c = chain(2);
     let mut oracle = OracleRouting::new(&c.topo);
-    oracle.add_unicast_path(0, &[c.p[0], c.s[0], c.s[1], c.p[1]]);
+    oracle
+        .add_unicast_path(0, &[c.p[0], c.s[0], c.s[1], c.p[1]])
+        .unwrap();
     let mut sim = NetworkSim::new(&c.topo, oracle, SimConfig::paper());
     sim.submit(MessageSpec::unicast(c.p[0], c.p[1], 2)).unwrap();
     let out = sim.run();
@@ -114,8 +116,12 @@ fn balanced_multicast_is_destination_count_independent() {
         let mut oracle = OracleRouting::new(&net.topo);
         let dests: Vec<NodeId> = (1..=k).map(|i| net.p[i]).collect();
         // Split at the hub towards each leaf switch, then deliver.
-        oracle.add_tree_edges(0, (1..=k).map(|i| (net.s[0], net.s[i])));
-        oracle.add_tree_edges(0, (1..=k).map(|i| (net.s[i], net.p[i])));
+        oracle
+            .add_tree_edges(0, (1..=k).map(|i| (net.s[0], net.s[i])))
+            .unwrap();
+        oracle
+            .add_tree_edges(0, (1..=k).map(|i| (net.s[i], net.p[i])))
+            .unwrap();
         let mut sim = NetworkSim::new(&net.topo, oracle, SimConfig::paper());
         sim.submit(MessageSpec::multicast(net.p[0], dests, 128))
             .unwrap();
@@ -156,10 +162,16 @@ fn blocked_branch_generates_bubbles_and_all_deliver() {
 
     let mut oracle = OracleRouting::new(&topo);
     // Interferer (tag 1): p3 -> s3 -> s1 -> p1, grabbing s1->p1 first.
-    oracle.add_unicast_path(1, &[p[3], s[3], s[1], p[1]]);
+    oracle
+        .add_unicast_path(1, &[p[3], s[3], s[1], p[1]])
+        .unwrap();
     // Multicast (tag 0) from p0 at the hub to p1 and p2: splits at s0.
-    oracle.add_tree_edges(0, [(s[0], s[1]), (s[0], s[2])]);
-    oracle.add_tree_edges(0, [(s[1], p[1]), (s[2], p[2])]);
+    oracle
+        .add_tree_edges(0, [(s[0], s[1]), (s[0], s[2])])
+        .unwrap();
+    oracle
+        .add_tree_edges(0, [(s[1], p[1]), (s[2], p[2])])
+        .unwrap();
 
     let mut sim = NetworkSim::new(&topo, oracle, SimConfig::paper());
     sim.submit(MessageSpec::unicast(p[3], p[1], 512).tag(1).at(Time::ZERO))
@@ -199,7 +211,9 @@ fn ocrq_serializes_same_channel_messages_fifo() {
     let c = chain(2);
     let mut oracle = OracleRouting::new(&c.topo);
     for tag in 0..3 {
-        oracle.add_unicast_path(tag, &[c.p[0], c.s[0], c.s[1], c.p[1]]);
+        oracle
+            .add_unicast_path(tag, &[c.p[0], c.s[0], c.s[1], c.p[1]])
+            .unwrap();
     }
     let mut sim = NetworkSim::new(&c.topo, oracle, SimConfig::paper());
     for tag in 0..3u64 {
@@ -261,7 +275,9 @@ fn cyclic_routing_deadlocks_and_is_detected_by_queue_exhaustion() {
         let a = net.s[i];
         let b = net.s[(i + 1) % 3];
         let c2 = net.s[(i + 2) % 3];
-        oracle.add_unicast_path(i as u64, &[net.p[i], a, b, c2, net.p[(i + 2) % 3]]);
+        oracle
+            .add_unicast_path(i as u64, &[net.p[i], a, b, c2, net.p[(i + 2) % 3]])
+            .unwrap();
     }
     let mut sim = NetworkSim::new(&net.topo, oracle, SimConfig::paper());
     for i in 0..3usize {
@@ -304,14 +320,20 @@ fn deadlocked_branch_with_live_sibling_is_caught_by_watchdog() {
     let mut oracle = OracleRouting::new(&topo);
     // Ring partners (tags 1, 2) occupy (s1,s2) then want (s2,s0), and
     // (s2,s0) then want (s0,s1).
-    oracle.add_unicast_path(1, &[p[1], s[1], s[2], s[0], p[0]]);
-    oracle.add_unicast_path(2, &[p[2], s[2], s[0], s[1], p[1]]);
+    oracle
+        .add_unicast_path(1, &[p[1], s[1], s[2], s[0], p[0]])
+        .unwrap();
+    oracle
+        .add_unicast_path(2, &[p[2], s[2], s[0], s[1], p[1]])
+        .unwrap();
     // Multicast (tag 0) from p0: fork at s0 to the doomed ring branch
     // (s0->s1->s2's processor) and to the free leaf (s3).
-    oracle.add_tree_edges(0, [(s[0], s[1]), (s[0], s[3])]);
-    oracle.add_tree_edges(0, [(s[1], s[2])]);
-    oracle.add_tree_edges(0, [(s[2], p[2])]);
-    oracle.add_tree_edges(0, [(s[3], p[3])]);
+    oracle
+        .add_tree_edges(0, [(s[0], s[1]), (s[0], s[3])])
+        .unwrap();
+    oracle.add_tree_edges(0, [(s[1], s[2])]).unwrap();
+    oracle.add_tree_edges(0, [(s[2], p[2])]).unwrap();
+    oracle.add_tree_edges(0, [(s[3], p[3])]).unwrap();
 
     let cfg = SimConfig::paper().with_watchdog(Duration::from_us(200));
     let mut sim = NetworkSim::new(&topo, oracle, cfg);
@@ -364,8 +386,12 @@ impl CompletionHook for ReplyHook {
 fn completion_hook_injects_reply() {
     let c = chain(2);
     let mut oracle = OracleRouting::new(&c.topo);
-    oracle.add_unicast_path(0, &[c.p[0], c.s[0], c.s[1], c.p[1]]);
-    oracle.add_unicast_path(1, &[c.p[1], c.s[1], c.s[0], c.p[0]]);
+    oracle
+        .add_unicast_path(0, &[c.p[0], c.s[0], c.s[1], c.p[1]])
+        .unwrap();
+    oracle
+        .add_unicast_path(1, &[c.p[1], c.s[1], c.s[0], c.p[0]])
+        .unwrap();
     let mut sim = NetworkSim::new(&c.topo, oracle, SimConfig::paper());
     sim.submit(MessageSpec::unicast(c.p[0], c.p[1], 64).tag(0))
         .unwrap();
@@ -392,7 +418,7 @@ fn deeper_buffers_never_hurt_latency() {
         let mut path = vec![c.p[0]];
         path.extend(&c.s);
         path.push(c.p[4]);
-        oracle.add_unicast_path(0, &path);
+        oracle.add_unicast_path(0, &path).unwrap();
         let mut sim = NetworkSim::new(&c.topo, oracle, SimConfig::paper().with_buffers(inp, outp));
         sim.submit(MessageSpec::unicast(c.p[0], c.p[4], 128))
             .unwrap();
@@ -412,7 +438,9 @@ fn identical_runs_are_bit_identical() {
         let net = star(3);
         let mut oracle = OracleRouting::new(&net.topo);
         for (tag, leaf) in [(0u64, 1usize), (1, 2), (2, 3)] {
-            oracle.add_unicast_path(tag, &[net.p[0], net.s[0], net.s[leaf], net.p[leaf]]);
+            oracle
+                .add_unicast_path(tag, &[net.p[0], net.s[0], net.s[leaf], net.p[leaf]])
+                .unwrap();
         }
         let mut sim = NetworkSim::new(&net.topo, oracle, SimConfig::paper());
         for tag in 0..3u64 {
@@ -441,7 +469,9 @@ fn identical_runs_are_bit_identical() {
 fn flit_accounting_is_exact() {
     let c = chain(3);
     let mut oracle = OracleRouting::new(&c.topo);
-    oracle.add_unicast_path(0, &[c.p[0], c.s[0], c.s[1], c.s[2], c.p[2]]);
+    oracle
+        .add_unicast_path(0, &[c.p[0], c.s[0], c.s[1], c.s[2], c.p[2]])
+        .unwrap();
     let mut sim = NetworkSim::new(&c.topo, oracle, SimConfig::paper());
     sim.submit(MessageSpec::unicast(c.p[0], c.p[2], 100))
         .unwrap();
@@ -460,7 +490,9 @@ fn extra_header_flits_lengthen_worms_predictably() {
     let c = chain(3);
     let run = |extra: u32| {
         let mut oracle = OracleRouting::new(&c.topo);
-        oracle.add_unicast_path(0, &[c.p[0], c.s[0], c.s[1], c.s[2], c.p[2]]);
+        oracle
+            .add_unicast_path(0, &[c.p[0], c.s[0], c.s[1], c.s[2], c.p[2]])
+            .unwrap();
         let mut sim = NetworkSim::new(
             &c.topo,
             oracle,
@@ -483,7 +515,9 @@ fn extra_header_flits_lengthen_worms_predictably() {
 fn channel_crossings_account_for_all_wire_traffic() {
     let c = chain(2);
     let mut oracle = OracleRouting::new(&c.topo);
-    oracle.add_unicast_path(0, &[c.p[0], c.s[0], c.s[1], c.p[1]]);
+    oracle
+        .add_unicast_path(0, &[c.p[0], c.s[0], c.s[1], c.p[1]])
+        .unwrap();
     let mut sim = NetworkSim::new(&c.topo, oracle, SimConfig::paper());
     sim.submit(MessageSpec::unicast(c.p[0], c.p[1], 64))
         .unwrap();

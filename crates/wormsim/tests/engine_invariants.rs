@@ -132,7 +132,7 @@ proptest! {
             let forwarding: HashSet<NodeId> = edges.iter().map(|e| e.0).collect();
             expected_acquisitions += 1 + forwarding.len() as u64;
             expected_delivered += (*len as u64) * dests.len() as u64;
-            oracle.add_tree_edges(tag as u64, edges);
+            oracle.add_tree_edges(tag as u64, edges).unwrap();
             specs.push(
                 MessageSpec::multicast(
                     net.procs[src],
@@ -186,7 +186,7 @@ proptest! {
         dests.dedup();
         prop_assume!(!dests.is_empty());
         let mut oracle = OracleRouting::new(&net.topo);
-        oracle.add_tree_edges(0, net.plan(src, &dests));
+        oracle.add_tree_edges(0, net.plan(src, &dests)).unwrap();
         let mut sim = NetworkSim::new(&net.topo, oracle, SimConfig::paper());
         sim.submit(MessageSpec::multicast(
             net.procs[src],
@@ -217,7 +217,7 @@ fn all_buffer_geometries_deliver_same_message_set() {
     let dests = vec![2usize, 5, 7];
     for (inp, outp) in [(1, 1), (2, 1), (1, 2), (4, 4)] {
         let mut oracle = OracleRouting::new(&net.topo);
-        oracle.add_tree_edges(0, net.plan(0, &dests));
+        oracle.add_tree_edges(0, net.plan(0, &dests)).unwrap();
         let mut sim = NetworkSim::new(
             &net.topo,
             oracle,
@@ -245,7 +245,7 @@ fn oracle_handles_many_tags_independently() {
     for tag in 0..6u64 {
         let d = vec![(tag as usize + 1) % 8, (tag as usize + 3) % 8];
         let dests: Vec<usize> = d.into_iter().filter(|&x| x != 0).collect();
-        oracle.add_tree_edges(tag, net.plan(0, &dests));
+        oracle.add_tree_edges(tag, net.plan(0, &dests)).unwrap();
         sim_plan.insert(tag, dests);
     }
     let mut sim = NetworkSim::new(&net.topo, oracle, SimConfig::paper());

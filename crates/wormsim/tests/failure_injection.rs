@@ -1,12 +1,17 @@
 //! Failure injection: the engine must fail *loudly and precisely* when a
 //! routing algorithm violates its contract, when resource limits trip, or
 //! when callers misuse the API — silent misbehaviour in a simulator
-//! produces wrong science, which is worse than a crash.
+//! produces wrong science. Contract violations and misroutes surface as
+//! typed [`SimError`]s on the outcome (diagnosable, e.g. on degraded
+//! networks with stale labelings); only host-side API misuse panics.
 
 use desim::{Duration, Time};
 use netgraph::{ChannelId, NodeId, Topology};
 use wormsim::routing::OracleRouting;
-use wormsim::{MessageSpec, NetworkSim, RouteDecision, RoutingAlgorithm, SimConfig, SpecError};
+use wormsim::{
+    MessageSpec, NetworkSim, RouteDecision, RouteError, RoutingAlgorithm, SimConfig, SimError,
+    SpecError,
+};
 
 fn line2() -> (Topology, [NodeId; 4]) {
     let mut b = Topology::builder();
@@ -35,7 +40,9 @@ enum EvilMode {
 impl RoutingAlgorithm for EvilRouter {
     type Header = ();
 
-    fn initial_header(&self, _spec: &MessageSpec) -> Self::Header {}
+    fn initial_header(&self, _spec: &MessageSpec) -> Result<Self::Header, RouteError> {
+        Ok(())
+    }
 
     fn route(
         &self,
@@ -44,8 +51,8 @@ impl RoutingAlgorithm for EvilRouter {
         _in_ch: ChannelId,
         _header: &(),
         _spec: &MessageSpec,
-    ) -> RouteDecision<()> {
-        match self.mode {
+    ) -> Result<RouteDecision<()>, RouteError> {
+        Ok(match self.mode {
             EvilMode::Empty => RouteDecision { requests: vec![] },
             EvilMode::Duplicate => {
                 let c = topo.out_channels(node)[0];
@@ -61,33 +68,97 @@ impl RoutingAlgorithm for EvilRouter {
                     .unwrap();
                 RouteDecision::single(foreign, ())
             }
-        }
+        })
     }
 }
 
-fn run_evil(mode: EvilMode) {
+fn run_evil(mode: EvilMode) -> SimError {
     let (topo, [_, _, p0, p1]) = line2();
     let mut sim = NetworkSim::new(&topo, EvilRouter { mode }, SimConfig::paper());
     sim.submit(MessageSpec::unicast(p0, p1, 8)).unwrap();
-    sim.run();
+    let out = sim.run();
+    assert!(
+        !out.all_delivered(),
+        "contract violation must abort the run"
+    );
+    out.error.expect("typed error must be reported")
 }
 
 #[test]
-#[should_panic(expected = "routing returned no channels")]
-fn empty_route_decision_panics() {
-    run_evil(EvilMode::Empty);
+fn empty_route_decision_is_a_typed_error() {
+    assert!(matches!(
+        run_evil(EvilMode::Empty),
+        SimError::EmptyDecision { .. }
+    ));
 }
 
 #[test]
-#[should_panic(expected = "duplicate channel request")]
-fn duplicate_channel_request_panics() {
-    run_evil(EvilMode::Duplicate);
+fn duplicate_channel_request_is_a_typed_error() {
+    assert!(matches!(
+        run_evil(EvilMode::Duplicate),
+        SimError::DuplicateRequest { .. }
+    ));
 }
 
 #[test]
-#[should_panic(expected = "requested channel must leave")]
-fn foreign_channel_request_panics() {
-    run_evil(EvilMode::ForeignChannel);
+fn foreign_channel_request_is_a_typed_error() {
+    assert!(matches!(
+        run_evil(EvilMode::ForeignChannel),
+        SimError::ForeignChannel { .. }
+    ));
+}
+
+#[test]
+fn routing_error_surfaces_on_the_outcome() {
+    // An oracle with no plan at the first switch: the typed RouteError is
+    // wrapped in SimError::Route, with the failing node identified.
+    let (topo, [s0, _, p0, p1]) = line2();
+    let oracle = OracleRouting::new(&topo);
+    let mut sim = NetworkSim::new(&topo, oracle, SimConfig::paper());
+    sim.submit(MessageSpec::unicast(p0, p1, 8).tag(5)).unwrap();
+    let out = sim.run();
+    assert!(!out.all_delivered());
+    assert!(
+        matches!(
+            out.error,
+            Some(SimError::Route {
+                node,
+                error: RouteError::NoPlan { tag: 5, node: plan_node },
+                ..
+            }) if node == s0 && plan_node == s0
+        ),
+        "unexpected error: {:?}",
+        out.error
+    );
+}
+
+#[test]
+fn misroute_is_a_typed_error() {
+    // Script a path that delivers to the *wrong* processor: p0 -> s0 ->
+    // s1 -> p1, but the message's destination is a third processor p2 on
+    // s0. The first flit absorbed at p1 must abort with Misroute.
+    let mut b = Topology::builder();
+    let s0 = b.add_switch();
+    let s1 = b.add_switch();
+    let p0 = b.add_processor();
+    let p1 = b.add_processor();
+    let p2 = b.add_processor();
+    b.link(s0, s1).unwrap();
+    b.link(p0, s0).unwrap();
+    b.link(p1, s1).unwrap();
+    b.link(p2, s0).unwrap();
+    let topo = b.build();
+    let mut oracle = OracleRouting::new(&topo);
+    oracle.add_unicast_path(0, &[p0, s0, s1, p1]).unwrap();
+    let mut sim = NetworkSim::new(&topo, oracle, SimConfig::paper());
+    sim.submit(MessageSpec::unicast(p0, p2, 8)).unwrap();
+    let out = sim.run();
+    assert!(!out.all_delivered());
+    assert!(
+        matches!(out.error, Some(SimError::Misroute { at, .. }) if at == p1),
+        "expected a misroute at {p1}, got {:?}",
+        out.error
+    );
 }
 
 #[test]
@@ -95,7 +166,9 @@ fn foreign_channel_request_panics() {
 fn submitting_into_the_past_panics() {
     let (topo, [_, _, p0, p1]) = line2();
     let mut oracle = OracleRouting::new(&topo);
-    oracle.add_unicast_path(0, &[p0, NodeId(0), NodeId(1), p1]);
+    oracle
+        .add_unicast_path(0, &[p0, NodeId(0), NodeId(1), p1])
+        .unwrap();
     let mut sim = NetworkSim::new(&topo, oracle, SimConfig::paper());
     sim.submit(MessageSpec::unicast(p0, p1, 8)).unwrap();
     // Drive the clock forward by running... run consumes; so instead give
@@ -121,7 +194,7 @@ fn submitting_into_the_past_panics() {
 fn event_cap_aborts_runaway_runs() {
     let (topo, [s0, s1, p0, p1]) = line2();
     let mut oracle = OracleRouting::new(&topo);
-    oracle.add_unicast_path(0, &[p0, s0, s1, p1]);
+    oracle.add_unicast_path(0, &[p0, s0, s1, p1]).unwrap();
     let cfg = SimConfig {
         max_events: 10, // far too few to deliver anything
         ..SimConfig::paper()
@@ -141,7 +214,7 @@ fn zero_watchdog_flags_any_stall() {
     // instants aborts the run. Checks the watchdog path itself.
     let (topo, [s0, s1, p0, p1]) = line2();
     let mut oracle = OracleRouting::new(&topo);
-    oracle.add_unicast_path(0, &[p0, s0, s1, p1]);
+    oracle.add_unicast_path(0, &[p0, s0, s1, p1]).unwrap();
     let cfg = SimConfig::paper().with_watchdog(Duration::ZERO);
     let mut sim = NetworkSim::new(&topo, oracle, cfg);
     sim.submit(MessageSpec::unicast(p0, p1, 128)).unwrap();
@@ -156,7 +229,7 @@ fn zero_watchdog_flags_any_stall() {
 fn submit_rejects_invalid_specs_without_state_damage() {
     let (topo, [s0, s1, p0, p1]) = line2();
     let mut oracle = OracleRouting::new(&topo);
-    oracle.add_unicast_path(0, &[p0, s0, s1, p1]);
+    oracle.add_unicast_path(0, &[p0, s0, s1, p1]).unwrap();
     let mut sim = NetworkSim::new(&topo, oracle, SimConfig::paper());
     assert_eq!(
         sim.submit(MessageSpec::unicast(p0, p0, 8)),

@@ -10,6 +10,7 @@
 //! * [`wormsim`] — the flit-level wormhole network simulator,
 //! * [`spam`] — the SPAM routing algorithm (paper's contribution),
 //! * [`baselines`] — up*/down* unicast and unicast-based multicast,
+//! * [`faults`] — fault injection and reconfiguration on degraded networks,
 //! * [`traffic`] — workload generation,
 //! * [`simstats`] — statistics and CI-driven replication control.
 //!
@@ -20,6 +21,7 @@ pub use desim;
 pub use netgraph;
 pub use simstats;
 pub use spam_core as spam;
+pub use spam_faults as faults;
 pub use traffic;
 pub use updown;
 pub use wormsim;
@@ -30,10 +32,13 @@ pub mod prelude {
     pub use baselines::{lower_bound, ucast_multicast::UnicastMulticast, UpDownUnicastRouting};
     pub use desim::{Duration, Time};
     pub use netgraph::gen::{fixtures::figure1, IrregularConfig};
-    pub use netgraph::{ChannelId, NodeId, Topology};
+    pub use netgraph::{ChannelId, DegradedTopology, NodeId, Topology};
     pub use simstats::{ConfidenceInterval, RunningStats};
     pub use spam_core::{SelectionPolicy, SpamRouting};
+    pub use spam_faults::{DegradedNetwork, FaultModel, FaultPlan};
     pub use traffic::{DestinationSampler, MixedTrafficConfig};
     pub use updown::{RootSelection, UpDownLabeling};
-    pub use wormsim::{LatencyParams, MessageSpec, NetworkSim, SimConfig, SimOutcome};
+    pub use wormsim::{
+        LatencyParams, MessageSpec, NetworkSim, RouteError, SimConfig, SimError, SimOutcome,
+    };
 }

@@ -75,6 +75,38 @@ fn seeded_mixed_traffic_run_is_pinned() {
 }
 
 #[test]
+fn degraded_network_broadcast_is_pinned() {
+    // A fixed fault scenario end to end: seeded 64-switch lattice, seeded
+    // 15 % i.i.d. link kills, reconfiguration (components + relabeling
+    // with root re-selection), then a broadcast across the largest
+    // surviving component. Pins the fault sampler, the masking, the
+    // partial relabeling, and degraded-network routing determinism.
+    let base = IrregularConfig::with_switches(64).generate(2024);
+    let plan = FaultModel::IidLinks { rate: 0.15 }.sample(&base, None, 99);
+    assert_eq!(plan.links.len(), 25, "fault sampler stream pinned");
+    let net = DegradedNetwork::build(&base, &plan, None);
+    assert_eq!(net.topo.num_channels(), 284);
+    assert_eq!(net.components.len(), 2);
+    let comp = net.largest().unwrap();
+    assert_eq!(comp.nodes.len(), 108);
+    assert_eq!(comp.root, NodeId(5), "re-selected root pinned");
+    let procs = comp.processors(&net.topo);
+    assert_eq!(procs.len(), 49);
+    let spam = SpamRouting::new(&net.topo, &comp.labeling);
+    let mut sim = NetworkSim::new(&net.topo, spam, SimConfig::paper());
+    sim.submit(MessageSpec::multicast(procs[0], procs[1..].to_vec(), 128))
+        .unwrap();
+    let out = sim.run();
+    assert!(out.all_delivered());
+    // Golden values for (topo seed 2024, fault seed 99, lowest-id root
+    // re-selection), pinned against the workspace's deterministic
+    // SplitMix64 `rand` shim.
+    assert_eq!(out.messages[0].latency().unwrap().as_ns(), 12_130);
+    assert_eq!(out.counters.bubbles_created, 884);
+    assert_eq!(out.counters.flits_delivered, 128 * 48);
+}
+
+#[test]
 fn golden_values_are_stable_across_repeated_runs() {
     assert_eq!(fig1_multicast_latency_ns(), fig1_multicast_latency_ns());
 }
