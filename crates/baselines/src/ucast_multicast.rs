@@ -261,6 +261,7 @@ mod tests {
             end_time: Time::ZERO,
             counters: Default::default(),
             channel_crossings: Vec::new(),
+            fault_times: Vec::new(),
             trace: Default::default(),
         };
         assert!(um.makespan(&empty).is_none());

@@ -1,0 +1,133 @@
+//! The live-reconfiguration experiment: SPAM traffic through a mid-run
+//! fault storm (worm teardown + online relabeling + epoch routing swap),
+//! against the static-degraded control on identical damage.
+//!
+//! ```text
+//! cargo run -p spam-bench --bin reconfig_sweep --release
+//! cargo run -p spam-bench --bin reconfig_sweep --release -- --quick
+//! cargo run -p spam-bench --bin reconfig_sweep --release -- --switches 128
+//! ```
+//!
+//! Writes `results/reconfig_sweep.csv`, `results/BENCH_reconfig_sweep.json`,
+//! and a root-level `BENCH_reconfig_sweep.json` copy (the perf-trajectory
+//! record), and prints both curves.
+
+use spam_bench::reconfig_sweep::{run, write_csv, ReconfigSweepConfig};
+use spam_bench::report::{self, BenchJson};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let switches: usize = args
+        .iter()
+        .position(|a| a == "--switches")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--switches takes a number")
+        })
+        .unwrap_or(64);
+    let cfg = if quick {
+        ReconfigSweepConfig::quick(switches)
+    } else {
+        ReconfigSweepConfig::paper(switches)
+    };
+
+    eprintln!(
+        "reconfig_sweep: {switches}-switch networks, storm rates {:?}, multicast sizes {:?}, \
+         {} msgs / {} bursts, target CI {}%",
+        cfg.storm_rates,
+        cfg.dest_counts,
+        cfg.messages,
+        cfg.bursts,
+        cfg.target_rel * 100.0
+    );
+    let t0 = std::time::Instant::now();
+    let points = run(&cfg);
+    eprintln!("reconfig_sweep: finished in {:.1?}", t0.elapsed());
+
+    let csv_path = PathBuf::from("results/reconfig_sweep.csv");
+    write_csv(&csv_path, &points).expect("write csv");
+
+    let mut series = Vec::new();
+    for &k in &cfg.dest_counts {
+        let live: Vec<_> = points
+            .iter()
+            .filter(|p| p.dests == k)
+            .map(|p| p.live.clone())
+            .collect();
+        let stat: Vec<_> = points
+            .iter()
+            .filter(|p| p.dests == k)
+            .map(|p| p.static_.clone())
+            .collect();
+        series.push((format!("live storm k={k}"), live));
+        series.push((format!("static degraded k={k}"), stat));
+    }
+    println!(
+        "{}",
+        report::ascii_plot(
+            &format!(
+                "Reconfiguration sweep — delivered-message latency vs storm intensity, \
+                 {switches}-switch networks (live storm vs static damage)"
+            ),
+            "storm rate (fraction of links killed)",
+            "latency (µs)",
+            &series,
+            18,
+        )
+    );
+    println!(
+        "  {:>6} {:>4} {:>10} {:>10} {:>8} {:>7} {:>8} {:>10} {:>9}",
+        "rate", "k", "live (µs)", "stat (µs)", "deliv", "torn", "unreach", "stat-deliv", "penalty"
+    );
+    for p in &points {
+        println!(
+            "  {:>6.2} {:>4} {:>10.3} {:>10.3} {:>7.1}% {:>6.1}% {:>7.1}% {:>9.1}% {:>8.3}x",
+            p.rate,
+            p.dests,
+            p.live.mean,
+            p.static_.mean,
+            100.0 * p.live_delivered_frac,
+            100.0 * p.live_torn_frac,
+            100.0 * p.live_unreachable_frac,
+            100.0 * p.static_delivered_frac,
+            p.live.mean / p.static_.mean,
+        );
+    }
+
+    // Per-epoch latency series of the heaviest storm cell — the shape of
+    // the transient (epoch 0 = pre-storm traffic).
+    if let Some(worst) = points.iter().rev().find(|p| !p.epoch_latency.is_empty()) {
+        series.push((
+            format!(
+                "per-epoch latency (rate {:.2}, k={})",
+                worst.rate, worst.dests
+            ),
+            worst.epoch_latency.clone(),
+        ));
+    }
+
+    let bench = BenchJson {
+        name: "reconfig_sweep".to_string(),
+        params: vec![
+            ("switches".to_string(), switches.to_string()),
+            ("messages".to_string(), cfg.messages.to_string()),
+            ("spacing_us".to_string(), cfg.spacing_us.to_string()),
+            ("bursts".to_string(), cfg.bursts.to_string()),
+            ("len_flits".to_string(), cfg.len.to_string()),
+            ("target_rel".to_string(), cfg.target_rel.to_string()),
+            ("max_reps".to_string(), cfg.max_reps.to_string()),
+            ("seed".to_string(), cfg.seed.to_string()),
+            ("quick".to_string(), quick.to_string()),
+        ],
+        series,
+    };
+    let json_path = report::write_bench_json(Path::new("results"), &bench).expect("write json");
+    // Root-level copy: the machine-readable perf-trajectory record lives
+    // next to CHANGES.md so run-over-run diffs don't dig through results/.
+    std::fs::copy(&json_path, "BENCH_reconfig_sweep.json").expect("copy json to repo root");
+    println!("-> {}", csv_path.display());
+    println!("-> {} (+ ./BENCH_reconfig_sweep.json)", json_path.display());
+}

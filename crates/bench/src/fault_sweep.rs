@@ -180,8 +180,9 @@ pub fn software_replication(switches: usize, rate: f64, dests: usize, len: u32, 
 /// Parallel paired-replication control: like
 /// [`crate::sweep::replicate_parallel`], but each seed produces one
 /// `(spam, software)` pair pushed into two controllers, and the loop runs
-/// until **both** are satisfied. Seeds are consumed in order, so results
-/// are independent of thread scheduling.
+/// until **both** are satisfied. Seeds are consumed in order (via
+/// [`crate::sweep::replicate_parallel_with`]), so results are independent
+/// of thread scheduling.
 fn replicate_paired<F>(
     spam_ctl: &mut PrecisionController,
     soft_ctl: &mut PrecisionController,
@@ -190,34 +191,14 @@ fn replicate_paired<F>(
 ) where
     F: Fn(u64) -> (f64, f64) + Sync,
 {
-    let batch = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let mut next = 0u64;
-    while !(spam_ctl.satisfied() && soft_ctl.satisfied()) {
-        let seeds: Vec<u64> = (0..batch as u64)
-            .map(|i| crate::split_seed(base_seed, next + i))
-            .collect();
-        next += batch as u64;
-        let results: Vec<(f64, f64)> = std::thread::scope(|s| {
-            let rep = &rep;
-            let handles: Vec<_> = seeds
-                .iter()
-                .map(|&seed| s.spawn(move || rep(seed)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("replication panicked"))
-                .collect()
-        });
-        for (a, b) in results {
-            spam_ctl.push(a);
-            soft_ctl.push(b);
-            if spam_ctl.satisfied() && soft_ctl.satisfied() {
-                break;
-            }
-        }
+    if spam_ctl.satisfied() && soft_ctl.satisfied() {
+        return;
     }
+    crate::sweep::replicate_parallel_with(base_seed, rep, |(a, b)| {
+        spam_ctl.push(a);
+        soft_ctl.push(b);
+        spam_ctl.satisfied() && soft_ctl.satisfied()
+    });
 }
 
 /// Mean largest-component node fraction at a fault rate (fixed sample

@@ -1,0 +1,507 @@
+//! The reconfiguration sweep — SPAM through a *live* fault storm.
+//!
+//! The static fault sweep (`fault_sweep`) measures SPAM on networks that
+//! were already degraded when the run started. This sweep measures the
+//! transient instead: a stream of multicasts is in flight on a pristine
+//! §4 lattice when a storm of link deaths strikes in bursts, worms caught
+//! holding dead channels are torn down, the surviving fabric relabels
+//! itself (incremental up*/down* reconfiguration), and traffic submitted
+//! after each burst routes on the new epoch's labeling.
+//!
+//! Two arms on **identical damage and identical traffic**:
+//!
+//! * **live** — the storm strikes mid-run (`FaultSchedule::storm`);
+//! * **static** — the same deaths collapsed to time zero
+//!   (`FaultSchedule::collapsed_at`), i.e. the PR-2 regime where the
+//!   network is degraded before any worm starts.
+//!
+//! The gap between the arms isolates the *transient*: the live arm loses
+//! worms to teardowns and pays a latency penalty routing around fresh
+//! damage, but also banks every delivery the pre-storm epochs complete on
+//! fabric the static arm never had — so its delivered fraction can land
+//! on either side of the control. Replication control follows the
+//! paper's §4 protocol (95 % CI on the per-replication mean latency of
+//! delivered messages); per-epoch latency statistics are aggregated
+//! across replications by merging each replication's Welford accumulators
+//! ([`RunningStats::merge`]) and latency histograms
+//! ([`simstats::Histogram::merge`]).
+
+use crate::{paper_labeling, paper_network, PointSummary};
+use desim::Time;
+use netgraph::NodeId;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use simstats::{ConfidenceInterval, ConfidenceLevel, Histogram, PrecisionController, RunningStats};
+use spam_core::SpamRouting;
+use spam_faults::FaultModel;
+use spam_reconfig::{EpochRouting, FaultSchedule, ReconfigScenario};
+use wormsim::{MessageSpec, NetworkSim, SimConfig, SimOutcome};
+
+/// Configuration of a reconfiguration sweep.
+#[derive(Debug, Clone)]
+pub struct ReconfigSweepConfig {
+    /// Switches (= processors) in the pristine network.
+    pub switches: usize,
+    /// Storm intensities to sweep: the fraction of links killed over the
+    /// whole storm (0.0 = control cell, no faults).
+    pub storm_rates: Vec<f64>,
+    /// Multicast destination counts to sweep.
+    pub dest_counts: Vec<usize>,
+    /// Messages per replication (the traffic stream the storm hits).
+    pub messages: usize,
+    /// Inter-arrival spacing of the stream, in µs.
+    pub spacing_us: u64,
+    /// Bursts per storm (= relabeling epochs beyond the first).
+    pub bursts: usize,
+    /// Flits per message.
+    pub len: u32,
+    /// Relative CI target for the latency means.
+    pub target_rel: f64,
+    /// Replication budget per cell.
+    pub max_reps: u64,
+    /// RNG stream.
+    pub seed: u64,
+}
+
+impl ReconfigSweepConfig {
+    /// The default sweep: 64-switch lattices, storms killing 0–30 % of
+    /// links in 3 bursts under a 48-message multicast stream.
+    pub fn paper(switches: usize) -> Self {
+        ReconfigSweepConfig {
+            switches,
+            storm_rates: vec![0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30],
+            dest_counts: vec![4, 16],
+            messages: 48,
+            spacing_us: 2,
+            bursts: 3,
+            len: 64,
+            target_rel: 0.02,
+            max_reps: 400,
+            seed: 0x05EC_0F16,
+        }
+    }
+
+    /// A fast, loose-CI variant for smoke tests and CI.
+    pub fn quick(switches: usize) -> Self {
+        ReconfigSweepConfig {
+            storm_rates: vec![0.0, 0.10, 0.30],
+            messages: 32,
+            target_rel: 0.10,
+            max_reps: 12,
+            ..Self::paper(switches)
+        }
+    }
+}
+
+/// Everything one replication reports for both arms.
+#[derive(Debug, Clone)]
+pub struct StormReplication {
+    /// Mean latency (µs) of delivered messages, live arm (`None` if the
+    /// storm delivered nothing).
+    pub live_latency_us: Option<f64>,
+    /// Mean latency (µs) of delivered messages, static arm.
+    pub static_latency_us: Option<f64>,
+    /// Live-arm verdicts `(delivered, torn_down, unreachable)`.
+    pub live_counts: (u64, u64, u64),
+    /// Static-arm verdicts `(delivered, torn_down, unreachable)`.
+    pub static_counts: (u64, u64, u64),
+    /// Messages submitted.
+    pub total: u64,
+    /// Live-arm per-epoch delivered-latency accumulators (index = epoch).
+    pub live_epoch_latency: Vec<RunningStats>,
+    /// Live-arm delivered-latency histogram (µs).
+    pub live_hist: Histogram,
+    /// Static-arm delivered-latency histogram (µs).
+    pub static_hist: Histogram,
+}
+
+/// Histogram geometry shared by every replication so cells can merge.
+/// The range is generous (1 ms at 0.5 µs resolution) so congested tails
+/// on large `--switches` runs stay in range instead of vanishing into the
+/// overflow bucket and silently understating the p95 column.
+fn latency_histogram() -> Histogram {
+    Histogram::new(0.0, 1000.0, 2000)
+}
+
+fn verdict_counts(out: &SimOutcome) -> (u64, u64, u64) {
+    let c = &out.counters;
+    (
+        c.messages_completed,
+        c.messages_torn_down,
+        c.messages_unreachable,
+    )
+}
+
+/// One replication: build a pristine lattice and a multicast stream, then
+/// run the identical (damage, traffic) pair through the live storm and
+/// the static-degraded control. Deterministic in
+/// `(switches, rate, dests, seed)`.
+#[allow(clippy::too_many_arguments)]
+pub fn storm_replication(
+    switches: usize,
+    rate: f64,
+    dests: usize,
+    messages: usize,
+    spacing_us: u64,
+    bursts: usize,
+    len: u32,
+    seed: u64,
+) -> StormReplication {
+    let base = paper_network(switches, crate::split_seed(seed, 0xA));
+    let ud = paper_labeling(&base);
+    // The storm strikes the middle half of the stream's startup-shifted
+    // arrival window, so worms are in flight at every burst.
+    let span_us = messages as u64 * spacing_us;
+    let window = (
+        Time::from_us(10 + span_us / 4),
+        Time::from_us(10 + span_us * 3 / 4),
+    );
+    let schedule = if rate > 0.0 {
+        FaultSchedule::storm(
+            &FaultModel::IidLinks { rate },
+            &base,
+            None,
+            window,
+            bursts,
+            crate::split_seed(seed, 0xB),
+        )
+    } else {
+        FaultSchedule::default()
+    };
+
+    let procs: Vec<NodeId> = base.processors().collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(crate::split_seed(seed, 0xC));
+    let specs: Vec<MessageSpec> = (0..messages)
+        .map(|i| {
+            let src = procs[rng.gen_range(0..procs.len())];
+            let mut others: Vec<NodeId> = procs.iter().copied().filter(|&p| p != src).collect();
+            others.shuffle(&mut rng);
+            others.truncate(dests);
+            MessageSpec::multicast(src, others, len).at(Time::from_us(i as u64 * spacing_us))
+        })
+        .collect();
+
+    let run = |schedule: &FaultSchedule, routing: EpochRouting<'_>| -> SimOutcome {
+        let mut sim = NetworkSim::new(&base, routing, SimConfig::paper());
+        schedule.install(&mut sim);
+        for s in &specs {
+            sim.submit(s.clone()).unwrap();
+        }
+        sim.run()
+    };
+
+    let scenario = ReconfigScenario::build(&base, &ud, &schedule);
+    let live = run(&schedule, scenario.routing(&base));
+
+    // Static control: the same deaths collapsed to time zero. Every
+    // message routes on the post-damage labeling, so build only that one
+    // epoch — a pristine epoch-0 router would be dead weight (a full
+    // RoutingTables build per replication that no message ever uses).
+    let collapsed = schedule.collapsed_at(Time::ZERO);
+    let view = collapsed.view_at(&base, Time::ZERO);
+    let (static_ud, _) = ud
+        .relabel_after(&view)
+        .expect("a switch survives the storm");
+    let static_mask = view.alive_channel_mask();
+    let static_router = SpamRouting::new_masked(&base, &static_ud, &static_mask);
+    let stat = run(
+        &collapsed,
+        EpochRouting::new(Vec::new(), vec![static_router]),
+    );
+    assert!(
+        live.all_accounted(),
+        "live arm lost messages (rate {rate}, seed {seed}): {:?} {:?}",
+        live.error,
+        live.deadlock
+    );
+    assert!(
+        stat.all_accounted(),
+        "static arm lost messages (rate {rate}, seed {seed}): {:?} {:?}",
+        stat.error,
+        stat.deadlock
+    );
+
+    let mut live_epoch_latency: Vec<RunningStats> = vec![RunningStats::new(); live.num_epochs()];
+    let mut live_hist = latency_histogram();
+    for m in live.messages.iter().filter(|m| m.is_complete()) {
+        let us = m.latency().expect("complete").as_us_f64();
+        live_epoch_latency[live.epoch_of(m.spec.gen_time)].push(us);
+        live_hist.record(us);
+    }
+    let mut static_hist = latency_histogram();
+    for us in stat.latencies_us(|_| true) {
+        static_hist.record(us);
+    }
+
+    StormReplication {
+        live_latency_us: live.mean_latency_us(|_| true),
+        static_latency_us: stat.mean_latency_us(|_| true),
+        live_counts: verdict_counts(&live),
+        static_counts: verdict_counts(&stat),
+        total: specs.len() as u64,
+        live_epoch_latency,
+        live_hist,
+        static_hist,
+    }
+}
+
+/// One finished sweep cell.
+#[derive(Debug, Clone)]
+pub struct ReconfigPoint {
+    /// Storm intensity (fraction of links killed).
+    pub rate: f64,
+    /// Multicast destination count.
+    pub dests: usize,
+    /// Live-arm delivered latency (µs); `x` is the rate.
+    pub live: PointSummary,
+    /// Static-degraded control latency (µs).
+    pub static_: PointSummary,
+    /// Live-arm mean delivered fraction.
+    pub live_delivered_frac: f64,
+    /// Live-arm mean torn-down fraction.
+    pub live_torn_frac: f64,
+    /// Live-arm mean unreachable fraction.
+    pub live_unreachable_frac: f64,
+    /// Static-arm mean delivered fraction.
+    pub static_delivered_frac: f64,
+    /// Static-arm mean unreachable fraction.
+    pub static_unreachable_frac: f64,
+    /// Live-arm 95th-percentile delivered latency (µs), from the merged
+    /// cell-level histogram.
+    pub live_p95_us: Option<f64>,
+    /// Static-arm 95th-percentile delivered latency (µs).
+    pub static_p95_us: Option<f64>,
+    /// Per-epoch delivered latency of the live arm (`x` = epoch index),
+    /// merged across replications.
+    pub epoch_latency: Vec<PointSummary>,
+}
+
+/// Runs the full sweep; one [`ReconfigPoint`] per (rate, dest-count) cell.
+pub fn run(cfg: &ReconfigSweepConfig) -> Vec<ReconfigPoint> {
+    let mut out = Vec::new();
+    for &k in &cfg.dest_counts {
+        for &rate in &cfg.storm_rates {
+            let stream = crate::split_seed(cfg.seed, (k as u64) << 32 | (rate * 1e4) as u64);
+            let controller =
+                || PrecisionController::new(cfg.target_rel, ConfidenceLevel::P95, 3, cfg.max_reps);
+            let (mut live_ctl, mut static_ctl) = (controller(), controller());
+            let mut fracs = [RunningStats::new(); 5];
+            let mut epoch_stats: Vec<RunningStats> = Vec::new();
+            let mut live_hist = latency_histogram();
+            let mut static_hist = latency_histogram();
+            let mut reps = 0u64;
+            crate::sweep::replicate_parallel_with(
+                stream,
+                |s: u64| {
+                    storm_replication(
+                        cfg.switches,
+                        rate,
+                        k,
+                        cfg.messages,
+                        cfg.spacing_us,
+                        cfg.bursts,
+                        cfg.len,
+                        s,
+                    )
+                },
+                |r: StormReplication| {
+                    reps += 1;
+                    if let Some(l) = r.live_latency_us {
+                        live_ctl.push(l);
+                    }
+                    if let Some(l) = r.static_latency_us {
+                        static_ctl.push(l);
+                    }
+                    let t = r.total as f64;
+                    fracs[0].push(r.live_counts.0 as f64 / t);
+                    fracs[1].push(r.live_counts.1 as f64 / t);
+                    fracs[2].push(r.live_counts.2 as f64 / t);
+                    fracs[3].push(r.static_counts.0 as f64 / t);
+                    fracs[4].push(r.static_counts.2 as f64 / t);
+                    // Streaming per-epoch aggregation: merge this
+                    // replication's Welford accumulators and histograms
+                    // into the cell's.
+                    if epoch_stats.len() < r.live_epoch_latency.len() {
+                        epoch_stats.resize(r.live_epoch_latency.len(), RunningStats::new());
+                    }
+                    for (cell, rep) in epoch_stats.iter_mut().zip(&r.live_epoch_latency) {
+                        cell.merge(rep);
+                    }
+                    live_hist.merge(&r.live_hist);
+                    static_hist.merge(&r.static_hist);
+                    reps >= cfg.max_reps || (live_ctl.satisfied() && static_ctl.satisfied())
+                },
+            );
+            let summarize = |ctl: &PrecisionController| match ctl.interval() {
+                Some(ci) => PointSummary {
+                    x: rate,
+                    mean: ci.mean,
+                    ci_half_width: ci.half_width,
+                    reps: ctl.count(),
+                    target_met: ctl.met_target(),
+                },
+                // A cell can starve an arm entirely (e.g. heavy storms on
+                // tiny networks leave the static arm with no delivered
+                // messages at all): report NaN, not a panic — the JSON
+                // writer turns it into `null`.
+                None => PointSummary {
+                    x: rate,
+                    mean: f64::NAN,
+                    ci_half_width: f64::NAN,
+                    reps: ctl.count(),
+                    target_met: false,
+                },
+            };
+            let epoch_latency = epoch_stats
+                .iter()
+                .enumerate()
+                .map(|(e, s)| {
+                    let ci = ConfidenceInterval::from_stats(s, ConfidenceLevel::P95);
+                    PointSummary {
+                        x: e as f64,
+                        mean: s.mean(),
+                        ci_half_width: ci.map_or(0.0, |c| c.half_width),
+                        reps: s.count(),
+                        target_met: true,
+                    }
+                })
+                .collect();
+            out.push(ReconfigPoint {
+                rate,
+                dests: k,
+                live: summarize(&live_ctl),
+                static_: summarize(&static_ctl),
+                live_delivered_frac: fracs[0].mean(),
+                live_torn_frac: fracs[1].mean(),
+                live_unreachable_frac: fracs[2].mean(),
+                static_delivered_frac: fracs[3].mean(),
+                static_unreachable_frac: fracs[4].mean(),
+                live_p95_us: live_hist.percentile(95.0),
+                static_p95_us: static_hist.percentile(95.0),
+                epoch_latency,
+            });
+        }
+    }
+    out
+}
+
+/// Writes the sweep's CSV (`results/reconfig_sweep.csv` shape).
+pub fn write_csv(path: &std::path::Path, points: &[ReconfigPoint]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "storm_rate,dests,live_latency_us,live_ci_us,live_reps,live_met,\
+         live_delivered_frac,live_torn_frac,live_unreachable_frac,live_p95_us,\
+         static_latency_us,static_ci_us,static_delivered_frac,static_unreachable_frac,\
+         static_p95_us,latency_penalty"
+    )?;
+    for p in points {
+        writeln!(
+            f,
+            "{},{},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3}",
+            p.rate,
+            p.dests,
+            p.live.mean,
+            p.live.ci_half_width,
+            p.live.reps,
+            p.live.target_met,
+            p.live_delivered_frac,
+            p.live_torn_frac,
+            p.live_unreachable_frac,
+            p.live_p95_us.unwrap_or(f64::NAN),
+            p.static_.mean,
+            p.static_.ci_half_width,
+            p.static_delivered_frac,
+            p.static_unreachable_frac,
+            p.static_p95_us.unwrap_or(f64::NAN),
+            p.live.mean / p.static_.mean,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(seed: u64) -> StormReplication {
+        storm_replication(16, 0.2, 3, 12, 2, 2, 32, seed)
+    }
+
+    #[test]
+    fn replications_are_deterministic() {
+        let (a, b) = (rep(5), rep(5));
+        assert_eq!(a.live_latency_us, b.live_latency_us);
+        assert_eq!(a.live_counts, b.live_counts);
+        assert_eq!(a.static_counts, b.static_counts);
+    }
+
+    #[test]
+    fn zero_rate_arms_are_identical_and_lossless() {
+        let r = storm_replication(16, 0.0, 3, 12, 2, 2, 32, 9);
+        assert_eq!(r.live_counts, (r.total, 0, 0));
+        assert_eq!(r.static_counts, (r.total, 0, 0));
+        assert_eq!(r.live_latency_us, r.static_latency_us);
+        assert_eq!(r.live_epoch_latency.len(), 1, "no faults, one epoch");
+    }
+
+    #[test]
+    fn storms_tear_down_worms_only_in_the_live_arm() {
+        // Accumulate a few replications of a heavy storm under dense
+        // in-flight traffic. Teardowns exist only in the live arm (the
+        // static arm's damage predates every worm), verdicts partition
+        // both arms, and the live arm delivers at least the pre-storm
+        // epoch — often *more* than the static arm, because messages
+        // submitted before a burst complete on fabric that still exists.
+        let mut live_delivered = 0;
+        let mut torn = 0;
+        for seed in 0..6 {
+            let r = storm_replication(24, 0.3, 4, 16, 2, 2, 48, seed);
+            live_delivered += r.live_counts.0;
+            torn += r.live_counts.1;
+            assert_eq!(r.live_counts.0 + r.live_counts.1 + r.live_counts.2, r.total);
+            assert_eq!(
+                r.static_counts.0 + r.static_counts.2,
+                r.total,
+                "static damage causes no teardowns, only unreachables"
+            );
+            assert_eq!(r.static_counts.1, 0);
+        }
+        assert!(torn > 0, "a 30% mid-run storm must catch some worms");
+        assert!(live_delivered > 0, "the pre-storm epoch always lands");
+    }
+
+    #[test]
+    fn quick_sweep_produces_all_cells() {
+        let cfg = ReconfigSweepConfig {
+            switches: 16,
+            storm_rates: vec![0.0, 0.25],
+            dest_counts: vec![2, 4],
+            messages: 10,
+            spacing_us: 2,
+            bursts: 2,
+            len: 16,
+            target_rel: 0.25,
+            max_reps: 4,
+            seed: 1,
+        };
+        let pts = run(&cfg);
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!(p.live.mean > 0.0);
+            // The static arm may starve entirely on a tiny heavily-damaged
+            // network (all dests unreachable): NaN mean, never negative.
+            assert!(p.static_.mean > 0.0 || p.static_.mean.is_nan());
+            assert!(p.live_delivered_frac > 0.0 && p.live_delivered_frac <= 1.0);
+            assert!(!p.epoch_latency.is_empty());
+            if p.rate == 0.0 {
+                assert_eq!(p.live_delivered_frac, 1.0);
+                assert_eq!(p.live_torn_frac, 0.0);
+            }
+        }
+    }
+}

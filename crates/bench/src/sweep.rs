@@ -8,24 +8,30 @@
 
 use simstats::PrecisionController;
 
-/// Runs seeded replications of `rep` in parallel until `controller` is
-/// satisfied. Returns the number of replications executed.
+/// The generic parallel replication driver every sweep builds on: runs
+/// seeded replications of `rep` in deterministic seed order, fanning each
+/// batch of `available_parallelism` runs across scoped threads, and feeds
+/// the results **in seed order** to `consume`, which folds them into the
+/// caller's stopping state and returns `true` to stop. Results past the
+/// stop point (the rest of the final batch) are discarded, so the
+/// statistics are independent of thread scheduling.
 ///
 /// `rep(seed)` must be a pure function of its seed.
-pub fn replicate_parallel<F>(controller: &mut PrecisionController, base_seed: u64, rep: F) -> u64
+pub fn replicate_parallel_with<T, F>(base_seed: u64, rep: F, mut consume: impl FnMut(T) -> bool)
 where
-    F: Fn(u64) -> f64 + Sync,
+    T: Send,
+    F: Fn(u64) -> T + Sync,
 {
     let batch = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
     let mut next = 0u64;
-    while !controller.satisfied() {
+    loop {
         let seeds: Vec<u64> = (0..batch as u64)
             .map(|i| crate::split_seed(base_seed, next + i))
             .collect();
         next += batch as u64;
-        let results: Vec<f64> = std::thread::scope(|s| {
+        let results: Vec<T> = std::thread::scope(|s| {
             let rep = &rep;
             let handles: Vec<_> = seeds
                 .iter()
@@ -37,11 +43,26 @@ where
                 .collect()
         });
         for r in results {
-            controller.push(r);
-            if controller.satisfied() {
-                break;
+            if consume(r) {
+                return;
             }
         }
+    }
+}
+
+/// Runs seeded replications of `rep` in parallel until `controller` is
+/// satisfied. Returns the number of replications executed.
+///
+/// `rep(seed)` must be a pure function of its seed.
+pub fn replicate_parallel<F>(controller: &mut PrecisionController, base_seed: u64, rep: F) -> u64
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    if !controller.satisfied() {
+        replicate_parallel_with(base_seed, rep, |r| {
+            controller.push(r);
+            controller.satisfied()
+        });
     }
     controller.count()
 }

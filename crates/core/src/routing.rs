@@ -54,6 +54,9 @@ pub struct SpamRouting<'a> {
     ud: &'a UpDownLabeling,
     tables: Arc<RoutingTables>,
     policy: SelectionPolicy,
+    /// Per-channel liveness for degraded-but-not-renumbered networks
+    /// (live reconfiguration); `None` means every channel is usable.
+    alive: Option<Arc<[bool]>>,
 }
 
 impl<'a> SpamRouting<'a> {
@@ -64,7 +67,35 @@ impl<'a> SpamRouting<'a> {
             ud,
             tables: Arc::new(RoutingTables::build(topo, ud)),
             policy: SelectionPolicy::default(),
+            alive: None,
         }
+    }
+
+    /// Builds SPAM over a labeling of a degraded network that keeps the
+    /// base topology's channel ids: channels marked dead in `alive` are
+    /// never requested and never count as legal moves, and the distance
+    /// tables are computed over the surviving subgraph only. This is the
+    /// post-fault epoch router of live reconfiguration — the labeling
+    /// should come from [`updown::UpDownLabeling::relabel_after`].
+    pub fn new_masked(topo: &'a Topology, ud: &'a UpDownLabeling, alive: &[bool]) -> Self {
+        assert_eq!(
+            alive.len(),
+            topo.num_channels(),
+            "liveness mask covers every channel"
+        );
+        SpamRouting {
+            topo,
+            ud,
+            tables: Arc::new(RoutingTables::build_masked(topo, ud, Some(alive))),
+            policy: SelectionPolicy::default(),
+            alive: Some(alive.into()),
+        }
+    }
+
+    /// True when channel `c` may carry traffic under this router's view.
+    #[inline]
+    fn is_alive(&self, c: ChannelId) -> bool {
+        self.alive.as_ref().is_none_or(|a| a[c.index()])
     }
 
     /// Same labeling, different selection policy (shares the tables).
@@ -96,6 +127,9 @@ impl<'a> SpamRouting<'a> {
     ) -> Vec<(ChannelId, Phase)> {
         let mut out = Vec::new();
         for &c in self.topo.out_channels(node) {
+            if !self.is_alive(c) {
+                continue;
+            }
             let v = self.topo.channel(c).dst;
             let next = match (self.ud.class(c), phase) {
                 // Rule 1: up channels while still in the up phase.
@@ -171,6 +205,10 @@ impl<'a> SpamRouting<'a> {
                     .topo
                     .channel_between(node, child)
                     .expect("tree edges are links");
+                debug_assert!(
+                    self.is_alive(ch),
+                    "a relabeled spanning tree only uses surviving links"
+                );
                 requests.push((
                     ch,
                     SpamHeader {
@@ -190,9 +228,16 @@ impl RoutingAlgorithm for SpamRouting<'_> {
     type Header = SpamHeader;
 
     fn initial_header(&self, spec: &MessageSpec) -> Result<SpamHeader, RouteError> {
-        // On a degraded network a destination may have been lost to the
-        // dead zone: no labeling covers it, no LCA exists, and no routing
-        // algorithm could reach it — reject before any flit moves.
+        // On a degraded network the source's island may have been severed
+        // from the routable component: it can reach nothing. Reject before
+        // any flit moves (rule 1 would otherwise let the worm wander its
+        // island's up channels with no completion existing).
+        if !self.ud.is_labeled(spec.src) {
+            return Err(RouteError::SourceDisconnected { src: spec.src });
+        }
+        // Likewise a destination may have been lost to the dead zone: no
+        // labeling covers it, no LCA exists, and no routing algorithm
+        // could reach it.
         if let Some(&dead) = spec.dests.iter().find(|&&d| !self.ud.is_labeled(d)) {
             return Err(RouteError::UnreachableDestination { dest: dead });
         }

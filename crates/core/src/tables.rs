@@ -55,10 +55,21 @@ pub struct RoutingTables {
 impl RoutingTables {
     /// Builds tables for all targets.
     pub fn build(topo: &Topology, ud: &UpDownLabeling) -> Self {
+        Self::build_masked(topo, ud, None)
+    }
+
+    /// Builds tables for all targets, optionally restricted to the
+    /// channels marked alive in `mask` — the live-reconfiguration case,
+    /// where routing runs on the base topology but must never count a
+    /// dead channel as a legal (or distance-reducing) move.
+    pub fn build_masked(topo: &Topology, ud: &UpDownLabeling, mask: Option<&[bool]>) -> Self {
+        if let Some(m) = mask {
+            assert_eq!(m.len(), topo.num_channels(), "mask covers every channel");
+        }
         let n = topo.num_nodes();
         let dist = topo
             .nodes()
-            .map(|t| Self::build_for_target(topo, ud, t))
+            .map(|t| Self::build_for_target(topo, ud, t, mask))
             .collect();
         RoutingTables { n, dist }
     }
@@ -76,7 +87,12 @@ impl RoutingTables {
     }
 
     /// Reverse BFS over the phase-layered graph from `(target, *)`.
-    fn build_for_target(topo: &Topology, ud: &UpDownLabeling, target: NodeId) -> Vec<u16> {
+    fn build_for_target(
+        topo: &Topology,
+        ud: &UpDownLabeling,
+        target: NodeId,
+        mask: Option<&[bool]>,
+    ) -> Vec<u16> {
         let n = topo.num_nodes();
         let mut d = vec![UNREACHABLE; 3 * n];
         let mut q = VecDeque::new();
@@ -91,6 +107,9 @@ impl RoutingTables {
             // (v, ph_v); legality depends on the *edge*, so enumerate v's
             // incoming channels and check which phases could have used them.
             for &c in topo.in_channels(v) {
+                if mask.is_some_and(|m| !m[c.index()]) {
+                    continue; // a dead channel is never a legal edge
+                }
                 let u = topo.channel(c).src;
                 let preds: &[Phase] = match ud.class(c) {
                     // Up channels keep the worm in the up phase.

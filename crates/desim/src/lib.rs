@@ -96,6 +96,15 @@ impl<E> Schedule<E> {
         self.queue.schedule(at, event);
     }
 
+    /// Schedules `event` at the absolute instant `at`, clamped to the
+    /// current time: an instant already in the past becomes "now". This is
+    /// the right call for externally supplied schedules (e.g. a fault
+    /// timeline installed while a simulation is running) where a stale
+    /// timestamp should mean "immediately", not a crash.
+    pub fn at_or_now(&mut self, at: Time, event: E) {
+        self.queue.schedule(at.max(self.now), event);
+    }
+
     /// Removes and returns the next event, advancing the clock to its
     /// timestamp. Returns `None` when the event list is exhausted.
     ///
@@ -147,6 +156,21 @@ mod tests {
         s.after(Duration::from_ns(10), "second");
         let (t, _) = s.next().unwrap();
         assert_eq!(t, Time::from_ns(20));
+    }
+
+    #[test]
+    fn at_or_now_clamps_past_instants_to_now() {
+        let mut s: Schedule<&str> = Schedule::new();
+        s.at(Time::from_ns(10), "tick");
+        s.next();
+        // 5 ns is in the past; the event fires at the current time (10 ns),
+        // after anything already queued for that instant.
+        s.at_or_now(Time::from_ns(5), "stale");
+        s.at_or_now(Time::from_ns(20), "future");
+        let (t1, e1) = s.next().unwrap();
+        assert_eq!((t1, e1), (Time::from_ns(10), "stale"));
+        let (t2, e2) = s.next().unwrap();
+        assert_eq!((t2, e2), (Time::from_ns(20), "future"));
     }
 
     #[test]

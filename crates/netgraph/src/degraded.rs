@@ -90,6 +90,14 @@ impl<'a> DegradedTopology<'a> {
                 .any(|&c| self.channel_alive[c.index()])
     }
 
+    /// Per-channel liveness, indexed by base [`ChannelId`] — the mask a
+    /// routing algorithm needs to avoid dead channels while keeping the
+    /// base topology's channel numbering (live reconfiguration, where the
+    /// simulator keeps running on the base topology).
+    pub fn alive_channel_mask(&self) -> Vec<bool> {
+        self.channel_alive.clone()
+    }
+
     /// Surviving channels (both directions of surviving links).
     pub fn num_alive_channels(&self) -> usize {
         self.channel_alive.iter().filter(|a| **a).count()

@@ -1,0 +1,175 @@
+//! The epoch chain: one incremental relabeling per fault boundary.
+
+use crate::routing::EpochRouting;
+use crate::schedule::FaultSchedule;
+use desim::Time;
+use netgraph::Topology;
+use spam_core::SpamRouting;
+use updown::{RelabelReport, UpDownLabeling};
+
+/// A fully precomputed live-reconfiguration scenario: the per-epoch
+/// labelings and channel-liveness masks a storm produces over a base
+/// topology.
+///
+/// Epoch 0 uses the caller's pristine labeling; epoch `e ≥ 1` is the
+/// cumulative damage up to the `e`-th fault boundary, relabeled
+/// incrementally from epoch `e - 1` ([`UpDownLabeling::relabel_after`]) so
+/// the surviving spanning-tree structure — and therefore most channel
+/// labels — carries over. In a real fabric this precomputation would be
+/// the reconfiguration daemon; in the simulator it runs up front because
+/// the storm is known, keeping the hot event loop free of labeling work.
+#[derive(Debug, Clone)]
+pub struct ReconfigScenario {
+    boundaries: Vec<Time>,
+    labelings: Vec<UpDownLabeling>,
+    masks: Vec<Vec<bool>>,
+    reports: Vec<RelabelReport>,
+}
+
+impl ReconfigScenario {
+    /// Precomputes the epoch chain for `schedule` over `base`, starting
+    /// from the pristine `initial` labeling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a boundary leaves no switch alive (the storm destroyed
+    /// the whole fabric — no labeling can exist).
+    pub fn build(base: &Topology, initial: &UpDownLabeling, schedule: &FaultSchedule) -> Self {
+        assert_eq!(
+            initial.num_nodes(),
+            base.num_nodes(),
+            "initial labeling must cover the base topology"
+        );
+        let boundaries = schedule.fault_times();
+        let mut labelings = vec![initial.clone()];
+        let mut masks = vec![vec![true; base.num_channels()]];
+        let mut reports = Vec::with_capacity(boundaries.len());
+        for &t in &boundaries {
+            let view = schedule.view_at(base, t);
+            let prev = labelings.last().expect("epoch 0 exists");
+            let (next, report) = prev
+                .relabel_after(&view)
+                .expect("a switch survives the storm");
+            masks.push(view.alive_channel_mask());
+            labelings.push(next);
+            reports.push(report);
+        }
+        ReconfigScenario {
+            boundaries,
+            labelings,
+            masks,
+            reports,
+        }
+    }
+
+    /// Number of routing epochs (fault boundaries plus one).
+    pub fn num_epochs(&self) -> usize {
+        self.labelings.len()
+    }
+
+    /// The epoch boundaries (sorted fault instants).
+    pub fn boundaries(&self) -> &[Time] {
+        &self.boundaries
+    }
+
+    /// The epoch a message generated at `t` routes in: generation at or
+    /// after a boundary uses the post-fault labeling.
+    pub fn epoch_of(&self, t: Time) -> usize {
+        self.boundaries.partition_point(|&b| b <= t)
+    }
+
+    /// Epoch `e`'s labeling.
+    pub fn labeling(&self, e: usize) -> &UpDownLabeling {
+        &self.labelings[e]
+    }
+
+    /// Epoch `e`'s channel-liveness mask over base channel ids.
+    pub fn mask(&self, e: usize) -> &[bool] {
+        &self.masks[e]
+    }
+
+    /// One [`RelabelReport`] per boundary (`reports()[i]` describes the
+    /// transition into epoch `i + 1`).
+    pub fn reports(&self) -> &[RelabelReport] {
+        &self.reports
+    }
+
+    /// Builds the epoch-switching router for this scenario: messages are
+    /// routed by the [`SpamRouting`] of their generation epoch, masked to
+    /// that epoch's surviving channels.
+    pub fn routing<'a>(&'a self, base: &'a Topology) -> EpochRouting<'a> {
+        let epochs = self
+            .labelings
+            .iter()
+            .zip(&self.masks)
+            .map(|(ud, mask)| SpamRouting::new_masked(base, ud, mask))
+            .collect();
+        EpochRouting::new(self.boundaries.clone(), epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultEvent, FaultKind};
+    use netgraph::gen::lattice::IrregularConfig;
+    use spam_faults::FaultModel;
+    use updown::RootSelection;
+
+    #[test]
+    fn epoch_chain_tracks_cumulative_damage() {
+        let base = IrregularConfig::with_switches(48).generate(4);
+        let ud = UpDownLabeling::build(&base, RootSelection::LowestId);
+        let storm = FaultSchedule::storm(
+            &FaultModel::IidLinks { rate: 0.2 },
+            &base,
+            None,
+            (Time::from_us(10), Time::from_us(40)),
+            3,
+            77,
+        );
+        let sc = ReconfigScenario::build(&base, &ud, &storm);
+        assert_eq!(sc.num_epochs(), storm.fault_times().len() + 1);
+        assert_eq!(sc.reports().len(), sc.num_epochs() - 1);
+        // Masks only ever lose channels.
+        for e in 1..sc.num_epochs() {
+            let dead_prev = sc.mask(e - 1).iter().filter(|a| !**a).count();
+            let dead_now = sc.mask(e).iter().filter(|a| !**a).count();
+            assert!(dead_now > dead_prev, "each boundary kills something");
+            // Labeled sets shrink (or stay) as the network fragments.
+            assert!(sc.labeling(e).num_labeled() <= sc.labeling(e - 1).num_labeled());
+        }
+        // Epoch lookup: before, between, and after boundaries.
+        assert_eq!(sc.epoch_of(Time::ZERO), 0);
+        assert_eq!(sc.epoch_of(sc.boundaries()[0]), 1);
+        assert_eq!(sc.epoch_of(Time::MAX), sc.num_epochs() - 1);
+    }
+
+    #[test]
+    fn scenario_reuses_surviving_tree_structure() {
+        let base = IrregularConfig::with_switches(64).generate(9);
+        let ud = UpDownLabeling::build(&base, RootSelection::LowestId);
+        // One cross-ish link at a time: most of the tree must survive each
+        // relabel.
+        let c = base
+            .channel_ids()
+            .find(|&c| {
+                let ch = base.channel(c);
+                base.is_switch(ch.src)
+                    && base.is_switch(ch.dst)
+                    && ud.parent(ch.dst) != Some(ch.src)
+                    && ud.parent(ch.src) != Some(ch.dst)
+            })
+            .expect("a cross link exists");
+        let sched = FaultSchedule::new(vec![FaultEvent {
+            at: Time::from_us(20),
+            kind: FaultKind::LinkDown(c),
+        }]);
+        let sc = ReconfigScenario::build(&base, &ud, &sched);
+        let rep = &sc.reports()[0];
+        assert!(!rep.full_rebuild);
+        assert_eq!(rep.reattached_nodes, 0, "a cross link is not in the tree");
+        assert_eq!(rep.kept_tree_edges, base.num_nodes() - 1);
+        assert_eq!(rep.changed_channels, 0);
+    }
+}

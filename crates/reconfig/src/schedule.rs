@@ -1,0 +1,258 @@
+//! Timed fault schedules: *when* the components sampled by a
+//! [`FaultModel`] die.
+//!
+//! A schedule is pure data — a time-sorted list of link/switch deaths —
+//! deterministic in its seed, so the live arm and any baseline arm of an
+//! experiment can replay the identical storm.
+
+use desim::Time;
+use netgraph::gen::lattice::LatticeLayout;
+use netgraph::{ChannelId, DegradedTopology, NodeId, Topology};
+use rand::{Rng, SeedableRng};
+use spam_faults::{FaultModel, FaultPlan};
+use wormsim::{NetworkSim, RoutingAlgorithm};
+
+/// What dies in one fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The bidirectional link containing this (forward) channel.
+    LinkDown(ChannelId),
+    /// A switch and every link incident to it.
+    SwitchDown(NodeId),
+}
+
+/// One timed death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulation instant at which the component dies.
+    pub at: Time,
+    /// The dying component.
+    pub kind: FaultKind,
+}
+
+/// A time-sorted list of fault events — the storm a live-reconfiguration
+/// run is subjected to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from explicit events (scripted scenarios,
+    /// regression pins). Events are stably sorted by time.
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultSchedule { events }
+    }
+
+    /// Samples a fault **storm**: `model` decides *what* dies (exactly as
+    /// in a static fault sweep — same seed, same victims), and each death
+    /// is assigned to one of `bursts` instants evenly spaced inside
+    /// `window`. Deterministic in `(model, topo, seed)`.
+    ///
+    /// Bursts model how real fabrics fail — a rack power event or a cable
+    /// cut kills several links at one instant — and keep the epoch count
+    /// (hence the relabeling cost) bounded at `bursts` regardless of the
+    /// storm's intensity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bursts == 0` or the window is empty, or on the
+    /// [`FaultModel::sample`] preconditions.
+    pub fn storm(
+        model: &FaultModel,
+        topo: &Topology,
+        layout: Option<&LatticeLayout>,
+        window: (Time, Time),
+        bursts: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(bursts > 0, "a storm needs at least one burst");
+        let (start, end) = window;
+        assert!(end > start, "empty storm window");
+        let plan = model.sample(topo, layout, seed);
+        let span = end.as_ns() - start.as_ns();
+        let burst_time =
+            |i: usize| Time::from_ns(start.as_ns() + span * (i as u64 + 1) / (bursts as u64 + 1));
+        // A distinct stream for the burst assignment so it never perturbs
+        // the victim draw.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5708_B1A5_7C0D_E5ED);
+        let mut events = Vec::with_capacity(plan.links.len() + plan.switches.len());
+        for &c in &plan.links {
+            events.push(FaultEvent {
+                at: burst_time(rng.gen_range(0..bursts)),
+                kind: FaultKind::LinkDown(c),
+            });
+        }
+        for &s in &plan.switches {
+            events.push(FaultEvent {
+                at: burst_time(rng.gen_range(0..bursts)),
+                kind: FaultKind::SwitchDown(s),
+            });
+        }
+        Self::new(events)
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when nothing dies.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Sorted, deduplicated fault instants — the epoch boundaries.
+    pub fn fault_times(&self) -> Vec<Time> {
+        let mut t: Vec<Time> = self.events.iter().map(|e| e.at).collect();
+        t.dedup();
+        t
+    }
+
+    /// The same deaths all collapsed onto one instant — the static-
+    /// degraded control arm of a live experiment: with `at` = time zero
+    /// the whole storm strikes before any worm starts, reproducing the
+    /// "faults exist before the run" regime on identical damage.
+    pub fn collapsed_at(&self, at: Time) -> Self {
+        FaultSchedule {
+            events: self
+                .events
+                .iter()
+                .map(|e| FaultEvent { at, kind: e.kind })
+                .collect(),
+        }
+    }
+
+    /// The cumulative damage at time `t`: a degraded view of `base` with
+    /// every component dead whose event fired at or before `t`.
+    pub fn view_at<'a>(&self, base: &'a Topology, t: Time) -> DegradedTopology<'a> {
+        let mut view = DegradedTopology::new(base);
+        for e in self.events.iter().take_while(|e| e.at <= t) {
+            match e.kind {
+                FaultKind::LinkDown(c) => view.kill_link(c),
+                FaultKind::SwitchDown(s) => view.kill_switch(s),
+            }
+        }
+        view
+    }
+
+    /// The full damage as a [`FaultPlan`] (for reuse with the static
+    /// `spam-faults` pipeline).
+    pub fn final_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        for e in &self.events {
+            match e.kind {
+                FaultKind::LinkDown(c) => plan.links.push(c),
+                FaultKind::SwitchDown(s) => plan.switches.push(s),
+            }
+        }
+        plan
+    }
+
+    /// Installs every event into a simulator as engine fault events,
+    /// switching the run into live-reconfiguration mode.
+    pub fn install<R: RoutingAlgorithm>(&self, sim: &mut NetworkSim<'_, R>) {
+        for e in &self.events {
+            match e.kind {
+                FaultKind::LinkDown(c) => sim.schedule_link_down(e.at, c),
+                FaultKind::SwitchDown(s) => sim.schedule_switch_down(e.at, s),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::gen::lattice::IrregularConfig;
+
+    #[test]
+    fn storm_is_deterministic_and_sorted() {
+        let topo = IrregularConfig::with_switches(48).generate(3);
+        let w = (Time::from_us(10), Time::from_us(50));
+        let m = FaultModel::IidLinks { rate: 0.2 };
+        let a = FaultSchedule::storm(&m, &topo, None, w, 3, 9);
+        let b = FaultSchedule::storm(&m, &topo, None, w, 3, 9);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultSchedule::storm(&m, &topo, None, w, 3, 10));
+        assert!(a.events().windows(2).all(|p| p[0].at <= p[1].at));
+        // Burst times sit strictly inside the window.
+        for e in a.events() {
+            assert!(e.at > w.0 && e.at < w.1);
+        }
+        assert!(a.fault_times().len() <= 3, "at most `bursts` epochs");
+    }
+
+    #[test]
+    fn storm_victims_match_the_static_model() {
+        // Same (model, topo, seed) → identical victim set as a static
+        // sample; the storm only adds timing.
+        let topo = IrregularConfig::with_switches(32).generate(7);
+        let m = FaultModel::IidLinks { rate: 0.25 };
+        let storm = FaultSchedule::storm(
+            &m,
+            &topo,
+            None,
+            (Time::from_us(1), Time::from_us(2)),
+            2,
+            123,
+        );
+        let plan = m.sample(&topo, None, 123);
+        let mut storm_links = storm.final_plan().links;
+        storm_links.sort_unstable();
+        let mut static_links = plan.links;
+        static_links.sort_unstable();
+        assert_eq!(storm_links, static_links);
+    }
+
+    #[test]
+    fn view_at_accumulates_and_collapse_moves_everything() {
+        let topo = IrregularConfig::with_switches(24).generate(1);
+        let storm = FaultSchedule::storm(
+            &FaultModel::IidLinks { rate: 0.3 },
+            &topo,
+            None,
+            (Time::from_us(10), Time::from_us(40)),
+            3,
+            5,
+        );
+        let times = storm.fault_times();
+        assert!(!times.is_empty());
+        let before = storm.view_at(&topo, Time::ZERO);
+        assert_eq!(before.num_alive_channels(), topo.num_channels());
+        let mut last = topo.num_channels();
+        for &t in &times {
+            let alive = storm.view_at(&topo, t).num_alive_channels();
+            assert!(alive < last, "each burst kills something");
+            last = alive;
+        }
+        let end = storm.view_at(&topo, Time::MAX).num_alive_channels();
+        let collapsed = storm.collapsed_at(Time::ZERO);
+        assert_eq!(collapsed.fault_times(), vec![Time::ZERO]);
+        assert_eq!(
+            collapsed.view_at(&topo, Time::ZERO).num_alive_channels(),
+            end,
+            "collapse preserves the total damage"
+        );
+    }
+
+    #[test]
+    fn switch_down_events_strand_processors_in_views() {
+        let topo = IrregularConfig::with_switches(16).generate(2);
+        let s = topo.switches().next().unwrap();
+        let sched = FaultSchedule::new(vec![FaultEvent {
+            at: Time::from_us(5),
+            kind: FaultKind::SwitchDown(s),
+        }]);
+        let view = sched.view_at(&topo, Time::from_us(5));
+        assert!(!view.is_node_alive(s));
+        let p = topo.processor_of(s).unwrap();
+        assert!(!view.is_node_alive(p), "processor stranded");
+    }
+}

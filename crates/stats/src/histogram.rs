@@ -75,6 +75,33 @@ impl Histogram {
             .map(move |(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
     }
 
+    /// Merges another histogram with the same geometry (parallel or
+    /// per-epoch reduction); the result is as if every observation had been
+    /// recorded into one histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bin counts differ — merging histograms with
+    /// different geometry silently produces nonsense.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram geometry mismatch: [{}, {}) x {} vs [{}, {}) x {}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len()
+        );
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+
     /// The p-th percentile (0–100) over in-range data, linear in bins;
     /// `None` when no in-range observations exist.
     pub fn percentile(&self, p: f64) -> Option<f64> {
@@ -148,5 +175,47 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn inverted_range_rejected() {
         Histogram::new(5.0, 5.0, 3);
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let xs: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.7).sin() * 60.0 + 40.0)
+            .collect();
+        let mut whole = Histogram::new(0.0, 100.0, 20);
+        let mut a = Histogram::new(0.0, 100.0, 20);
+        let mut b = Histogram::new(0.0, 100.0, 20);
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i < 73 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.bins(), whole.bins());
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.underflow(), whole.underflow());
+        assert_eq!(a.overflow(), whole.overflow());
+        assert_eq!(a.percentile(50.0), whole.percentile(50.0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.record(1.0);
+        h.record(9.5);
+        let bins_before = h.bins().to_vec();
+        h.merge(&Histogram::new(0.0, 10.0, 4));
+        assert_eq!(h.bins(), &bins_before[..]);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.merge(&Histogram::new(0.0, 10.0, 5));
     }
 }

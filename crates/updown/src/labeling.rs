@@ -3,9 +3,11 @@
 
 use crate::bitmat::BitMatrix;
 use netgraph::algo;
-use netgraph::{ChannelId, NodeId, Topology};
+use netgraph::{ChannelId, DegradedTopology, NodeId, Topology};
 use rand::seq::IteratorRandom;
 use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// The four-way channel classification of §3.1.
 ///
@@ -56,6 +58,28 @@ pub enum RootSelection {
     MinEccentricity,
     /// Uniformly random switch from a seeded RNG.
     RandomSeeded(u64),
+}
+
+/// What an incremental relabeling ([`UpDownLabeling::relabel_after`]) did —
+/// the reconfiguration cost a real switch fabric would pay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelabelReport {
+    /// Root of the new labeling (the old root whenever it survived).
+    pub root: NodeId,
+    /// Old spanning-tree edges kept with their parent pointers intact.
+    pub kept_tree_edges: usize,
+    /// Nodes that received a new parent (their old tree path to the root
+    /// was severed, or the whole tree was rebuilt).
+    pub reattached_nodes: usize,
+    /// Nodes covered by the new labeling (the root's surviving component).
+    pub labeled_nodes: usize,
+    /// Surviving channels whose class changed relative to the old
+    /// labeling — the relabeling's blast radius, i.e. how many routing
+    /// table entries a live fabric would have to rewrite.
+    pub changed_channels: usize,
+    /// True when the old root died and the tree was rebuilt from scratch
+    /// instead of patched.
+    pub full_rebuild: bool,
 }
 
 /// An immutable up*/down* labeling of a topology.
@@ -123,6 +147,115 @@ impl UpDownLabeling {
         Self::build_from_root(topo, root)
     }
 
+    /// Incrementally relabels this labeling's base topology after faults —
+    /// the *online* half of the Autonet reconfiguration story, for link
+    /// and switch deaths that happen while a simulation is running.
+    ///
+    /// `view` must be a degraded view over the same topology this labeling
+    /// was built on (same node and channel ids). The new labeling covers
+    /// the surviving component of the root: when the old root is alive,
+    /// the old spanning tree is *patched* — every old tree edge that still
+    /// connects to the root through surviving tree edges keeps its parent
+    /// pointer and level, and only orphaned survivors are reattached (in
+    /// deterministic `(level, id)` order) — so the unaffected part of the
+    /// fabric keeps its channel labels. When the old root died, the tree
+    /// is rebuilt from the lowest-id surviving switch.
+    ///
+    /// Dead channels still receive a consistent class (the partition stays
+    /// total over base channel ids) but are excluded from extended-
+    /// ancestor reachability, so routing built on the new labeling never
+    /// plans a route through a shortcut that no longer exists.
+    ///
+    /// Returns the new labeling plus a [`RelabelReport`] describing how
+    /// much of the old structure survived; `None` when no switch is alive.
+    pub fn relabel_after(&self, view: &DegradedTopology) -> Option<(Self, RelabelReport)> {
+        let topo = view.base();
+        assert_eq!(
+            topo.num_nodes(),
+            self.num_nodes(),
+            "relabel_after requires the labeling's own base topology"
+        );
+        let old_root_ok = view.is_node_alive(self.root);
+        let root = if old_root_ok {
+            self.root
+        } else {
+            topo.switches().find(|&s| view.is_node_alive(s))?
+        };
+        let n = topo.num_nodes();
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut level = vec![u32::MAX; n];
+        let mut labeled = vec![false; n];
+        level[root.index()] = 0;
+        labeled[root.index()] = true;
+        let mut kept_tree_edges = 0usize;
+        if old_root_ok {
+            // Phase 1: keep every old tree edge still connected to the
+            // root through surviving tree edges. Old parent pointers and
+            // levels are preserved verbatim for this region.
+            let mut q = std::collections::VecDeque::new();
+            q.push_back(root);
+            while let Some(u) = q.pop_front() {
+                for &v in self.tree_children(u) {
+                    if labeled[v.index()] || !view.is_node_alive(v) {
+                        continue;
+                    }
+                    let ch = topo.channel_between(u, v).expect("tree edges are links");
+                    if !view.is_channel_alive(ch) {
+                        continue;
+                    }
+                    parent[v.index()] = Some(u);
+                    level[v.index()] = level[u.index()] + 1;
+                    labeled[v.index()] = true;
+                    kept_tree_edges += 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        // Phase 2: reattach orphaned survivors over any surviving channel,
+        // shallowest attachment point first. A deterministic (level, id)
+        // heap keeps levels consistent (child = parent + 1) without caring
+        // that kept levels are no longer BFS-minimal — acyclicity of the
+        // up/down subnetworks only needs consistency, not minimality.
+        let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> = topo
+            .nodes()
+            .filter(|v| labeled[v.index()])
+            .map(|v| Reverse((level[v.index()], v)))
+            .collect();
+        let mut reattached = 0usize;
+        while let Some(Reverse((lu, u))) = heap.pop() {
+            for &c in topo.out_channels(u) {
+                if !view.is_channel_alive(c) {
+                    continue;
+                }
+                let v = topo.channel(c).dst;
+                if labeled[v.index()] {
+                    continue;
+                }
+                parent[v.index()] = Some(u);
+                level[v.index()] = lu + 1;
+                labeled[v.index()] = true;
+                reattached += 1;
+                heap.push(Reverse((lu + 1, v)));
+            }
+        }
+        let labeled_nodes = labeled.iter().filter(|l| **l).count();
+        let alive = view.alive_channel_mask();
+        let new = Self::assemble(topo, root, parent, level, labeled, Some(&alive));
+        let changed_channels = topo
+            .channel_ids()
+            .filter(|&c| alive[c.index()] && new.class(c) != self.class(c))
+            .count();
+        let report = RelabelReport {
+            root,
+            kept_tree_edges,
+            reattached_nodes: reattached,
+            labeled_nodes,
+            changed_channels,
+            full_rebuild: !old_root_ok,
+        };
+        Some((new, report))
+    }
+
     fn build_from_root(topo: &Topology, root: NodeId) -> Self {
         let parent_raw = algo::bfs_parents(topo, root);
         let labeled: Vec<bool> = parent_raw.iter().map(|p| p.is_some()).collect();
@@ -130,7 +263,6 @@ impl UpDownLabeling {
         let mut parent: Vec<Option<NodeId>> = vec![None; n];
         let mut level = vec![u32::MAX; n];
         level[root.index()] = 0;
-        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         // bfs_parents encodes the root as its own parent; the BFS order
         // contains exactly the root's component.
         let order = bfs_order(topo, root);
@@ -139,11 +271,35 @@ impl UpDownLabeling {
             if v != root {
                 parent[v.index()] = Some(p);
                 level[v.index()] = level[p.index()] + 1;
-                children[p.index()].push(v);
             }
         }
-        for c in children.iter_mut() {
-            c.sort_unstable();
+        Self::assemble(topo, root, parent, level, labeled, None)
+    }
+
+    /// Finishes a labeling from a spanning-forest description (parent
+    /// pointers + consistent levels): derives the children lists,
+    /// classifies every channel, and builds the ancestor / extended-
+    /// ancestor matrices. `alive` masks the channels that may carry
+    /// traffic: dead channels still receive a (consistent, acyclic) class
+    /// so the partition stays total, but they contribute nothing to
+    /// extended-ancestor reachability — a relabeled network must never
+    /// route towards a down-cross shortcut that no longer exists.
+    fn assemble(
+        topo: &Topology,
+        root: NodeId,
+        parent: Vec<Option<NodeId>>,
+        level: Vec<u32>,
+        labeled: Vec<bool>,
+        alive: Option<&[bool]>,
+    ) -> Self {
+        let n = topo.num_nodes();
+        let is_alive = |c: ChannelId| alive.is_none_or(|a| a[c.index()]);
+        // Children lists: nodes iterate ascending, so each list is sorted.
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for v in topo.nodes() {
+            if let Some(p) = parent[v.index()] {
+                children[p.index()].push(v);
+            }
         }
 
         // Per-channel classification.
@@ -191,7 +347,7 @@ impl UpDownLabeling {
         for &u in by_depth.iter().rev() {
             dc.set(u.index(), u.index());
             for &c in topo.out_channels(u) {
-                if class[c.index()] == ChannelClass::DownCross {
+                if class[c.index()] == ChannelClass::DownCross && is_alive(c) {
                     let w = topo.channel(c).dst;
                     dc.or_row_into(w.index(), u.index());
                 }
@@ -587,6 +743,131 @@ mod tests {
         assert!(ud2.is_labeled(p6));
         assert!(!ud2.is_labeled(p4));
         assert_eq!(ud2.lca(s[2], p6), s[3]);
+    }
+
+    #[test]
+    fn relabel_after_pristine_view_is_identity() {
+        let t = netgraph::gen::lattice::IrregularConfig::with_switches(32).generate(7);
+        let ud = UpDownLabeling::build(&t, RootSelection::LowestId);
+        let view = DegradedTopology::new(&t);
+        let (nu, rep) = ud.relabel_after(&view).unwrap();
+        assert_eq!(rep.root, ud.root());
+        assert_eq!(rep.changed_channels, 0);
+        assert_eq!(rep.reattached_nodes, 0);
+        assert_eq!(rep.kept_tree_edges, t.num_nodes() - 1);
+        assert_eq!(rep.labeled_nodes, t.num_nodes());
+        assert!(!rep.full_rebuild);
+        for c in t.channel_ids() {
+            assert_eq!(nu.class(c), ud.class(c));
+        }
+        for v in t.nodes() {
+            assert_eq!(nu.parent(v), ud.parent(v));
+            assert_eq!(nu.level(v), ud.level(v));
+        }
+    }
+
+    #[test]
+    fn relabel_after_cross_link_death_keeps_the_tree() {
+        let (t, l) = figure1();
+        let root = l.by_label(1).unwrap();
+        let ud = UpDownLabeling::build(&t, RootSelection::Fixed(root));
+        // (3,4) is a cross link in the Figure 1 labeling: killing it must
+        // not move a single parent pointer.
+        let mut view = DegradedTopology::new(&t);
+        view.kill_link(
+            t.channel_between(l.by_label(3).unwrap(), l.by_label(4).unwrap())
+                .unwrap(),
+        );
+        let (nu, rep) = ud.relabel_after(&view).unwrap();
+        assert_eq!(rep.reattached_nodes, 0);
+        assert_eq!(rep.kept_tree_edges, t.num_nodes() - 1);
+        assert_eq!(rep.changed_channels, 0, "no live channel changed class");
+        for v in t.nodes() {
+            assert_eq!(nu.parent(v), ud.parent(v));
+        }
+        // The dead shortcut no longer grants extended ancestry: 3 could
+        // reach 4's subtree only through the dead (3,4) channel.
+        assert!(ud.is_extended_ancestor(l.by_label(3).unwrap(), l.by_label(8).unwrap()));
+        assert!(!nu.is_extended_ancestor(l.by_label(3).unwrap(), l.by_label(8).unwrap()));
+    }
+
+    #[test]
+    fn relabel_after_tree_link_death_reattaches_the_subtree() {
+        let (t, l) = figure1();
+        let by = |x: u32| l.by_label(x).unwrap();
+        let ud = UpDownLabeling::build(&t, RootSelection::Fixed(by(1)));
+        // Kill the tree edge (2,4): node 4's subtree must reattach through
+        // the surviving cross link (3,4).
+        let mut view = DegradedTopology::new(&t);
+        view.kill_link(t.channel_between(by(2), by(4)).unwrap());
+        let (nu, rep) = ud.relabel_after(&view).unwrap();
+        assert_eq!(rep.root, by(1));
+        assert!(!rep.full_rebuild);
+        assert_eq!(
+            nu.parent(by(4)),
+            Some(by(3)),
+            "reattached via the cross link"
+        );
+        assert!(rep.reattached_nodes >= 1);
+        assert!(rep.changed_channels >= 2, "the adopted link changed class");
+        assert_eq!(rep.labeled_nodes, t.num_nodes(), "nothing disconnected");
+        // Untouched subtree structure is preserved.
+        assert_eq!(nu.parent(by(6)), ud.parent(by(6)));
+        assert_eq!(nu.parent(by(8)), ud.parent(by(8)));
+        // The result is still a valid labeling.
+        assert!(crate::validate::check_acyclic_subnetworks(&t, &nu).all_ok());
+        assert!(nu.is_ancestor(by(3), by(8)), "3 adopted 4's subtree");
+        assert_eq!(nu.lca(by(8), by(11)), by(4));
+    }
+
+    #[test]
+    fn relabel_after_dead_root_rebuilds() {
+        let t = netgraph::gen::lattice::IrregularConfig::with_switches(24).generate(3);
+        let ud = UpDownLabeling::build(&t, RootSelection::LowestId);
+        let mut view = DegradedTopology::new(&t);
+        view.kill_switch(ud.root());
+        let (nu, rep) = ud.relabel_after(&view).unwrap();
+        assert!(rep.full_rebuild);
+        assert_ne!(rep.root, ud.root());
+        assert_eq!(rep.kept_tree_edges, 0);
+        assert!(t.is_switch(rep.root));
+        assert!(!nu.is_labeled(ud.root()));
+        assert!(crate::validate::check_acyclic_subnetworks(&t, &nu).all_ok());
+    }
+
+    #[test]
+    fn relabel_after_returns_none_when_no_switch_survives() {
+        let (t, _) = figure1();
+        let mut view = DegradedTopology::new(&t);
+        for s in t.switches() {
+            view.kill_switch(s);
+        }
+        let ud = UpDownLabeling::build(&t, RootSelection::LowestId);
+        assert!(ud.relabel_after(&view).is_none());
+    }
+
+    #[test]
+    fn relabel_chain_stays_consistent() {
+        // Chained incremental relabels (the live-reconfiguration regime):
+        // each epoch relabels the previous epoch's labeling.
+        let t = netgraph::gen::lattice::IrregularConfig::with_switches(32).generate(11);
+        let mut ud = UpDownLabeling::build(&t, RootSelection::LowestId);
+        let mut view = DegradedTopology::new(&t);
+        for (i, c) in t.channel_ids().step_by(2).enumerate() {
+            if i % 7 == 0 {
+                view.kill_link(c);
+            }
+        }
+        for _ in 0..3 {
+            let (nu, rep) = ud.relabel_after(&view).unwrap();
+            assert!(rep.labeled_nodes > 0);
+            assert!(crate::validate::check_acyclic_subnetworks(&t, &nu).all_ok());
+            // Per-link direction pairing holds over every base channel.
+            for c in t.channel_ids() {
+                assert_ne!(nu.class(c).is_up(), nu.class(t.reverse(c)).is_up());
+            }
+            ud = nu;
+        }
     }
 
     #[test]

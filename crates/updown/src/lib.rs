@@ -46,5 +46,5 @@ pub mod labeling;
 pub mod validate;
 
 pub use bitmat::BitMatrix;
-pub use labeling::{ChannelClass, RootSelection, UpDownLabeling};
+pub use labeling::{ChannelClass, RelabelReport, RootSelection, UpDownLabeling};
 pub use validate::{check_acyclic_subnetworks, AcyclicityReport};

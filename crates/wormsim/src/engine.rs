@@ -22,7 +22,9 @@ use crate::channel::Chan;
 use crate::config::SimConfig;
 use crate::flit::{Flit, FlitKind, MsgId};
 use crate::message::{MessageSpec, SpecError};
-use crate::outcome::{Counters, DeadlockInfo, MessageResult, SimError, SimOutcome};
+use crate::outcome::{
+    Counters, DeadlockInfo, FailureKind, MessageFailure, MessageResult, SimError, SimOutcome,
+};
 use crate::routing::{CompletionHook, NoHook, RoutingAlgorithm};
 use crate::trace::{Trace, TraceEvent};
 use desim::{Schedule, Time};
@@ -38,6 +40,9 @@ enum Event {
     RouteDecision { msg: MsgId, in_ch: ChannelId },
     /// A flit finished crossing this channel's wire.
     WireDone(ChannelId),
+    /// A scheduled fault: the bidirectional link containing this channel
+    /// dies now, tearing down every worm that holds it.
+    LinkDown(ChannelId),
 }
 
 /// Identity of one worm traversal of one router.
@@ -91,6 +96,8 @@ struct MsgState {
     dests: Vec<DestState>,
     remaining: usize,
     completed_at: Option<Time>,
+    /// Set when a mid-run fault killed or rejected this message.
+    failure: Option<MessageFailure>,
 }
 
 /// The flit-level wormhole network simulator. See the crate docs for the
@@ -126,6 +133,15 @@ pub struct NetworkSim<'a, R: RoutingAlgorithm> {
     /// would steal a slot that the real flit could claim a few events
     /// later in the same instant, livelocking symmetric branches.
     bubble_candidates: Vec<SegKey>,
+    /// Per-channel death mask for live-reconfiguration runs (all-false on
+    /// static networks). A dead channel carries nothing: in-flight flits
+    /// are lost at the wire, and any worm touching it is torn down.
+    dead: Vec<bool>,
+    /// Sorted, deduplicated times of scheduled fault events — the epoch
+    /// boundaries reported on the outcome. Non-empty iff this is a
+    /// live-reconfiguration run, which switches routing failures from
+    /// run-aborting to per-message (teardown / unreachable).
+    fault_times: Vec<Time>,
 }
 
 impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
@@ -148,7 +164,50 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             pending_completions: Vec::new(),
             trace: None,
             bubble_candidates: Vec::new(),
+            dead: vec![false; topo.num_channels()],
+            fault_times: Vec::new(),
         }
+    }
+
+    /// Schedules the bidirectional link containing `link` to die at `at`
+    /// (clamped to the current time). From that instant on the link
+    /// carries nothing; every worm holding, waiting on, or routing into
+    /// either direction is torn down with [`SimError::TornDown`].
+    ///
+    /// Scheduling any fault switches the run into **live-reconfiguration
+    /// mode**: routing failures no longer abort the run but fail the
+    /// affected message ([`MessageFailure`] on its result), and fault
+    /// instants become epoch boundaries in [`SimOutcome::fault_times`].
+    pub fn schedule_link_down(&mut self, at: Time, link: ChannelId) {
+        assert!(
+            link.index() < self.topo.num_channels(),
+            "{link} is not a channel of this topology"
+        );
+        let at = at.max(self.sched.now());
+        self.sched.at_or_now(at, Event::LinkDown(link));
+        if let Err(pos) = self.fault_times.binary_search(&at) {
+            self.fault_times.insert(pos, at);
+        }
+    }
+
+    /// Schedules switch `s` to die at `at`: every link incident to it dies
+    /// in one instant (stranding its processor). See
+    /// [`Self::schedule_link_down`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a switch.
+    pub fn schedule_switch_down(&mut self, at: Time, s: NodeId) {
+        assert!(self.topo.is_switch(s), "{s} is not a switch");
+        for &c in self.topo.out_channels(s) {
+            self.schedule_link_down(at, c);
+        }
+    }
+
+    /// True when fault events are scheduled: per-message failure semantics
+    /// instead of run-aborting errors.
+    fn live_mode(&self) -> bool {
+        !self.fault_times.is_empty()
     }
 
     /// Enables protocol-level tracing for this run (see [`crate::trace`]).
@@ -203,6 +262,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             dests,
             remaining,
             completed_at: None,
+            failure: None,
         });
         Ok(id)
     }
@@ -247,12 +307,18 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         }
         if deadlock.is_none()
             && self.error.is_none()
-            && self.msgs.iter().any(|m| m.completed_at.is_none())
+            && self
+                .msgs
+                .iter()
+                .any(|m| m.completed_at.is_none() && m.failure.is_none())
         {
             let now = self.sched.now();
             deadlock = Some(self.deadlock_info(now, true));
         }
         if deadlock.is_none() && self.error.is_none() {
+            // Resource-hygiene invariant, covering teardowns too: a clean
+            // end (every message delivered or failed) leaves no reserved
+            // channel, no OCRQ entry, and no segment behind.
             debug_assert!(self.chans.iter().all(|c| c.is_quiescent()));
             debug_assert!(self.segs.is_empty());
             debug_assert!(self.requester.is_empty());
@@ -265,6 +331,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 spec: m.spec,
                 completed_at: m.completed_at,
                 dest_done_at: m.dests.iter().map(|d| d.done_at).collect(),
+                failure: m.failure,
             })
             .collect();
         SimOutcome {
@@ -274,6 +341,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             end_time: self.sched.now(),
             counters: self.counters,
             channel_crossings: self.chans.iter().map(|c| c.crossings).collect(),
+            fault_times: std::mem::take(&mut self.fault_times),
             trace: self.trace.take().unwrap_or_default(),
         }
     }
@@ -294,7 +362,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 .msgs
                 .iter()
                 .enumerate()
-                .filter(|(_, m)| m.completed_at.is_none())
+                .filter(|(_, m)| m.completed_at.is_none() && m.failure.is_none())
                 .map(|(i, _)| MsgId(i as u32))
                 .collect(),
             queue_exhausted,
@@ -306,6 +374,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             Event::SourceReady(msg) => self.on_source_ready(now, msg),
             Event::RouteDecision { msg, in_ch } => self.on_route_decision(now, msg, in_ch),
             Event::WireDone(ch) => self.on_wire_done(now, ch),
+            Event::LinkDown(ch) => self.on_link_down(now, ch),
         }
     }
 
@@ -321,15 +390,39 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         let header = match self.routing.initial_header(&self.msgs[msg.index()].spec) {
             Ok(h) => h,
             Err(error) => {
-                // E.g. a destination lost to a dead zone: abort with a
-                // typed error before any flit enters the network.
-                return self.fail(SimError::Route {
+                let error = SimError::Route {
                     msg,
                     node: src,
                     error,
-                });
+                };
+                if self.live_mode() {
+                    // A destination lost to the dead zone: this message is
+                    // unreachable; the rest of the traffic keeps flowing.
+                    self.msgs[msg.index()].failure = Some(MessageFailure {
+                        at: now,
+                        kind: FailureKind::Unreachable,
+                        error,
+                    });
+                    self.counters.messages_unreachable += 1;
+                    self.active -= 1;
+                    return;
+                }
+                // Static network: abort with a typed error before any flit
+                // enters the network.
+                return self.fail(error);
             }
         };
+        if self.dead[inj.index()] {
+            // The source's own injection link died: the worm cannot even
+            // enter the network. Nothing was reserved yet.
+            self.teardown(
+                now,
+                msg,
+                SimError::TornDown { msg, channel: inj },
+                FailureKind::Unreachable,
+            );
+            return;
+        }
         if self.topo.is_switch(self.topo.channel(inj).dst) {
             self.branch_state.insert((msg, inj), header);
         }
@@ -350,6 +443,14 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
     fn on_route_decision(&mut self, now: Time, msg: MsgId, in_ch: ChannelId) {
         let node = self.topo.channel(in_ch).dst;
         self.chans[in_ch.index()].route_pending = false;
+        if self.msgs[msg.index()].failure.is_some() {
+            // Stale decision: a fault tore this worm down after the
+            // router-setup event was scheduled. Its header is gone from
+            // the input buffer; let the next waiting header (if any)
+            // proceed.
+            self.process_in_buf(now, in_ch);
+            return;
+        }
         debug_assert!(
             matches!(
                 self.chans[in_ch.index()].in_buf.front(),
@@ -370,11 +471,36 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         ) {
             Ok(d) => d,
             Err(error) => {
-                return self.fail(SimError::Route { msg, node, error });
+                let error = SimError::Route { msg, node, error };
+                if self.live_mode() {
+                    // A worm routed into a dead end (e.g. its pre-fault
+                    // labeling no longer matches the surviving channels):
+                    // a reconfiguration casualty, not a run abort.
+                    self.teardown(now, msg, error, FailureKind::TornDown);
+                    self.wake_channels(now);
+                    return;
+                }
+                return self.fail(error);
             }
         };
         if decision.requests.is_empty() {
             return self.fail(SimError::EmptyDecision { msg, node });
+        }
+        if let Some(&(dead_ch, _)) = decision.requests.iter().find(|(c, _)| self.dead[c.index()]) {
+            // The decision asks for a channel that died since the worm's
+            // labeling was built: the worm ran into the fault. Tear it
+            // down before any of the request set is enqueued.
+            self.teardown(
+                now,
+                msg,
+                SimError::TornDown {
+                    msg,
+                    channel: dead_ch,
+                },
+                FailureKind::TornDown,
+            );
+            self.wake_channels(now);
+            return;
         }
         let key = SegKey::Transit(msg, in_ch);
         let mut outputs = Vec::with_capacity(decision.requests.len());
@@ -432,13 +558,23 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             debug_assert!(c.wire_busy);
             c.wire_busy = false;
             c.reserved_in -= 1;
-            let f = c.out_buf.pop_front().expect("in-flight flit in out_buf");
-            c.in_buf.push_back(f);
-            c.crossings += 1;
-            f
+            c.out_buf.pop_front().expect("in-flight flit in out_buf")
         };
+        // A flit crossing a channel that died mid-transfer — or belonging
+        // to a worm that was torn down — is lost on the wire, not
+        // delivered into the input buffer.
+        let dropped = self.dead[ch.index()] || self.msgs[flit.msg.index()].failure.is_some();
+        if !dropped {
+            let c = &mut self.chans[ch.index()];
+            c.in_buf.push_back(flit);
+            c.crossings += 1;
+        }
         self.counters.wire_transfers += 1;
-        if flit.is_real() {
+        if self.dead[ch.index()] {
+            // Dead wire: nothing refills it and nobody may acquire it.
+            return;
+        }
+        if flit.is_real() && !dropped {
             self.last_progress = now;
         }
         // The sender-side slot freed up: the owner refills it, or — if the
@@ -462,9 +598,152 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         self.process_in_buf(now, ch);
     }
 
+    /// A scheduled fault fires: both directions of the link die, and every
+    /// worm holding, waiting on, or feeding through either direction is
+    /// torn down. Fault events for an instant are scheduled before any
+    /// same-instant wire/router events, so a link that dies at `t` carries
+    /// nothing at `t`.
+    fn on_link_down(&mut self, now: Time, link: ChannelId) {
+        let pair = [link, self.topo.reverse(link)];
+        if self.dead[link.index()] {
+            return; // duplicate scheduling (e.g. a switch kill overlapping)
+        }
+        for &c in &pair {
+            self.dead[c.index()] = true;
+        }
+        self.counters.links_killed += 1;
+        self.emit(|| TraceEvent::LinkDown {
+            channel: link,
+            at: now,
+        });
+        // Victims: every message that owns, waits on, or buffers flits in
+        // either direction, plus every segment wired to it. Sorted for
+        // deterministic teardown (and trace) order.
+        let mut victims: Vec<MsgId> = Vec::new();
+        for &c in &pair {
+            let chan = &self.chans[c.index()];
+            victims.extend(chan.owner);
+            victims.extend(chan.ocrq.iter().copied());
+            victims.extend(chan.in_buf.iter().map(|f| f.msg));
+            victims.extend(chan.out_buf.iter().map(|f| f.msg));
+        }
+        for (key, seg) in &self.segs {
+            let holds = seg.outputs.iter().any(|o| pair.contains(o))
+                || matches!(seg.input, SegInput::Channel(ic) if pair.contains(&ic));
+            if holds {
+                victims.push(key.msg());
+            }
+        }
+        victims.sort_unstable();
+        victims.dedup();
+        for m in victims {
+            self.teardown(
+                now,
+                m,
+                SimError::TornDown {
+                    msg: m,
+                    channel: link,
+                },
+                FailureKind::TornDown,
+            );
+        }
+        self.wake_channels(now);
+        // Teardown released channels — a progress-like transition. Without
+        // this, a storm arriving during a long network-wide stall could
+        // trip the watchdog spuriously; fault events are finitely many, so
+        // real deadlock still surfaces.
+        self.last_progress = now;
+    }
+
+    /// Kills one message network-wide: retires all its segments, releases
+    /// every channel it owns, flushes its OCRQ entries and header states,
+    /// and purges its flits from all buffers (a flit mid-wire is dropped at
+    /// its `WireDone`). Records the failure on the message.
+    fn teardown(&mut self, now: Time, m: MsgId, cause: SimError, kind: FailureKind) {
+        let ms = &mut self.msgs[m.index()];
+        if ms.completed_at.is_some() || ms.failure.is_some() {
+            return;
+        }
+        ms.failure = Some(MessageFailure {
+            at: now,
+            kind,
+            error: cause,
+        });
+        match kind {
+            FailureKind::TornDown => self.counters.messages_torn_down += 1,
+            FailureKind::Unreachable => self.counters.messages_unreachable += 1,
+        }
+        // Teardown happens strictly after SourceReady (earlier the message
+        // holds nothing and cannot be a victim), so it is always active.
+        self.active -= 1;
+        let keys: Vec<SegKey> = self.segs.keys().filter(|k| k.msg() == m).copied().collect();
+        for key in keys {
+            let seg = self.segs.remove(&key).expect("key just enumerated");
+            for o in seg.outputs {
+                self.requester.remove(&(m, o));
+                let c = &mut self.chans[o.index()];
+                if c.owner == Some(m) {
+                    c.owner = None;
+                }
+                if let Some(pos) = c.ocrq.iter().position(|&q| q == m) {
+                    c.ocrq.remove(pos);
+                }
+            }
+        }
+        // Header states are swept by message id, not via segment outputs: a
+        // header's entry outlives its upstream segment (the segment releases
+        // once the tail is replicated, while the header may still sit in an
+        // input buffer waiting out the router-setup delay — and its stale
+        // RouteDecision returns before consuming the entry).
+        self.branch_state.retain(|&(mid, _), _| mid != m);
+        for c in self.chans.iter_mut() {
+            c.in_buf.retain(|f| f.msg != m);
+            if c.out_buf.front().is_some_and(|f| f.msg == m) {
+                // Output buffers hold one worm at a time; if the head is
+                // mid-wire it must survive until its WireDone (which drops
+                // it), everything behind it is purged in place.
+                let keep = usize::from(c.wire_busy);
+                c.out_buf.truncate(keep);
+            }
+        }
+        self.bubble_candidates.retain(|k| k.msg() != m);
+        self.emit(|| TraceEvent::TornDown {
+            msg: m,
+            channel: match cause {
+                SimError::TornDown { channel, .. } => channel,
+                _ => ChannelId(u32::MAX),
+            },
+            at: now,
+        });
+    }
+
+    /// After teardowns freed channels, give every surviving waiter a
+    /// chance to move: restart idle wires, retry head-of-OCRQ
+    /// acquisitions, and drain input buffers. Ascending channel order
+    /// keeps the cascade deterministic.
+    fn wake_channels(&mut self, now: Time) {
+        for i in 0..self.chans.len() {
+            if self.dead[i] {
+                continue;
+            }
+            let ch = ChannelId(i as u32);
+            self.try_start_wire(ch);
+            if self.chans[i].free_for_acquisition() {
+                if let Some(&front) = self.chans[i].ocrq.front() {
+                    let key = self.requester[&(front, ch)];
+                    self.try_acquire(now, key);
+                }
+            }
+            self.process_in_buf(now, ch);
+        }
+    }
+
     /// Starts a wire transfer if a flit is waiting, the wire is idle, and
     /// the receiver will have a slot.
     fn try_start_wire(&mut self, ch: ChannelId) {
+        if self.dead[ch.index()] {
+            return; // dead wires carry nothing
+        }
         let cap = self.cfg.input_buffer_flits;
         let c = &mut self.chans[ch.index()];
         if !c.wire_busy && !c.out_buf.is_empty() && c.in_has_space(cap) {

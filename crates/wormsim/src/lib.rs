@@ -79,6 +79,9 @@ pub use config::{LatencyParams, SimConfig};
 pub use engine::NetworkSim;
 pub use flit::{Flit, FlitKind, MsgId};
 pub use message::{MessageSpec, SpecError};
-pub use outcome::{Counters, DeadlockInfo, MessageResult, SimError, SimOutcome};
+pub use outcome::{
+    Counters, DeadlockInfo, EpochStats, FailureKind, MessageFailure, MessageResult, SimError,
+    SimOutcome,
+};
 pub use routing::{CompletionHook, NoHook, RouteDecision, RouteError, RoutingAlgorithm};
 pub use trace::{Trace, TraceEvent};

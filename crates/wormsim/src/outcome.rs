@@ -62,6 +62,18 @@ pub enum SimError {
         /// The twice-requested channel.
         channel: ChannelId,
     },
+    /// The worm was holding (or requested) a channel that died mid-run —
+    /// a live-reconfiguration fault event killed the message, releasing
+    /// every channel it had reserved. Unlike the other variants this is a
+    /// *per-message* failure, not a run abort: the surviving traffic keeps
+    /// flowing and the message is recorded in
+    /// [`MessageResult::failure`].
+    TornDown {
+        /// The killed message.
+        msg: MsgId,
+        /// The dead channel that doomed it.
+        channel: ChannelId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -80,11 +92,40 @@ impl fmt::Display for SimError {
             SimError::DuplicateRequest { msg, node, channel } => {
                 write!(f, "{msg} requested {channel} twice at {node}")
             }
+            SimError::TornDown { msg, channel } => {
+                write!(f, "{msg} torn down: {channel} died mid-flight")
+            }
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// How a message failed terminally in a live-reconfiguration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The worm was killed mid-flight: it held, requested, or ran into a
+    /// channel that a fault event destroyed.
+    TornDown,
+    /// The message was rejected at its source before any flit moved: the
+    /// current labeling cannot reach a destination (lost to the dead
+    /// zone), or the source's own injection link is gone.
+    Unreachable,
+}
+
+/// A per-message terminal failure (live-reconfiguration runs only; on a
+/// static network messages either complete or the run deadlocks/aborts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageFailure {
+    /// When the message was killed or rejected.
+    pub at: Time,
+    /// Coarse classification for accounting.
+    pub kind: FailureKind,
+    /// The precise typed reason ([`SimError::TornDown`], or
+    /// [`SimError::Route`] for a routing dead-end / unreachable
+    /// destination).
+    pub error: SimError,
+}
 
 /// Result of one message.
 #[derive(Debug, Clone)]
@@ -96,6 +137,9 @@ pub struct MessageResult {
     pub completed_at: Option<Time>,
     /// Per-destination tail arrival times, parallel to `spec.dests`.
     pub dest_done_at: Vec<Option<Time>>,
+    /// Terminal failure, if a mid-run fault killed or rejected this
+    /// message (`None` on static networks and for delivered messages).
+    pub failure: Option<MessageFailure>,
 }
 
 impl MessageResult {
@@ -114,6 +158,18 @@ impl MessageResult {
     /// True once every destination received the tail flit.
     pub fn is_complete(&self) -> bool {
         self.completed_at.is_some()
+    }
+
+    /// True when a mid-run fault killed this worm in flight.
+    pub fn is_torn_down(&self) -> bool {
+        self.failure
+            .is_some_and(|f| f.kind == FailureKind::TornDown)
+    }
+
+    /// True when the message was rejected at the source as unreachable.
+    pub fn is_unreachable(&self) -> bool {
+        self.failure
+            .is_some_and(|f| f.kind == FailureKind::Unreachable)
     }
 }
 
@@ -146,6 +202,12 @@ pub struct Counters {
     pub messages_completed: u64,
     /// Channel acquisitions performed.
     pub acquisitions: u64,
+    /// Messages killed mid-flight by a fault event (live runs only).
+    pub messages_torn_down: u64,
+    /// Messages rejected at the source as unreachable (live runs only).
+    pub messages_unreachable: u64,
+    /// Bidirectional links killed by fault events during the run.
+    pub links_killed: u64,
 }
 
 /// Everything a finished (or aborted) run reports.
@@ -165,8 +227,30 @@ pub struct SimOutcome {
     /// Flits (real + bubble) that crossed each channel, indexed by
     /// [`netgraph::ChannelId`] — per-channel utilization.
     pub channel_crossings: Vec<u64>,
+    /// Sorted, deduplicated times at which fault events fired — the epoch
+    /// boundaries of a live-reconfiguration run (empty on static runs).
+    pub fault_times: Vec<Time>,
     /// Protocol-level trace (empty unless tracing was enabled).
     pub trace: crate::trace::Trace,
+}
+
+/// Per-epoch accounting of a live-reconfiguration run: epoch `e` covers
+/// messages generated in `[fault_times[e-1], fault_times[e])` (epoch 0
+/// starts at time zero, the last epoch is unbounded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0 = before the first fault).
+    pub epoch: usize,
+    /// Messages generated during this epoch.
+    pub submitted: u64,
+    /// ... of which fully delivered.
+    pub delivered: u64,
+    /// ... of which killed mid-flight by a later (or same-instant) fault.
+    pub torn_down: u64,
+    /// ... of which rejected at the source as unreachable.
+    pub unreachable: u64,
+    /// Mean end-to-end latency (µs) of the delivered ones.
+    pub mean_latency_us: Option<f64>,
 }
 
 impl SimOutcome {
@@ -175,6 +259,74 @@ impl SimOutcome {
         self.deadlock.is_none()
             && self.error.is_none()
             && self.messages.iter().all(|m| m.is_complete())
+    }
+
+    /// True when the run ended cleanly (no deadlock, no run-aborting
+    /// error) and every message is *accounted for* — delivered, torn
+    /// down, or unreachable. This is the success criterion for a
+    /// live-reconfiguration run, where teardown casualties are expected.
+    pub fn all_accounted(&self) -> bool {
+        self.deadlock.is_none()
+            && self.error.is_none()
+            && self
+                .messages
+                .iter()
+                .all(|m| m.is_complete() || m.failure.is_some())
+    }
+
+    /// Fraction of submitted messages that were fully delivered.
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.messages.is_empty() {
+            return 1.0;
+        }
+        let done = self.messages.iter().filter(|m| m.is_complete()).count();
+        done as f64 / self.messages.len() as f64
+    }
+
+    /// Number of routing epochs the run passed through (fault boundaries
+    /// plus one).
+    pub fn num_epochs(&self) -> usize {
+        self.fault_times.len() + 1
+    }
+
+    /// The epoch a message generated at `t` belongs to: messages generated
+    /// at or after a fault instant route on the post-fault labeling.
+    pub fn epoch_of(&self, t: Time) -> usize {
+        self.fault_times.partition_point(|&ft| ft <= t)
+    }
+
+    /// Per-epoch delivered / torn-down / unreachable accounting, keyed by
+    /// each message's generation time.
+    pub fn epoch_stats(&self) -> Vec<EpochStats> {
+        let mut stats: Vec<EpochStats> = (0..self.num_epochs())
+            .map(|epoch| EpochStats {
+                epoch,
+                submitted: 0,
+                delivered: 0,
+                torn_down: 0,
+                unreachable: 0,
+                mean_latency_us: None,
+            })
+            .collect();
+        let mut lat_sum = vec![0.0f64; self.num_epochs()];
+        for m in &self.messages {
+            let e = self.epoch_of(m.spec.gen_time);
+            stats[e].submitted += 1;
+            if m.is_complete() {
+                stats[e].delivered += 1;
+                lat_sum[e] += m.latency().expect("complete message").as_us_f64();
+            } else if m.is_torn_down() {
+                stats[e].torn_down += 1;
+            } else if m.is_unreachable() {
+                stats[e].unreachable += 1;
+            }
+        }
+        for (s, sum) in stats.iter_mut().zip(lat_sum) {
+            if s.delivered > 0 {
+                s.mean_latency_us = Some(sum / s.delivered as f64);
+            }
+        }
+        stats
     }
 
     /// Mean latency in microseconds over completed messages matching
@@ -225,6 +377,7 @@ mod tests {
             spec: MessageSpec::unicast(NodeId(10), NodeId(11), 8).at(Time::from_us(gen_us)),
             completed_at: done_us.map(Time::from_us),
             dest_done_at: vec![done_us.map(Time::from_us)],
+            failure: None,
         }
     }
 
@@ -247,6 +400,7 @@ mod tests {
             end_time: Time::from_us(20),
             counters: Counters::default(),
             channel_crossings: vec![5, 9, 1],
+            fault_times: Vec::new(),
             trace: Default::default(),
         };
         assert!(!out.all_delivered(), "one message incomplete");
@@ -257,5 +411,69 @@ mod tests {
             out.hottest_channels(2),
             vec![(NodeId(1).0.into(), 9), (netgraph::ChannelId(0), 5)]
         );
+    }
+
+    #[test]
+    fn epoch_accounting_classifies_by_generation_time() {
+        use crate::routing::RouteError;
+        let mut torn = result(12, None);
+        torn.failure = Some(MessageFailure {
+            at: Time::from_us(14),
+            kind: FailureKind::TornDown,
+            error: SimError::TornDown {
+                msg: MsgId(1),
+                channel: ChannelId(4),
+            },
+        });
+        let mut unreach = result(15, None);
+        unreach.failure = Some(MessageFailure {
+            at: Time::from_us(15),
+            kind: FailureKind::Unreachable,
+            error: SimError::Route {
+                msg: MsgId(2),
+                node: NodeId(10),
+                error: RouteError::UnreachableDestination { dest: NodeId(11) },
+            },
+        });
+        let out = SimOutcome {
+            messages: vec![result(0, Some(10)), torn, unreach, result(20, Some(33))],
+            deadlock: None,
+            error: None,
+            end_time: Time::from_us(33),
+            counters: Counters::default(),
+            channel_crossings: vec![],
+            fault_times: vec![Time::from_us(13)],
+            trace: Default::default(),
+        };
+        assert_eq!(out.num_epochs(), 2);
+        assert_eq!(out.epoch_of(Time::from_us(12)), 0);
+        assert_eq!(
+            out.epoch_of(Time::from_us(13)),
+            1,
+            "the fault instant belongs to the new epoch"
+        );
+        assert!(out.all_accounted(), "every message has a verdict");
+        assert!(!out.all_delivered());
+        assert_eq!(out.delivered_fraction(), 0.5);
+        let stats = out.epoch_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(
+            (stats[0].submitted, stats[0].delivered, stats[0].torn_down),
+            (2, 1, 1)
+        );
+        assert_eq!(stats[0].mean_latency_us, Some(10.0));
+        assert_eq!(
+            (stats[1].submitted, stats[1].delivered, stats[1].unreachable),
+            (2, 1, 1)
+        );
+        assert_eq!(stats[1].mean_latency_us, Some(13.0));
+        // The torn message carries the typed TornDown error.
+        assert!(out.messages[1].is_torn_down());
+        assert!(!out.messages[1].is_unreachable());
+        assert!(out.messages[2].is_unreachable());
+        assert!(matches!(
+            out.messages[1].failure.unwrap().error,
+            SimError::TornDown { .. }
+        ));
     }
 }

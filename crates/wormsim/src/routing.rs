@@ -65,6 +65,13 @@ pub enum RouteError {
         /// The unreachable destination processor.
         dest: NodeId,
     },
+    /// The *source* lies outside the routing algorithm's labeled
+    /// component — its island was severed from the routable fabric, so it
+    /// can reach nothing. Detected when the header is formed.
+    SourceDisconnected {
+        /// The stranded source processor.
+        src: NodeId,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -82,6 +89,9 @@ impl fmt::Display for RouteError {
             RouteError::NoSuchLink { from, to } => write!(f, "no link {from} -> {to}"),
             RouteError::UnreachableDestination { dest } => {
                 write!(f, "destination {dest} is outside the routable component")
+            }
+            RouteError::SourceDisconnected { src } => {
+                write!(f, "source {src} is outside the routable component")
             }
         }
     }

@@ -76,18 +76,38 @@ pub enum TraceEvent {
         /// When.
         at: Time,
     },
+    /// A scheduled fault event killed a bidirectional link.
+    LinkDown {
+        /// Forward channel of the dead link (its reverse died too).
+        channel: ChannelId,
+        /// When.
+        at: Time,
+    },
+    /// A worm was torn down: a fault destroyed a channel it was holding,
+    /// waiting on, or routing into; all its reservations were released.
+    TornDown {
+        /// The killed message.
+        msg: MsgId,
+        /// The dead channel that doomed it.
+        channel: ChannelId,
+        /// When.
+        at: Time,
+    },
 }
 
 impl TraceEvent {
-    /// The message this event belongs to.
-    pub fn msg(&self) -> MsgId {
+    /// The message this event belongs to; `None` for network-level events
+    /// (fault injections), which concern no single message.
+    pub fn msg(&self) -> Option<MsgId> {
         match self {
             TraceEvent::SourceReady { msg, .. }
             | TraceEvent::Requested { msg, .. }
             | TraceEvent::Acquired { msg, .. }
             | TraceEvent::Bubble { msg, .. }
             | TraceEvent::Released { msg, .. }
-            | TraceEvent::DeliveredTail { msg, .. } => *msg,
+            | TraceEvent::TornDown { msg, .. }
+            | TraceEvent::DeliveredTail { msg, .. } => Some(*msg),
+            TraceEvent::LinkDown { .. } => None,
         }
     }
 
@@ -99,7 +119,9 @@ impl TraceEvent {
             | TraceEvent::Acquired { at, .. }
             | TraceEvent::Bubble { at, .. }
             | TraceEvent::Released { at, .. }
-            | TraceEvent::DeliveredTail { at, .. } => *at,
+            | TraceEvent::DeliveredTail { at, .. }
+            | TraceEvent::LinkDown { at, .. }
+            | TraceEvent::TornDown { at, .. } => *at,
         }
     }
 }
@@ -114,7 +136,7 @@ pub struct Trace {
 impl Trace {
     /// Events of one message, in order.
     pub fn of_msg(&self, msg: MsgId) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.msg() == msg)
+        self.events.iter().filter(move |e| e.msg() == Some(msg))
     }
 
     /// The sequence of routers at which `msg` made requests, in order —
@@ -231,6 +253,6 @@ mod tests {
         );
         assert_eq!(t.delivered_at(MsgId(0), NodeId(8)), None);
         assert_eq!(t.events[0].at(), Time::from_us(10));
-        assert_eq!(t.events[0].msg(), MsgId(0));
+        assert_eq!(t.events[0].msg(), Some(MsgId(0)));
     }
 }

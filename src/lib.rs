@@ -11,6 +11,8 @@
 //! * [`spam`] — the SPAM routing algorithm (paper's contribution),
 //! * [`baselines`] — up*/down* unicast and unicast-based multicast,
 //! * [`faults`] — fault injection and reconfiguration on degraded networks,
+//! * [`reconfig`] — *live* reconfiguration: timed fault storms, worm
+//!   teardown, online relabeling, and epoch-based routing swaps,
 //! * [`traffic`] — workload generation,
 //! * [`simstats`] — statistics and CI-driven replication control.
 //!
@@ -22,6 +24,7 @@ pub use netgraph;
 pub use simstats;
 pub use spam_core as spam;
 pub use spam_faults as faults;
+pub use spam_reconfig as reconfig;
 pub use traffic;
 pub use updown;
 pub use wormsim;
@@ -36,9 +39,11 @@ pub mod prelude {
     pub use simstats::{ConfidenceInterval, RunningStats};
     pub use spam_core::{SelectionPolicy, SpamRouting};
     pub use spam_faults::{DegradedNetwork, FaultModel, FaultPlan};
+    pub use spam_reconfig::{EpochRouting, FaultEvent, FaultKind, FaultSchedule, ReconfigScenario};
     pub use traffic::{DestinationSampler, MixedTrafficConfig};
-    pub use updown::{RootSelection, UpDownLabeling};
+    pub use updown::{RelabelReport, RootSelection, UpDownLabeling};
     pub use wormsim::{
-        LatencyParams, MessageSpec, NetworkSim, RouteError, SimConfig, SimError, SimOutcome,
+        EpochStats, FailureKind, LatencyParams, MessageFailure, MessageSpec, NetworkSim,
+        RouteError, SimConfig, SimError, SimOutcome,
     };
 }

@@ -106,6 +106,79 @@ fn degraded_network_broadcast_is_pinned() {
     assert_eq!(out.counters.flits_delivered, 128 * 48);
 }
 
+fn mid_run_link_death_outcome() -> SimOutcome {
+    // A live-reconfiguration scenario end to end: seeded 64-switch
+    // lattice, a broadcast in flight when a processor's only link dies at
+    // 10.5 µs (tearing the broadcast down mid-worm), then post-fault
+    // traffic routing on the relabeled epoch — one multicast that must
+    // deliver and one unicast to the stranded processor that must surface
+    // as unreachable. Pins the storm scheduling, the engine teardown
+    // cascade, the incremental relabeling, and the epoch routing swap.
+    let topo = IrregularConfig::with_switches(64).generate(2024);
+    let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+    let procs: Vec<NodeId> = topo.processors().collect();
+    let doomed = procs[5];
+    let dead_link = topo.out_channels(doomed)[0];
+    let sched = FaultSchedule::new(vec![FaultEvent {
+        at: Time::from_ns(10_500),
+        kind: FaultKind::LinkDown(dead_link),
+    }]);
+    let scenario = ReconfigScenario::build(&topo, &ud, &sched);
+    let routing = scenario.routing(&topo);
+    let mut sim = NetworkSim::new(&topo, routing, SimConfig::paper());
+    sched.install(&mut sim);
+    sim.submit(MessageSpec::multicast(procs[0], procs[1..].to_vec(), 128))
+        .unwrap();
+    sim.submit(
+        MessageSpec::multicast(procs[0], vec![procs[7], procs[9]], 64).at(Time::from_us(15)),
+    )
+    .unwrap();
+    sim.submit(MessageSpec::unicast(procs[0], doomed, 64).at(Time::from_us(15)))
+        .unwrap();
+    sim.run()
+}
+
+#[test]
+fn mid_run_link_death_is_pinned() {
+    let out = mid_run_link_death_outcome();
+    assert!(out.all_accounted(), "{:?} {:?}", out.error, out.deadlock);
+    // Exactly one verdict of each kind.
+    assert!(out.messages[0].is_torn_down(), "broadcast caught mid-worm");
+    assert!(out.messages[1].is_complete(), "epoch-1 multicast delivers");
+    assert!(out.messages[2].is_unreachable(), "stranded destination");
+    assert_eq!(out.counters.messages_completed, 1);
+    assert_eq!(out.counters.messages_torn_down, 1);
+    assert_eq!(out.counters.messages_unreachable, 1);
+    assert_eq!(out.counters.links_killed, 1);
+    assert_eq!(out.fault_times, vec![Time::from_ns(10_500)]);
+    // The teardown happened at the fault instant, with the typed error.
+    let failure = out.messages[0].failure.unwrap();
+    assert_eq!(failure.at, Time::from_ns(10_500));
+    assert!(matches!(failure.error, SimError::TornDown { .. }));
+    // Golden post-fault latency for (topo seed 2024, fault at 10.5 µs),
+    // pinned against the workspace's deterministic SplitMix64 `rand`
+    // shim. Update only for intentional semantic changes.
+    assert_eq!(out.messages[1].latency().unwrap().as_ns(), 10_890);
+    // Per-epoch accounting splits exactly at the fault.
+    let stats = out.epoch_stats();
+    assert_eq!((stats[0].submitted, stats[0].torn_down), (1, 1));
+    assert_eq!(
+        (stats[1].submitted, stats[1].delivered, stats[1].unreachable),
+        (2, 1, 1)
+    );
+}
+
+#[test]
+fn mid_run_link_death_is_deterministic_across_runs() {
+    let (a, b) = (mid_run_link_death_outcome(), mid_run_link_death_outcome());
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.end_time, b.end_time);
+    for (ma, mb) in a.messages.iter().zip(&b.messages) {
+        assert_eq!(ma.completed_at, mb.completed_at);
+        assert_eq!(ma.failure.map(|f| f.at), mb.failure.map(|f| f.at));
+    }
+}
+
 #[test]
 fn golden_values_are_stable_across_repeated_runs() {
     assert_eq!(fig1_multicast_latency_ns(), fig1_multicast_latency_ns());
