@@ -1,0 +1,333 @@
+//! A small-vector for `Copy` types: inline storage up to `N`, heap spill
+//! beyond.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+
+/// A growable vector that stores up to `N` elements inline (no heap
+/// allocation) and moves everything to a heap `Vec` only when it grows past
+/// `N`.
+///
+/// Element types must be `Copy + Default`: the inline buffer is a plain
+/// `[T; N]` initialized with defaults, which keeps the implementation free
+/// of `unsafe` while staying a straight memcpy on clone. All elements are
+/// always contiguous — either entirely inline or entirely spilled — so
+/// [`Self::as_slice`] is always cheap.
+#[derive(Clone)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    /// Total element count. Elements live in `inline[..len]` when
+    /// `len <= N` **and** `spill` is empty; otherwise all in `spill`.
+    len: usize,
+    inline: [T; N],
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector (no heap allocation).
+    #[inline]
+    pub fn new() -> Self {
+        InlineVec {
+            len: 0,
+            inline: [T::default(); N],
+            spill: Vec::new(),
+        }
+    }
+
+    /// True while the elements live in the inline buffer.
+    #[inline]
+    fn is_inline(&self) -> bool {
+        self.spill.is_empty()
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element, spilling to the heap on overflow of the inline
+    /// buffer.
+    pub fn push(&mut self, value: T) {
+        if self.is_inline() {
+            if self.len < N {
+                self.inline[self.len] = value;
+                self.len += 1;
+                return;
+            }
+            // Overflow: move the inline prefix to the heap in one shot.
+            self.spill.reserve(N * 2);
+            self.spill.extend_from_slice(&self.inline[..self.len]);
+        }
+        self.spill.push(value);
+        self.len += 1;
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if self.is_inline() {
+            Some(self.inline[self.len])
+        } else {
+            self.spill.pop()
+        }
+    }
+
+    /// Removes the element at `index` by swapping the last element into its
+    /// place (O(1), order not preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn swap_remove(&mut self, index: usize) -> T {
+        assert!(
+            index < self.len,
+            "swap_remove index {index} >= {}",
+            self.len
+        );
+        let last = self.len - 1;
+        if self.is_inline() {
+            let v = self.inline[index];
+            self.inline[index] = self.inline[last];
+            self.len = last;
+            v
+        } else {
+            self.len = last;
+            self.spill.swap_remove(index)
+        }
+    }
+
+    /// Clears the vector. Spill capacity is retained, so a container that
+    /// spilled once never reallocates for the same size again.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// The elements as one contiguous slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.is_inline() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The elements as one contiguous mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.is_inline() {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// Iterates over the elements.
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    /// True when `value` is among the elements.
+    #[inline]
+    pub fn contains(&self, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        self.as_slice().contains(value)
+    }
+
+    /// Copies the elements into a fresh `Vec` (for cold paths like traces).
+    #[inline]
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+
+    /// Builds from a slice (spills if `slice.len() > N`).
+    pub fn from_slice(slice: &[T]) -> Self {
+        let mut v = Self::new();
+        for &x in slice {
+            v.push(x);
+        }
+        v
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for InlineVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Index<usize> for InlineVec<T, N> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.as_slice()[i]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> IndexMut<usize> for InlineVec<T, N> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.as_mut_slice()[i]
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for x in iter {
+            v.push(x);
+        }
+        v
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn spills_past_capacity_and_stays_contiguous() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert!(!v.is_inline());
+        assert_eq!(v.as_slice(), (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(v[7], 7);
+    }
+
+    #[test]
+    fn pop_round_trips_across_the_spill_boundary() {
+        let mut v: InlineVec<u8, 2> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), Some(0));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn swap_remove_inline_and_spilled() {
+        let mut v: InlineVec<u32, 4> = InlineVec::from_slice(&[10, 20, 30]);
+        assert_eq!(v.swap_remove(0), 10);
+        assert_eq!(v.as_slice(), &[30, 20]);
+        let mut s: InlineVec<u32, 2> = InlineVec::from_slice(&[1, 2, 3, 4, 5]);
+        assert_eq!(s.swap_remove(1), 2);
+        assert_eq!(s.as_slice(), &[1, 5, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "swap_remove")]
+    fn swap_remove_out_of_bounds_panics() {
+        let mut v: InlineVec<u32, 2> = InlineVec::from_slice(&[1]);
+        v.swap_remove(1);
+    }
+
+    #[test]
+    fn clear_returns_to_inline_storage() {
+        let mut v: InlineVec<u32, 2> = InlineVec::from_slice(&[1, 2, 3]);
+        assert!(!v.is_inline());
+        v.clear();
+        assert!(v.is_empty());
+        v.push(9);
+        assert!(v.is_inline(), "cleared spill means inline again");
+        assert_eq!(v.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn contains_iter_and_collect() {
+        let v: InlineVec<u32, 4> = (0..3).collect();
+        assert!(v.contains(&2));
+        assert!(!v.contains(&7));
+        assert_eq!(v.iter().sum::<u32>(), 3);
+        let doubled: Vec<u32> = v.iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn equality_ignores_storage_mode() {
+        let a: InlineVec<u32, 8> = (0..5).collect();
+        let b: InlineVec<u32, 2> = (0..5).collect();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn clone_preserves_contents() {
+        let v: InlineVec<u32, 2> = (0..6).collect();
+        let c = v.clone();
+        assert_eq!(v, c);
+    }
+}

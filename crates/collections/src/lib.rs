@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # spam-collections — allocation-lean containers for the simulator hot path
+//!
+//! The build environment has no access to crates.io, so the workspace rolls
+//! its own minimal equivalents of `smallvec` and `slab`/`slotmap`:
+//!
+//! * [`InlineVec`] — a small-vector for `Copy` element types that stores up
+//!   to `N` elements inline and spills to the heap only beyond that. Worm
+//!   segments request a handful of output channels (one for a unicast hop,
+//!   one per destination subtree at a branch router), so `N` chosen near the
+//!   switch port count makes the heap path effectively unreachable.
+//! * [`Slab`] — a generation-indexed slot map. Removing a value bumps the
+//!   slot's generation, so a stale [`SlotId`] held elsewhere (an old bubble
+//!   candidate, a queue entry for a released segment) can never alias a new
+//!   occupant: lookups through stale ids simply return `None`. Every
+//!   operation is an array index — this is what replaces the engine's
+//!   per-event `HashMap` probes.
+//!
+//! Both types are deterministic: iteration orders depend only on the
+//! sequence of operations, never on hashing or addresses.
+
+pub mod inline_vec;
+pub mod slab;
+
+pub use inline_vec::InlineVec;
+pub use slab::{Slab, SlotId};

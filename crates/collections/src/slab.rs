@@ -1,0 +1,274 @@
+//! A generation-indexed slot map.
+
+use std::fmt;
+
+/// Handle to a value stored in a [`Slab`]: a slot index plus the
+/// generation the slot had when the value was inserted.
+///
+/// A `SlotId` held after its value was removed goes *stale*: the slot's
+/// generation has moved on, so `get`/`get_mut`/`remove` through the stale
+/// id return `None` even if the slot was reused. This is what lets the
+/// simulation engine keep cheap copies of segment handles in queues and
+/// candidate lists without use-after-free hazards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SlotId {
+    idx: u32,
+    gen: u32,
+}
+
+impl SlotId {
+    /// The raw slot index (stable while the id is live; reused after
+    /// removal). Exposed for diagnostics only.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}g{}", self.idx, self.gen)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+/// A slab allocator / slot map with generation-checked handles.
+///
+/// `insert` is O(1) (pop a free slot or push), `remove`/`get`/`get_mut`
+/// are an array index plus a generation compare. Freed slots are reused
+/// LIFO, so steady-state workloads (the simulator allocates and frees one
+/// segment per worm-router traversal) touch a small, cache-hot prefix and
+/// never grow the backing storage.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty slab with room for `cap` values before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value, returning its handle.
+    pub fn insert(&mut self, value: T) -> SlotId {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.val.is_none());
+            slot.val = Some(value);
+            SlotId { idx, gen: slot.gen }
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("slab capped at u32 slots");
+            self.slots.push(Slot {
+                gen: 0,
+                val: Some(value),
+            });
+            SlotId { idx, gen: 0 }
+        }
+    }
+
+    /// Removes and returns the value behind `id`; `None` if `id` is stale
+    /// or was never live.
+    pub fn remove(&mut self, id: SlotId) -> Option<T> {
+        let slot = self.slots.get_mut(id.idx as usize)?;
+        if slot.gen != id.gen || slot.val.is_none() {
+            return None;
+        }
+        let v = slot.val.take();
+        // Bump the generation on removal so every outstanding copy of `id`
+        // goes stale immediately.
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(id.idx);
+        self.len -= 1;
+        v
+    }
+
+    /// Shared access to the value behind `id` (`None` if stale).
+    #[inline]
+    pub fn get(&self, id: SlotId) -> Option<&T> {
+        let slot = self.slots.get(id.idx as usize)?;
+        if slot.gen == id.gen {
+            slot.val.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the value behind `id` (`None` if stale).
+    #[inline]
+    pub fn get_mut(&mut self, id: SlotId) -> Option<&mut T> {
+        let slot = self.slots.get_mut(id.idx as usize)?;
+        if slot.gen == id.gen {
+            slot.val.as_mut()
+        } else {
+            None
+        }
+    }
+
+    /// True when `id` refers to a live value.
+    #[inline]
+    pub fn contains(&self, id: SlotId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Iterates over live `(id, value)` pairs in ascending slot order
+    /// (deterministic: depends only on the operation sequence).
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.val.as_ref().map(|v| {
+                (
+                    SlotId {
+                        idx: i as u32,
+                        gen: s.gen,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Removes all values (generations advance, so old ids stay stale).
+    pub fn clear(&mut self) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.val.take().is_some() {
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(i as u32);
+            }
+        }
+        self.len = 0;
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(a), None, "removed handle is stale");
+    }
+
+    #[test]
+    fn stale_ids_never_alias_reused_slots() {
+        let mut s = Slab::new();
+        let a = s.insert(1u32);
+        s.remove(a);
+        let b = s.insert(2u32);
+        // Same physical slot, different generation.
+        assert_eq!(a.index(), b.index());
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get_mut(a), None);
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.get(b), Some(&2));
+        assert!(s.contains(b));
+        assert!(!s.contains(a));
+    }
+
+    #[test]
+    fn freed_slots_are_reused_lifo() {
+        let mut s = Slab::new();
+        let ids: Vec<SlotId> = (0..4).map(|i| s.insert(i)).collect();
+        s.remove(ids[1]);
+        s.remove(ids[3]);
+        let x = s.insert(10);
+        let y = s.insert(11);
+        assert_eq!(x.index(), 3, "last freed, first reused");
+        assert_eq!(y.index(), 1);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn iter_is_in_slot_order_and_skips_holes() {
+        let mut s = Slab::new();
+        let ids: Vec<SlotId> = (0..5).map(|i| s.insert(i * 10)).collect();
+        s.remove(ids[2]);
+        let seen: Vec<(usize, u32)> = s.iter().map(|(id, &v)| (id.index(), v)).collect();
+        assert_eq!(seen, vec![(0, 0), (1, 10), (3, 30), (4, 40)]);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut s = Slab::new();
+        let a = s.insert(5u32);
+        *s.get_mut(a).unwrap() += 1;
+        assert_eq!(s.get(a), Some(&6));
+    }
+
+    #[test]
+    fn clear_stales_everything() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        let b = s.insert(2);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get(b), None);
+        let c = s.insert(3);
+        assert_eq!(s.get(c), Some(&3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn mixed_churn_keeps_len_consistent() {
+        let mut s = Slab::new();
+        let mut live = Vec::new();
+        for round in 0..100u32 {
+            live.push(s.insert(round));
+            if round % 3 == 0 {
+                let id = live.remove((round as usize) % live.len());
+                assert!(s.remove(id).is_some());
+            }
+        }
+        assert_eq!(s.len(), live.len());
+        for id in live {
+            assert!(s.contains(id));
+        }
+    }
+}
