@@ -1,0 +1,220 @@
+//! Engine-throughput benchmark: events/sec and messages/sec under
+//! saturating multicast load, 64 → 1024-switch irregular networks.
+//!
+//! ```text
+//! cargo run -p spam-bench --bin throughput --release
+//! cargo run -p spam-bench --bin throughput --release -- --quick
+//! cargo run -p spam-bench --bin throughput --release -- --baseline
+//! ```
+//!
+//! Writes `results/throughput.csv`, `results/BENCH_throughput.json`, and a
+//! root-level `BENCH_throughput.json` copy (the repo's first *throughput*
+//! perf-trajectory record — the other `BENCH_*.json` files track simulated
+//! latency). If `results/throughput_baseline.csv` exists (committed from
+//! the pre-arena-refactor engine), its series are embedded alongside the
+//! fresh numbers and a per-size speedup series is emitted, so the record
+//! always carries both sides of the before/after comparison.
+//!
+//! `--baseline` re-records `results/throughput_baseline.csv` from the
+//! current build instead (used once, on the pre-refactor commit).
+//!
+//! The binary installs a counting global allocator, so the JSON also
+//! reports heap allocations and bytes per delivered message — the
+//! zero-alloc-per-flit claim, measured rather than asserted.
+
+use spam_bench::report::{self, BenchJson};
+use spam_bench::throughput::{run, write_csv, ThroughputConfig, ThroughputPoint};
+use spam_bench::PointSummary;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A pass-through allocator that counts calls and bytes.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counters are side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Parses a baseline CSV (the schema written by `write_csv`).
+fn read_baseline(path: &Path) -> Option<Vec<ThroughputPoint>> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let mut pts = Vec::new();
+    for line in body.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() < 9 {
+            continue;
+        }
+        pts.push(ThroughputPoint {
+            switches: f[0].parse().ok()?,
+            messages: f[1].parse().ok()?,
+            events: f[2].parse().ok()?,
+            flits_delivered: f[3].parse().ok()?,
+            seg_lookups: f[4].parse().ok()?,
+            sim_end_ns: f[5].parse().ok()?,
+            wall_s: f[6].parse().ok()?,
+            events_per_sec: f[7].parse().ok()?,
+            msgs_per_sec: f[8].parse().ok()?,
+        });
+    }
+    (!pts.is_empty()).then_some(pts)
+}
+
+fn series_of(points: &[ThroughputPoint], f: impl Fn(&ThroughputPoint) -> f64) -> Vec<PointSummary> {
+    points
+        .iter()
+        .map(|p| PointSummary {
+            x: p.switches as f64,
+            mean: f(p),
+            ci_half_width: 0.0,
+            reps: 1,
+            target_met: true,
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let record_baseline = args.iter().any(|a| a == "--baseline");
+    let cfg = if quick {
+        ThroughputConfig::quick()
+    } else {
+        ThroughputConfig::full()
+    };
+
+    eprintln!(
+        "throughput: sizes {:?}, {} msgs/proc x {} dests x {} flits, {} reps",
+        cfg.sizes, cfg.msgs_per_proc, cfg.dests, cfg.len, cfg.reps
+    );
+    let alloc0 = (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed));
+    let t0 = std::time::Instant::now();
+    let points = run(&cfg);
+    let wall_total = t0.elapsed();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc0.0;
+    let bytes = BYTES.load(Ordering::Relaxed) - alloc0.1;
+    let total_msgs: u64 = points.iter().map(|p| p.messages * cfg.reps as u64).sum();
+    let bytes_per_msg = bytes as f64 / total_msgs.max(1) as f64;
+    let allocs_per_msg = allocs as f64 / total_msgs.max(1) as f64;
+    eprintln!(
+        "throughput: finished in {wall_total:.1?}; {allocs} allocs / {bytes} bytes \
+         ({allocs_per_msg:.1} allocs, {bytes_per_msg:.0} B per message incl. setup)"
+    );
+
+    let baseline_path = PathBuf::from("results/throughput_baseline.csv");
+    if record_baseline {
+        write_csv(&baseline_path, &points).expect("write baseline csv");
+        eprintln!("-> recorded {} (pre-refactor baseline)", baseline_path.display());
+    }
+
+    let csv_path = PathBuf::from("results/throughput.csv");
+    write_csv(&csv_path, &points).expect("write csv");
+
+    println!(
+        "  {:>8} {:>9} {:>11} {:>12} {:>12} {:>10}",
+        "switches", "messages", "events", "events/s", "msgs/s", "wall (s)"
+    );
+    for p in &points {
+        println!(
+            "  {:>8} {:>9} {:>11} {:>12.0} {:>12.1} {:>10.4}",
+            p.switches, p.messages, p.events, p.events_per_sec, p.msgs_per_sec, p.wall_s
+        );
+    }
+
+    let mut series = vec![
+        ("events_per_sec".to_string(), series_of(&points, |p| p.events_per_sec)),
+        ("msgs_per_sec".to_string(), series_of(&points, |p| p.msgs_per_sec)),
+        ("events_total".to_string(), series_of(&points, |p| p.events as f64)),
+        (
+            "seg_lookups".to_string(),
+            series_of(&points, |p| p.seg_lookups as f64),
+        ),
+    ];
+    let mut params = vec![
+        ("msgs_per_proc".to_string(), cfg.msgs_per_proc.to_string()),
+        ("dests".to_string(), cfg.dests.to_string()),
+        ("len_flits".to_string(), cfg.len.to_string()),
+        ("reps".to_string(), cfg.reps.to_string()),
+        ("seed".to_string(), cfg.seed.to_string()),
+        ("quick".to_string(), quick.to_string()),
+        ("heap_allocs_per_message".to_string(), format!("{allocs_per_msg:.2}")),
+        ("heap_bytes_per_message".to_string(), format!("{bytes_per_msg:.0}")),
+    ];
+
+    if !record_baseline {
+        if let Some(base) = read_baseline(&baseline_path) {
+            series.push((
+                "baseline_events_per_sec".to_string(),
+                series_of(&base, |p| p.events_per_sec),
+            ));
+            series.push((
+                "baseline_msgs_per_sec".to_string(),
+                series_of(&base, |p| p.msgs_per_sec),
+            ));
+            let speedups: Vec<PointSummary> = points
+                .iter()
+                .filter_map(|p| {
+                    let b = base.iter().find(|b| b.switches == p.switches)?;
+                    // Same seed => both engines simulated the same run.
+                    assert_eq!(
+                        b.sim_end_ns, p.sim_end_ns,
+                        "baseline and current runs diverged at {} switches",
+                        p.switches
+                    );
+                    Some(PointSummary {
+                        x: p.switches as f64,
+                        mean: p.events_per_sec / b.events_per_sec,
+                        ci_half_width: 0.0,
+                        reps: 1,
+                        target_met: p.events_per_sec >= 2.0 * b.events_per_sec,
+                    })
+                })
+                .collect();
+            println!("\n  speedup vs pre-refactor baseline (events/sec):");
+            for s in &speedups {
+                println!(
+                    "  {:>8} {:>7.2}x {}",
+                    s.x as u64,
+                    s.mean,
+                    if s.target_met { "(>= 2x target met)" } else { "" }
+                );
+            }
+            series.push(("speedup_events_per_sec".to_string(), speedups));
+            params.push(("baseline".to_string(), baseline_path.display().to_string()));
+        } else {
+            eprintln!(
+                "note: no {} found; emitting current-engine numbers only",
+                baseline_path.display()
+            );
+        }
+    }
+
+    let bench = BenchJson {
+        name: "throughput".to_string(),
+        params,
+        series,
+    };
+    let json_path = report::write_bench_json(Path::new("results"), &bench).expect("write json");
+    std::fs::copy(&json_path, "BENCH_throughput.json").expect("copy json to repo root");
+    println!("-> {}", csv_path.display());
+    println!("-> {} (+ ./BENCH_throughput.json)", json_path.display());
+}

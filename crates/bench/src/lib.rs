@@ -17,6 +17,7 @@ pub mod fig3;
 pub mod reconfig_sweep;
 pub mod report;
 pub mod sweep;
+pub mod throughput;
 
 use netgraph::gen::lattice::IrregularConfig;
 use netgraph::Topology;
