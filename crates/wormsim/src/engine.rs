@@ -780,21 +780,27 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         if !ready {
             return;
         }
-        let outputs = seg.outputs.clone();
         let input = seg.input;
+        let nout = seg.outputs.len();
         self.counters.acquisitions += 1;
         self.last_progress = now;
         let node = match input {
             SegInput::Source { .. } => self.msgs[msg.index()].spec.src,
             SegInput::Channel(ic) => self.topo.channel(ic).dst,
         };
-        self.emit(|| TraceEvent::Acquired {
-            msg,
-            node,
-            channels: outputs.clone(),
-            at: now,
-        });
-        for &o in &outputs {
+        if self.trace.is_some() {
+            let channels = self.segs[&key].outputs.clone();
+            self.emit(|| TraceEvent::Acquired {
+                msg,
+                node,
+                channels,
+                at: now,
+            });
+        }
+        // Index-based re-borrows instead of cloning the output list: this
+        // path runs once per segment acquisition and must not allocate.
+        for i in 0..nout {
+            let o = self.segs[&key].outputs[i];
             let c = &mut self.chans[o.index()];
             let popped = c.ocrq.pop_front();
             debug_assert_eq!(popped, Some(msg));
@@ -804,7 +810,8 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 kind: FlitKind::Header,
             });
         }
-        for &o in &outputs {
+        for i in 0..nout {
+            let o = self.segs[&key].outputs[i];
             self.try_start_wire(o);
         }
         // Consume the header on the input side.
@@ -840,7 +847,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 return;
             }
             let input = seg.input;
-            let outputs = seg.outputs.clone();
+            let nout = seg.outputs.len();
             let len = self.msgs[msg.index()].worm_len;
             let next_flit = match input {
                 SegInput::Source { next } => {
@@ -859,12 +866,17 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 },
             };
             let out_cap = self.cfg.output_buffer_flits;
-            let all_free = outputs
+            // This loop runs once per flit per router traversal — the
+            // hottest path in the engine. Re-borrow the segment's output
+            // list per step instead of cloning it per iteration.
+            let all_free = self.segs[&key]
+                .outputs
                 .iter()
                 .all(|&o| self.chans[o.index()].out_has_space(out_cap));
             match next_flit {
                 Some(f) if all_free => {
-                    for &o in &outputs {
+                    for i in 0..nout {
+                        let o = self.segs[&key].outputs[i];
                         self.chans[o.index()].out_buf.push_back(f);
                         self.try_start_wire(o);
                     }
@@ -880,7 +892,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                         }
                     }
                     if f.is_tail() {
-                        self.release(now, key, &outputs, input);
+                        self.release(now, key);
                         return;
                     }
                 }
@@ -888,7 +900,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                     // Blocked by a sibling: mark for end-of-instant bubble
                     // insertion. A single-output segment simply stalls (no
                     // divergence to mask).
-                    if outputs.len() > 1 && !self.bubble_candidates.contains(&key) {
+                    if nout > 1 && !self.bubble_candidates.contains(&key) {
                         self.bubble_candidates.push(key);
                     }
                     return;
@@ -912,7 +924,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             if !seg.acquired || seg.outputs.len() < 2 {
                 continue;
             }
-            let outputs = seg.outputs.clone();
+            let nout = seg.outputs.len();
             let input = seg.input;
             let input_present = match input {
                 SegInput::Source { next } => next < self.msgs[msg.index()].worm_len,
@@ -925,7 +937,8 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 continue;
             }
             let out_cap = self.cfg.output_buffer_flits;
-            let all_free = outputs
+            let all_free = self.segs[&key]
+                .outputs
                 .iter()
                 .all(|&o| self.chans[o.index()].out_has_space(out_cap));
             if all_free {
@@ -941,7 +954,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             // forever (each freeing at a different instant) and starve the
             // real flits — a livelock hardware avoids because its cycle-
             // synchronous buffers free together.
-            let real_blockage = outputs.iter().any(|&o| {
+            let real_blockage = self.segs[&key].outputs.iter().any(|&o| {
                 let c = &self.chans[o.index()];
                 !c.out_has_space(out_cap) && c.out_buf.iter().any(|f| f.is_real())
             });
@@ -952,7 +965,8 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 SegInput::Source { .. } => self.msgs[msg.index()].spec.src,
                 SegInput::Channel(ic) => self.topo.channel(ic).dst,
             };
-            for &o in &outputs {
+            for i in 0..nout {
+                let o = self.segs[&key].outputs[i];
                 if self.chans[o.index()].out_has_space(out_cap) {
                     self.chans[o.index()].out_buf.push_back(Flit::bubble(msg));
                     self.counters.bubbles_created += 1;
@@ -969,21 +983,26 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
     }
 
     /// Tail replicated: release every owned channel to its next waiter and
-    /// retire the segment.
-    fn release(&mut self, now: Time, key: SegKey, outputs: &[ChannelId], input: SegInput) {
+    /// retire the segment. Removing the segment first hands us owned
+    /// output/input state, so no copy of the channel list is needed.
+    fn release(&mut self, now: Time, key: SegKey) {
+        let seg = self.segs.remove(&key).expect("released segment exists");
         let msg = key.msg();
+        let input = seg.input;
         let node = match input {
             SegInput::Source { .. } => self.msgs[msg.index()].spec.src,
             SegInput::Channel(ic) => self.topo.channel(ic).dst,
         };
-        self.emit(|| TraceEvent::Released {
-            msg,
-            node,
-            channels: outputs.to_vec(),
-            at: now,
-        });
-        self.segs.remove(&key);
-        for &o in outputs {
+        if self.trace.is_some() {
+            let channels = seg.outputs.clone();
+            self.emit(|| TraceEvent::Released {
+                msg,
+                node,
+                channels,
+                at: now,
+            });
+        }
+        for &o in &seg.outputs {
             self.requester.remove(&(msg, o));
             let c = &mut self.chans[o.index()];
             debug_assert_eq!(c.owner, Some(msg));
