@@ -1,6 +1,7 @@
 //! Per-channel simulator state: buffers, wire, ownership, and the OCRQ.
 
 use crate::flit::{Flit, MsgId};
+use spam_collections::{InlineVec, SlotId};
 use std::collections::VecDeque;
 
 /// Runtime state of one unidirectional channel.
@@ -10,6 +11,11 @@ use std::collections::VecDeque;
 /// into `in_buf` after the propagation delay, during which the flit keeps
 /// occupying its `out_buf` slot (so channel bandwidth is one flit per
 /// propagation delay); the consumer at the destination node pops `in_buf`.
+///
+/// Queue entries and the owner carry the requesting segment's slab handle
+/// alongside the message id: every "who asked for this channel?" question
+/// on the event path is answered by an array index instead of the reverse
+/// hash map the engine used to keep.
 #[derive(Debug, Clone)]
 pub struct Chan {
     /// Sender-side buffer.
@@ -20,12 +26,21 @@ pub struct Chan {
     pub wire_busy: bool,
     /// Receiver slots promised to in-flight wire transfers.
     pub reserved_in: u8,
-    /// Message currently holding this channel (set at acquisition, cleared
-    /// when the tail is replicated into `out_buf`).
-    pub owner: Option<MsgId>,
-    /// Output channel request queue (§3.2): FIFO of messages waiting to
-    /// acquire this channel. The head may acquire once the channel is free.
-    pub ocrq: VecDeque<MsgId>,
+    /// Message currently holding this channel and the segment that
+    /// acquired it (set at acquisition, cleared when the tail is
+    /// replicated into `out_buf`).
+    pub owner: Option<(MsgId, SlotId)>,
+    /// Output channel request queue (§3.2): FIFO of `(message, requesting
+    /// segment)` waiting to acquire this channel. The head may acquire once
+    /// the channel is free.
+    pub ocrq: VecDeque<(MsgId, SlotId)>,
+    /// The live transit segment whose flits arrive on this channel (a worm
+    /// traversal keyed by input channel), if any.
+    pub seg: Option<SlotId>,
+    /// Header states waiting at (or traveling toward) this channel's
+    /// receiving end: `(message, handle into the engine's header slab)`.
+    /// Replaces the engine-wide `(msg, channel) -> header` hash map.
+    pub hdrs: InlineVec<(MsgId, SlotId), 2>,
     /// A routing decision for the header at the head of `in_buf` has been
     /// scheduled but not executed yet (prevents double-scheduling).
     pub route_pending: bool,
@@ -44,6 +59,8 @@ impl Chan {
             reserved_in: 0,
             owner: None,
             ocrq: VecDeque::new(),
+            seg: None,
+            hdrs: InlineVec::new(),
             route_pending: false,
             crossings: 0,
         }
@@ -76,6 +93,8 @@ impl Chan {
             && self.reserved_in == 0
             && self.owner.is_none()
             && self.ocrq.is_empty()
+            && self.seg.is_none()
+            && self.hdrs.is_empty()
             && !self.route_pending
     }
 }
@@ -103,7 +122,7 @@ mod tests {
     #[test]
     fn ownership_blocks_acquisition() {
         let mut c = Chan::new();
-        c.owner = Some(MsgId(1));
+        c.owner = Some((MsgId(1), SlotId::default()));
         assert!(!c.free_for_acquisition());
         assert!(!c.is_quiescent());
     }
@@ -129,5 +148,15 @@ mod tests {
         assert!(c.in_has_space(2));
         c.in_buf.push_back(Flit::bubble(MsgId(0)));
         assert!(!c.in_has_space(2));
+    }
+
+    #[test]
+    fn pending_headers_block_quiescence() {
+        let mut c = Chan::new();
+        c.hdrs.push((MsgId(3), SlotId::default()));
+        assert!(!c.is_quiescent());
+        c.hdrs.clear();
+        c.seg = Some(SlotId::default());
+        assert!(!c.is_quiescent());
     }
 }

@@ -17,6 +17,21 @@
 //! (e.g. up through it early, down through it later). Phase monotonicity
 //! guarantees the two traversals use distinct input and output channels, so
 //! per-channel segments model the physical router exactly.
+//!
+//! ## Hot-path layout
+//!
+//! Segments live in a generation-indexed [`Slab`]; every place that used to
+//! key a `HashMap` — the OCRQ entry that must find its requesting segment,
+//! the channel owner that refills a freed wire slot, the per-channel header
+//! state consumed at a routing decision, the bubble-candidate list — now
+//! carries a [`SlotId`] and resolves it with one array index. Intrusive
+//! indices keep the cross-references navigable both ways: each channel
+//! records the transit segment it feeds (`Chan::seg`) and the header states
+//! parked at its receiving end (`Chan::hdrs`); each message records its
+//! live segments (`MsgState::live_segs`) so teardown never scans the arena.
+//! Generations make stale handles (a released segment still sitting in the
+//! bubble-candidate list) resolve to `None` instead of aliasing a reused
+//! slot.
 
 use crate::channel::Chan;
 use crate::config::SimConfig;
@@ -29,7 +44,7 @@ use crate::routing::{CompletionHook, NoHook, RoutingAlgorithm};
 use crate::trace::{Trace, TraceEvent};
 use desim::{Schedule, Time};
 use netgraph::{ChannelId, NodeId, Topology};
-use std::collections::HashMap;
+use spam_collections::{InlineVec, Slab, SlotId};
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -45,23 +60,6 @@ enum Event {
     LinkDown(ChannelId),
 }
 
-/// Identity of one worm traversal of one router.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum SegKey {
-    /// The message's injection segment at its source processor.
-    Source(MsgId),
-    /// A transit segment, identified by the channel the worm entered on.
-    Transit(MsgId, ChannelId),
-}
-
-impl SegKey {
-    fn msg(self) -> MsgId {
-        match self {
-            SegKey::Source(m) | SegKey::Transit(m, _) => m,
-        }
-    }
-}
-
 /// Where a segment's flits come from.
 #[derive(Debug, Clone, Copy)]
 enum SegInput {
@@ -72,12 +70,16 @@ enum SegInput {
     Channel(ChannelId),
 }
 
-/// One traversal's state: input side and the output channels it has
-/// requested (and, once `acquired`, owns).
+/// One traversal's state: the owning message, input side, and the output
+/// channels it has requested (and, once `acquired`, owns). Output lists
+/// stay inline up to four channels — a unicast hop requests one, a branch
+/// router one per destination subtree — so the common case never touches
+/// the heap.
 #[derive(Debug)]
 struct Segment {
+    msg: MsgId,
     input: SegInput,
-    outputs: Vec<ChannelId>,
+    outputs: InlineVec<ChannelId, 4>,
     acquired: bool,
 }
 
@@ -92,12 +94,16 @@ struct MsgState {
     spec: MessageSpec,
     /// Flits on the wire: `spec.len` plus any extra header flits.
     worm_len: u32,
-    dest_index: HashMap<NodeId, usize>,
+    /// `(destination, index into dests)`, sorted by node id for binary
+    /// search — the per-delivered-flit lookup, hash-free.
+    dest_slot: Vec<(NodeId, u32)>,
     dests: Vec<DestState>,
     remaining: usize,
     completed_at: Option<Time>,
     /// Set when a mid-run fault killed or rejected this message.
     failure: Option<MessageFailure>,
+    /// Live segments of this worm (source + transits), for teardown.
+    live_segs: InlineVec<SlotId, 4>,
 }
 
 /// The flit-level wormhole network simulator. See the crate docs for the
@@ -109,11 +115,14 @@ pub struct NetworkSim<'a, R: RoutingAlgorithm> {
     sched: Schedule<Event>,
     chans: Vec<Chan>,
     msgs: Vec<MsgState>,
-    segs: HashMap<SegKey, Segment>,
-    /// For every OCRQ entry `(msg, out_channel)`, the segment that made the
-    /// request — the reverse index release/acquisition retries need.
-    requester: HashMap<(MsgId, ChannelId), SegKey>,
-    branch_state: HashMap<(MsgId, ChannelId), R::Header>,
+    /// Arena of live worm-router traversals; all cross-references into it
+    /// ([`Chan::ocrq`], [`Chan::owner`], [`Chan::seg`],
+    /// [`MsgState::live_segs`], `bubble_candidates`) are generation-checked
+    /// [`SlotId`]s.
+    segs: Slab<Segment>,
+    /// Arena of in-flight header states (`R::Header` travels with the worm
+    /// between routing decisions); indexed from [`Chan::hdrs`].
+    headers: Slab<R::Header>,
     counters: Counters,
     /// First simulation error; set once, aborts the run at the next event
     /// boundary (state mutated within the failing instant is not rolled
@@ -132,7 +141,7 @@ pub struct NetworkSim<'a, R: RoutingAlgorithm> {
     /// within one timestamp fire serially — inserting a bubble eagerly
     /// would steal a slot that the real flit could claim a few events
     /// later in the same instant, livelocking symmetric branches.
-    bubble_candidates: Vec<SegKey>,
+    bubble_candidates: Vec<SlotId>,
     /// Per-channel death mask for live-reconfiguration runs (all-false on
     /// static networks). A dead channel carries nothing: in-flight flits
     /// are lost at the wire, and any worm touching it is torn down.
@@ -154,9 +163,8 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             sched: Schedule::new(),
             chans: (0..topo.num_channels()).map(|_| Chan::new()).collect(),
             msgs: Vec::new(),
-            segs: HashMap::new(),
-            requester: HashMap::new(),
-            branch_state: HashMap::new(),
+            segs: Slab::new(),
+            headers: Slab::new(),
             counters: Counters::default(),
             error: None,
             last_progress: Time::ZERO,
@@ -227,6 +235,16 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         self.sched.now()
     }
 
+    /// The live segment behind `sid`'s `i`-th output channel. Used for
+    /// index-based re-borrows on mutation paths (no clone of the list).
+    #[inline]
+    fn seg_output(&self, sid: SlotId, i: usize) -> ChannelId {
+        self.segs
+            .get(sid)
+            .expect("segment live during traversal")
+            .outputs[i]
+    }
+
     /// Submits a message. `spec.gen_time` must not be in the simulator's
     /// past. Returns the message id used in the outcome.
     pub fn submit(&mut self, spec: MessageSpec) -> Result<MsgId, SpecError> {
@@ -236,12 +254,13 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             "message generated in the past"
         );
         let id = MsgId(self.msgs.len() as u32);
-        let dest_index = spec
+        let mut dest_slot: Vec<(NodeId, u32)> = spec
             .dests
             .iter()
             .enumerate()
-            .map(|(i, d)| (*d, i))
+            .map(|(i, d)| (*d, i as u32))
             .collect();
+        dest_slot.sort_unstable_by_key(|&(d, _)| d);
         let dests = vec![
             DestState {
                 next_seq: 0,
@@ -258,11 +277,12 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         self.msgs.push(MsgState {
             spec,
             worm_len,
-            dest_index,
+            dest_slot,
             dests,
             remaining,
             completed_at: None,
             failure: None,
+            live_segs: InlineVec::new(),
         });
         Ok(id)
     }
@@ -318,11 +338,12 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         if deadlock.is_none() && self.error.is_none() {
             // Resource-hygiene invariant, covering teardowns too: a clean
             // end (every message delivered or failed) leaves no reserved
-            // channel, no OCRQ entry, and no segment behind.
+            // channel, no OCRQ entry, no segment, and no header state
+            // behind.
             debug_assert!(self.chans.iter().all(|c| c.is_quiescent()));
             debug_assert!(self.segs.is_empty());
-            debug_assert!(self.requester.is_empty());
-            debug_assert!(self.branch_state.is_empty());
+            debug_assert!(self.headers.is_empty());
+            debug_assert!(self.msgs.iter().all(|m| m.live_segs.is_empty()));
         }
         let messages = self
             .msgs
@@ -424,20 +445,18 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             return;
         }
         if self.topo.is_switch(self.topo.channel(inj).dst) {
-            self.branch_state.insert((msg, inj), header);
+            let hid = self.headers.insert(header);
+            self.chans[inj.index()].hdrs.push((msg, hid));
         }
-        let key = SegKey::Source(msg);
-        self.segs.insert(
-            key,
-            Segment {
-                input: SegInput::Source { next: 0 },
-                outputs: vec![inj],
-                acquired: false,
-            },
-        );
-        self.requester.insert((msg, inj), key);
-        self.chans[inj.index()].ocrq.push_back(msg);
-        self.try_acquire(now, key);
+        let sid = self.segs.insert(Segment {
+            msg,
+            input: SegInput::Source { next: 0 },
+            outputs: InlineVec::from_slice(&[inj]),
+            acquired: false,
+        });
+        self.msgs[msg.index()].live_segs.push(sid);
+        self.chans[inj.index()].ocrq.push_back((msg, sid));
+        self.try_acquire(now, sid);
     }
 
     fn on_route_decision(&mut self, now: Time, msg: MsgId, in_ch: ChannelId) {
@@ -458,10 +477,16 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             ),
             "header must still be at the input-buffer head during setup"
         );
-        let header = self
-            .branch_state
-            .remove(&(msg, in_ch))
-            .expect("header state travels with the worm");
+        self.counters.seg_lookups += 1;
+        let header = {
+            let hdrs = &mut self.chans[in_ch.index()].hdrs;
+            let pos = hdrs
+                .iter()
+                .position(|&(m, _)| m == msg)
+                .expect("header state travels with the worm");
+            let (_, hid) = hdrs.swap_remove(pos);
+            self.headers.remove(hid).expect("header handle live")
+        };
         let decision = match self.routing.route(
             self.topo,
             node,
@@ -502,8 +527,18 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             self.wake_channels(now);
             return;
         }
-        let key = SegKey::Transit(msg, in_ch);
-        let mut outputs = Vec::with_capacity(decision.requests.len());
+        let sid = self.segs.insert(Segment {
+            msg,
+            input: SegInput::Channel(in_ch),
+            outputs: InlineVec::new(),
+            acquired: false,
+        });
+        debug_assert!(
+            self.chans[in_ch.index()].seg.is_none(),
+            "one channel delivers one header per worm"
+        );
+        self.chans[in_ch.index()].seg = Some(sid);
+        self.msgs[msg.index()].live_segs.push(sid);
         for (ch, st) in decision.requests {
             let rec = self.topo.channel(ch);
             if rec.src != node {
@@ -513,43 +548,50 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                     channel: ch,
                 });
             }
-            if outputs.contains(&ch) {
+            if self
+                .segs
+                .get(sid)
+                .expect("just inserted")
+                .outputs
+                .contains(&ch)
+            {
                 return self.fail(SimError::DuplicateRequest {
                     msg,
                     node,
                     channel: ch,
                 });
             }
-            outputs.push(ch);
+            self.segs
+                .get_mut(sid)
+                .expect("just inserted")
+                .outputs
+                .push(ch);
             if self.topo.is_switch(rec.dst) {
-                let clash = self.branch_state.insert((msg, ch), st);
-                assert!(
-                    clash.is_none(),
+                debug_assert!(
+                    !self.chans[ch.index()].hdrs.iter().any(|&(m, _)| m == msg),
                     "{msg} requested {ch} twice; phase monotonicity violated"
                 );
+                let hid = self.headers.insert(st);
+                self.chans[ch.index()].hdrs.push((msg, hid));
             }
-            let clash = self.requester.insert((msg, ch), key);
-            assert!(clash.is_none(), "{msg} already queued on {ch}");
+            debug_assert!(
+                !self.chans[ch.index()].ocrq.iter().any(|&(m, _)| m == msg),
+                "{msg} already queued on {ch}"
+            );
             // Atomic enqueue: the whole request set lands in this one event
             // before any other message can enqueue at this router (§3.2).
-            self.chans[ch.index()].ocrq.push_back(msg);
+            self.chans[ch.index()].ocrq.push_back((msg, sid));
         }
-        self.emit(|| TraceEvent::Requested {
-            msg,
-            node,
-            channels: outputs.clone(),
-            at: now,
-        });
-        let prev = self.segs.insert(
-            key,
-            Segment {
-                input: SegInput::Channel(in_ch),
-                outputs,
-                acquired: false,
-            },
-        );
-        assert!(prev.is_none(), "one channel delivers one header per worm");
-        self.try_acquire(now, key);
+        if self.trace.is_some() {
+            let channels = self.segs.get(sid).expect("just inserted").outputs.to_vec();
+            self.emit(|| TraceEvent::Requested {
+                msg,
+                node,
+                channels,
+                at: now,
+            });
+        }
+        self.try_acquire(now, sid);
     }
 
     fn on_wire_done(&mut self, now: Time, ch: ChannelId) {
@@ -581,15 +623,15 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         // channel was released and has now drained — the next OCRQ waiter
         // may acquire.
         match self.chans[ch.index()].owner {
-            Some(owner) => {
-                let key = self.requester[&(owner, ch)];
-                self.try_replicate(now, key);
+            Some((_, sid)) => {
+                self.counters.seg_lookups += 1;
+                self.try_replicate(now, sid);
             }
             None => {
                 if self.chans[ch.index()].free_for_acquisition() {
-                    if let Some(&front) = self.chans[ch.index()].ocrq.front() {
-                        let key = self.requester[&(front, ch)];
-                        self.try_acquire(now, key);
+                    if let Some(&(_, sid)) = self.chans[ch.index()].ocrq.front() {
+                        self.counters.seg_lookups += 1;
+                        self.try_acquire(now, sid);
                     }
                 }
             }
@@ -622,16 +664,16 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         let mut victims: Vec<MsgId> = Vec::new();
         for &c in &pair {
             let chan = &self.chans[c.index()];
-            victims.extend(chan.owner);
-            victims.extend(chan.ocrq.iter().copied());
+            victims.extend(chan.owner.map(|(m, _)| m));
+            victims.extend(chan.ocrq.iter().map(|&(m, _)| m));
             victims.extend(chan.in_buf.iter().map(|f| f.msg));
             victims.extend(chan.out_buf.iter().map(|f| f.msg));
         }
-        for (key, seg) in &self.segs {
+        for (_, seg) in self.segs.iter() {
             let holds = seg.outputs.iter().any(|o| pair.contains(o))
                 || matches!(seg.input, SegInput::Channel(ic) if pair.contains(&ic));
             if holds {
-                victims.push(key.msg());
+                victims.push(seg.msg);
             }
         }
         victims.sort_unstable();
@@ -676,16 +718,25 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         // Teardown happens strictly after SourceReady (earlier the message
         // holds nothing and cannot be a victim), so it is always active.
         self.active -= 1;
-        let keys: Vec<SegKey> = self.segs.keys().filter(|k| k.msg() == m).copied().collect();
-        for key in keys {
-            let seg = self.segs.remove(&key).expect("key just enumerated");
-            for o in seg.outputs {
-                self.requester.remove(&(m, o));
+        // Retire every live segment via the message's intrusive list — no
+        // arena scan.
+        let seg_ids = std::mem::take(&mut self.msgs[m.index()].live_segs);
+        for &sid in &seg_ids {
+            let seg = self
+                .segs
+                .remove(sid)
+                .expect("live list tracks live segments");
+            debug_assert_eq!(seg.msg, m);
+            if let SegInput::Channel(ic) = seg.input {
+                debug_assert_eq!(self.chans[ic.index()].seg, Some(sid));
+                self.chans[ic.index()].seg = None;
+            }
+            for &o in &seg.outputs {
                 let c = &mut self.chans[o.index()];
-                if c.owner == Some(m) {
+                if c.owner.map(|(om, _)| om) == Some(m) {
                     c.owner = None;
                 }
-                if let Some(pos) = c.ocrq.iter().position(|&q| q == m) {
+                if let Some(pos) = c.ocrq.iter().position(|&(qm, _)| qm == m) {
                     c.ocrq.remove(pos);
                 }
             }
@@ -694,9 +745,13 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         // header's entry outlives its upstream segment (the segment releases
         // once the tail is replicated, while the header may still sit in an
         // input buffer waiting out the router-setup delay — and its stale
-        // RouteDecision returns before consuming the entry).
-        self.branch_state.retain(|&(mid, _), _| mid != m);
+        // RouteDecision returns before consuming the entry). Flit purging
+        // walks every channel anyway, so the header sweep rides along.
         for c in self.chans.iter_mut() {
+            while let Some(pos) = c.hdrs.iter().position(|&(hm, _)| hm == m) {
+                let (_, hid) = c.hdrs.swap_remove(pos);
+                self.headers.remove(hid).expect("header handle live");
+            }
             c.in_buf.retain(|f| f.msg != m);
             if c.out_buf.front().is_some_and(|f| f.msg == m) {
                 // Output buffers hold one worm at a time; if the head is
@@ -706,7 +761,9 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 c.out_buf.truncate(keep);
             }
         }
-        self.bubble_candidates.retain(|k| k.msg() != m);
+        // Stale candidates resolve to dead slots (generation mismatch).
+        self.bubble_candidates
+            .retain(|&sid| self.segs.contains(sid));
         self.emit(|| TraceEvent::TornDown {
             msg: m,
             channel: match cause {
@@ -729,9 +786,9 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             let ch = ChannelId(i as u32);
             self.try_start_wire(ch);
             if self.chans[i].free_for_acquisition() {
-                if let Some(&front) = self.chans[i].ocrq.front() {
-                    let key = self.requester[&(front, ch)];
-                    self.try_acquire(now, key);
+                if let Some(&(_, sid)) = self.chans[i].ocrq.front() {
+                    self.counters.seg_lookups += 1;
+                    self.try_acquire(now, sid);
                 }
             }
             self.process_in_buf(now, ch);
@@ -755,16 +812,17 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
     }
 
     /// Attempts the all-or-nothing acquisition of §3.2: every requested
-    /// channel must have this message at its OCRQ head and be free. On
+    /// channel must have this segment at its OCRQ head and be free. On
     /// success the header flit is replicated to all outputs at once.
-    fn try_acquire(&mut self, now: Time, key: SegKey) {
-        let msg = key.msg();
-        let Some(seg) = self.segs.get(&key) else {
+    fn try_acquire(&mut self, now: Time, sid: SlotId) {
+        self.counters.seg_lookups += 1;
+        let Some(seg) = self.segs.get(sid) else {
             return;
         };
         if seg.acquired {
             return;
         }
+        let msg = seg.msg;
         // The header must be ready on the input side.
         match seg.input {
             SegInput::Source { next } => debug_assert_eq!(next, 0),
@@ -775,7 +833,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         }
         let ready = seg.outputs.iter().all(|&o| {
             let c = &self.chans[o.index()];
-            c.ocrq.front() == Some(&msg) && c.free_for_acquisition()
+            c.ocrq.front().map(|&(_, s)| s) == Some(sid) && c.free_for_acquisition()
         });
         if !ready {
             return;
@@ -789,7 +847,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             SegInput::Channel(ic) => self.topo.channel(ic).dst,
         };
         if self.trace.is_some() {
-            let channels = self.segs[&key].outputs.clone();
+            let channels = self.segs.get(sid).expect("checked live").outputs.to_vec();
             self.emit(|| TraceEvent::Acquired {
                 msg,
                 node,
@@ -798,26 +856,26 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             });
         }
         // Index-based re-borrows instead of cloning the output list: this
-        // path runs once per segment acquisition and must not allocate.
+        // path must not allocate.
         for i in 0..nout {
-            let o = self.segs[&key].outputs[i];
+            let o = self.seg_output(sid, i);
             let c = &mut self.chans[o.index()];
             let popped = c.ocrq.pop_front();
-            debug_assert_eq!(popped, Some(msg));
-            c.owner = Some(msg);
+            debug_assert_eq!(popped, Some((msg, sid)));
+            c.owner = Some((msg, sid));
             c.out_buf.push_back(Flit {
                 msg,
                 kind: FlitKind::Header,
             });
         }
         for i in 0..nout {
-            let o = self.segs[&key].outputs[i];
+            let o = self.seg_output(sid, i);
             self.try_start_wire(o);
         }
         // Consume the header on the input side.
         match input {
             SegInput::Source { .. } => {
-                if let Some(seg) = self.segs.get_mut(&key) {
+                if let Some(seg) = self.segs.get_mut(sid) {
                     seg.input = SegInput::Source { next: 1 };
                 }
             }
@@ -827,8 +885,8 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 self.try_start_wire(ic);
             }
         }
-        self.segs.get_mut(&key).expect("segment exists").acquired = true;
-        self.try_replicate(now, key);
+        self.segs.get_mut(sid).expect("segment exists").acquired = true;
+        self.try_replicate(now, sid);
     }
 
     /// Forwards as many flits as possible for an acquired segment. A flit
@@ -837,15 +895,16 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
     /// bubble candidate (asynchronous replication, §3.2; insertion happens
     /// at the end of the instant). Replicating the tail releases the
     /// channels.
-    fn try_replicate(&mut self, now: Time, key: SegKey) {
-        let msg = key.msg();
+    fn try_replicate(&mut self, now: Time, sid: SlotId) {
         loop {
-            let Some(seg) = self.segs.get(&key) else {
+            self.counters.seg_lookups += 1;
+            let Some(seg) = self.segs.get(sid) else {
                 return;
             };
             if !seg.acquired {
                 return;
             }
+            let msg = seg.msg;
             let input = seg.input;
             let nout = seg.outputs.len();
             let len = self.msgs[msg.index()].worm_len;
@@ -867,22 +926,25 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             };
             let out_cap = self.cfg.output_buffer_flits;
             // This loop runs once per flit per router traversal — the
-            // hottest path in the engine. Re-borrow the segment's output
-            // list per step instead of cloning it per iteration.
-            let all_free = self.segs[&key]
+            // hottest path in the engine. Re-borrow the segment per step
+            // instead of cloning its output list.
+            let all_free = self
+                .segs
+                .get(sid)
+                .expect("checked live")
                 .outputs
                 .iter()
                 .all(|&o| self.chans[o.index()].out_has_space(out_cap));
             match next_flit {
                 Some(f) if all_free => {
                     for i in 0..nout {
-                        let o = self.segs[&key].outputs[i];
+                        let o = self.seg_output(sid, i);
                         self.chans[o.index()].out_buf.push_back(f);
                         self.try_start_wire(o);
                     }
                     match input {
                         SegInput::Source { next } => {
-                            if let Some(s) = self.segs.get_mut(&key) {
+                            if let Some(s) = self.segs.get_mut(sid) {
                                 s.input = SegInput::Source { next: next + 1 };
                             }
                         }
@@ -892,7 +954,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                         }
                     }
                     if f.is_tail() {
-                        self.release(now, key);
+                        self.release(now, sid);
                         return;
                     }
                 }
@@ -900,8 +962,8 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                     // Blocked by a sibling: mark for end-of-instant bubble
                     // insertion. A single-output segment simply stalls (no
                     // divergence to mask).
-                    if nout > 1 && !self.bubble_candidates.contains(&key) {
-                        self.bubble_candidates.push(key);
+                    if nout > 1 && !self.bubble_candidates.contains(&sid) {
+                        self.bubble_candidates.push(sid);
                     }
                     return;
                 }
@@ -914,13 +976,15 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
     /// sibling-blocked during this instant and *still* is, inject one
     /// bubble flit into each free output buffer so that branch keeps
     /// advancing (asynchronous replication, §3.2). If the blockage cleared
-    /// within the instant, ordinary replication runs instead.
+    /// within the instant, ordinary replication runs instead. Stale
+    /// candidates (segments since released or torn down) fail the
+    /// generation check and are skipped.
     fn flush_bubbles(&mut self, now: Time) {
-        while let Some(key) = self.bubble_candidates.pop() {
-            let msg = key.msg();
-            let Some(seg) = self.segs.get(&key) else {
+        while let Some(sid) = self.bubble_candidates.pop() {
+            let Some(seg) = self.segs.get(sid) else {
                 continue;
             };
+            let msg = seg.msg;
             if !seg.acquired || seg.outputs.len() < 2 {
                 continue;
             }
@@ -937,14 +1001,17 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 continue;
             }
             let out_cap = self.cfg.output_buffer_flits;
-            let all_free = self.segs[&key]
+            let all_free = self
+                .segs
+                .get(sid)
+                .expect("checked live")
                 .outputs
                 .iter()
                 .all(|&o| self.chans[o.index()].out_has_space(out_cap));
             if all_free {
                 // The sibling drained later in the same instant; the real
                 // flit advances and no bubble is needed.
-                self.try_replicate(now, key);
+                self.try_replicate(now, sid);
                 continue;
             }
             // Bubbles are generated only while a *real* flit is stuck in a
@@ -954,10 +1021,16 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             // forever (each freeing at a different instant) and starve the
             // real flits — a livelock hardware avoids because its cycle-
             // synchronous buffers free together.
-            let real_blockage = self.segs[&key].outputs.iter().any(|&o| {
-                let c = &self.chans[o.index()];
-                !c.out_has_space(out_cap) && c.out_buf.iter().any(|f| f.is_real())
-            });
+            let real_blockage = self
+                .segs
+                .get(sid)
+                .expect("checked live")
+                .outputs
+                .iter()
+                .any(|&o| {
+                    let c = &self.chans[o.index()];
+                    !c.out_has_space(out_cap) && c.out_buf.iter().any(|f| f.is_real())
+                });
             if !real_blockage {
                 continue;
             }
@@ -966,7 +1039,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 SegInput::Channel(ic) => self.topo.channel(ic).dst,
             };
             for i in 0..nout {
-                let o = self.segs[&key].outputs[i];
+                let o = self.seg_output(sid, i);
                 if self.chans[o.index()].out_has_space(out_cap) {
                     self.chans[o.index()].out_buf.push_back(Flit::bubble(msg));
                     self.counters.bubbles_created += 1;
@@ -985,16 +1058,27 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
     /// Tail replicated: release every owned channel to its next waiter and
     /// retire the segment. Removing the segment first hands us owned
     /// output/input state, so no copy of the channel list is needed.
-    fn release(&mut self, now: Time, key: SegKey) {
-        let seg = self.segs.remove(&key).expect("released segment exists");
-        let msg = key.msg();
+    fn release(&mut self, now: Time, sid: SlotId) {
+        let seg = self.segs.remove(sid).expect("released segment exists");
+        let msg = seg.msg;
         let input = seg.input;
+        // Unlink from the message's live list (order is irrelevant there).
+        let live = &mut self.msgs[msg.index()].live_segs;
+        let pos = live
+            .iter()
+            .position(|&s| s == sid)
+            .expect("live list tracks live segments");
+        live.swap_remove(pos);
+        if let SegInput::Channel(ic) = input {
+            debug_assert_eq!(self.chans[ic.index()].seg, Some(sid));
+            self.chans[ic.index()].seg = None;
+        }
         let node = match input {
             SegInput::Source { .. } => self.msgs[msg.index()].spec.src,
             SegInput::Channel(ic) => self.topo.channel(ic).dst,
         };
         if self.trace.is_some() {
-            let channels = seg.outputs.clone();
+            let channels = seg.outputs.to_vec();
             self.emit(|| TraceEvent::Released {
                 msg,
                 node,
@@ -1003,14 +1087,13 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             });
         }
         for &o in &seg.outputs {
-            self.requester.remove(&(msg, o));
             let c = &mut self.chans[o.index()];
-            debug_assert_eq!(c.owner, Some(msg));
+            debug_assert_eq!(c.owner, Some((msg, sid)));
             c.owner = None;
             // The freed channel may already satisfy its next waiter (the
             // tail might still be draining; try_acquire re-checks).
-            if let Some(&front) = self.chans[o.index()].ocrq.front() {
-                let waiter = self.requester[&(front, o)];
+            if let Some(&(_, waiter)) = self.chans[o.index()].ocrq.front() {
+                self.counters.seg_lookups += 1;
                 self.try_acquire(now, waiter);
             }
         }
@@ -1036,11 +1119,17 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 continue;
             }
             let before = self.chans[ch.index()].in_buf.len();
-            let key = SegKey::Transit(head.msg, ch);
+            self.counters.seg_lookups += 1;
+            let seg = self.chans[ch.index()].seg;
             match head.kind {
                 FlitKind::Header => {
-                    if self.segs.contains_key(&key) {
-                        self.try_acquire(now, key);
+                    if let Some(sid) = seg {
+                        debug_assert_eq!(
+                            self.segs.get(sid).map(|s| s.msg),
+                            Some(head.msg),
+                            "transit segment belongs to the header at the buffer head"
+                        );
+                        self.try_acquire(now, sid);
                     } else if !self.chans[ch.index()].route_pending {
                         self.chans[ch.index()].route_pending = true;
                         self.sched.after(
@@ -1057,10 +1146,13 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 }
                 _ => {
                     debug_assert!(
-                        self.segs.get(&key).is_some_and(|s| s.acquired),
+                        seg.and_then(|s| self.segs.get(s))
+                            .is_some_and(|s| s.acquired),
                         "body flit without an acquired segment"
                     );
-                    self.try_replicate(now, key);
+                    if let Some(sid) = seg {
+                        self.try_replicate(now, sid);
+                    }
                 }
             }
             if self.chans[ch.index()].in_buf.len() == before {
@@ -1078,7 +1170,9 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         self.counters.flits_delivered += 1;
         self.last_progress = now;
         let ms = &mut self.msgs[flit.msg.index()];
-        let Some(&di) = ms.dest_index.get(&proc) else {
+        // Hash-free destination lookup: binary search of the sorted
+        // (node, slot) list — this runs once per delivered flit.
+        let Ok(pos) = ms.dest_slot.binary_search_by_key(&proc, |&(n, _)| n) else {
             // A flit for a processor that is not a destination: the
             // routing algorithm misrouted the worm (on degraded networks,
             // typically a stale labeling). Typed error, not a crash.
@@ -1087,6 +1181,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 at: proc,
             });
         };
+        let di = ms.dest_slot[pos].1 as usize;
         let d = &mut ms.dests[di];
         let seq = flit.seq().expect("real flits carry a sequence number");
         assert_eq!(

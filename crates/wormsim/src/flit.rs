@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Index of a message within one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MsgId(pub u32);
 
 impl MsgId {

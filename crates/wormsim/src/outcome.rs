@@ -202,6 +202,10 @@ pub struct Counters {
     pub messages_completed: u64,
     /// Channel acquisitions performed.
     pub acquisitions: u64,
+    /// Segment/header-state lookups on the event path. Before the arena
+    /// refactor each of these was a hash-map probe; now each is an array
+    /// index into a slab — the counter sizes the per-event win.
+    pub seg_lookups: u64,
     /// Messages killed mid-flight by a fault event (live runs only).
     pub messages_torn_down: u64,
     /// Messages rejected at the source as unreachable (live runs only).
