@@ -106,7 +106,10 @@ fn main() {
         "throughput: sizes {:?}, {} msgs/proc x {} dests x {} flits, {} reps",
         cfg.sizes, cfg.msgs_per_proc, cfg.dests, cfg.len, cfg.reps
     );
-    let alloc0 = (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed));
+    let alloc0 = (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    );
     let t0 = std::time::Instant::now();
     let points = run(&cfg);
     let wall_total = t0.elapsed();
@@ -123,7 +126,10 @@ fn main() {
     let baseline_path = PathBuf::from("results/throughput_baseline.csv");
     if record_baseline {
         write_csv(&baseline_path, &points).expect("write baseline csv");
-        eprintln!("-> recorded {} (pre-refactor baseline)", baseline_path.display());
+        eprintln!(
+            "-> recorded {} (pre-refactor baseline)",
+            baseline_path.display()
+        );
     }
 
     let csv_path = PathBuf::from("results/throughput.csv");
@@ -141,9 +147,18 @@ fn main() {
     }
 
     let mut series = vec![
-        ("events_per_sec".to_string(), series_of(&points, |p| p.events_per_sec)),
-        ("msgs_per_sec".to_string(), series_of(&points, |p| p.msgs_per_sec)),
-        ("events_total".to_string(), series_of(&points, |p| p.events as f64)),
+        (
+            "events_per_sec".to_string(),
+            series_of(&points, |p| p.events_per_sec),
+        ),
+        (
+            "msgs_per_sec".to_string(),
+            series_of(&points, |p| p.msgs_per_sec),
+        ),
+        (
+            "events_total".to_string(),
+            series_of(&points, |p| p.events as f64),
+        ),
         (
             "seg_lookups".to_string(),
             series_of(&points, |p| p.seg_lookups as f64),
@@ -156,8 +171,14 @@ fn main() {
         ("reps".to_string(), cfg.reps.to_string()),
         ("seed".to_string(), cfg.seed.to_string()),
         ("quick".to_string(), quick.to_string()),
-        ("heap_allocs_per_message".to_string(), format!("{allocs_per_msg:.2}")),
-        ("heap_bytes_per_message".to_string(), format!("{bytes_per_msg:.0}")),
+        (
+            "heap_allocs_per_message".to_string(),
+            format!("{allocs_per_msg:.2}"),
+        ),
+        (
+            "heap_bytes_per_message".to_string(),
+            format!("{bytes_per_msg:.0}"),
+        ),
     ];
 
     if !record_baseline {
@@ -195,7 +216,11 @@ fn main() {
                     "  {:>8} {:>7.2}x {}",
                     s.x as u64,
                     s.mean,
-                    if s.target_met { "(>= 2x target met)" } else { "" }
+                    if s.target_met {
+                        "(>= 2x target met)"
+                    } else {
+                        ""
+                    }
                 );
             }
             series.push(("speedup_events_per_sec".to_string(), speedups));

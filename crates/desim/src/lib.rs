@@ -27,10 +27,12 @@
 //! assert_eq!(order, vec!["a", "b", "c"]);
 //! ```
 
+pub mod bucket;
 pub mod queue;
 pub mod time;
 
-pub use queue::{EventQueue, ScheduledEvent};
+pub use bucket::BucketQueue;
+pub use queue::{EventQueue, QueueKind, ScheduledEvent};
 pub use time::{Duration, Time};
 
 /// A façade bundling the current simulation time with the future-event list.
@@ -50,11 +52,23 @@ impl<E> Default for Schedule<E> {
 }
 
 impl<E> Schedule<E> {
-    /// Creates an empty schedule with the clock at time zero.
+    /// Creates an empty schedule with the clock at time zero, backed by
+    /// the heap queue.
     pub fn new() -> Self {
         Self {
             now: Time::ZERO,
             queue: EventQueue::new(),
+        }
+    }
+
+    /// Creates an empty schedule backed by the chosen queue
+    /// implementation. `Schedule` never schedules into the past, so both
+    /// kinds are always legal here; [`QueueKind::Bucket`] is the fast
+    /// choice for event-dense simulations.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        Self {
+            now: Time::ZERO,
+            queue: EventQueue::with_kind(kind),
         }
     }
 

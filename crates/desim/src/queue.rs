@@ -1,11 +1,29 @@
 //! Deterministic future-event list.
 //!
-//! A thin wrapper over [`std::collections::BinaryHeap`] that guarantees FIFO
-//! delivery of events scheduled for the same instant, independent of the
-//! heap's internal (unspecified) ordering of equal keys. Determinism matters
-//! here: wormhole-routing outcomes (which message wins a channel) depend on
-//! event order, and the reproduction pins exact results for seeded runs.
+//! [`EventQueue`] guarantees FIFO delivery of events scheduled for the same
+//! instant, independent of any internal (unspecified) ordering of equal
+//! keys. Determinism matters here: wormhole-routing outcomes (which message
+//! wins a channel) depend on event order, and the reproduction pins exact
+//! results for seeded runs.
+//!
+//! Two interchangeable implementations live behind the one API, selected by
+//! [`QueueKind`]:
+//!
+//! * [`QueueKind::Heap`] — a [`std::collections::BinaryHeap`] of
+//!   `(time, seq)` keys. Fully general: events may be scheduled at any
+//!   time, including before already-popped instants.
+//! * [`QueueKind::Bucket`] — a hierarchical timing wheel
+//!   ([`crate::bucket::BucketQueue`]) keyed directly on the integer
+//!   nanosecond timestamp: O(1) array indexing instead of heap
+//!   comparisons on the simulator's hot path. Requires the discrete-event
+//!   clock invariant (never schedule before the last popped time), which
+//!   [`crate::Schedule`] enforces anyway.
+//!
+//! Both produce identical pop sequences on any schedule a [`crate::Schedule`]
+//! can express — property-tested in `tests/queue_properties.rs` and pinned
+//! end-to-end by the workspace golden-regression suite.
 
+use crate::bucket::BucketQueue;
 use crate::time::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -45,11 +63,45 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
+/// Which future-event-list implementation an [`EventQueue`] (or a
+/// [`crate::Schedule`], or a simulator built on one) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueKind {
+    /// Binary heap of `(time, seq)` keys — fully general.
+    Heap,
+    /// Hierarchical timing wheel keyed on the integer timestamp — the
+    /// fast path for discrete-event use (monotone clock).
+    #[default]
+    Bucket,
+}
+
+/// The classic comparison-based implementation.
+#[derive(Debug, Clone)]
+struct HeapQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> HeapQueue<E> {
+    fn schedule(&mut self, time: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, event });
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Imp<E> {
+    Heap(HeapQueue<E>),
+    // Boxed: the wheel's slot tables are ~3 KB of inline arrays, and an
+    // EventQueue should stay cheap to move.
+    Bucket(Box<BucketQueue<E>>),
+}
+
 /// A priority queue of timestamped events with deterministic tie-breaking.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
-    next_seq: u64,
+    imp: Imp<E>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -59,58 +111,98 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty heap-backed queue (the fully general
+    /// implementation; see [`Self::with_kind`] for the bucketed one).
     pub fn new() -> Self {
-        Self {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+        Self::with_kind(QueueKind::Heap)
+    }
+
+    /// Creates an empty queue backed by the chosen implementation.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let imp = match kind {
+            QueueKind::Heap => Imp::Heap(HeapQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            }),
+            QueueKind::Bucket => Imp::Bucket(Box::default()),
+        };
+        EventQueue { imp }
+    }
+
+    /// Creates an empty heap-backed queue with room for `cap` events
+    /// before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            imp: Imp::Heap(HeapQueue {
+                heap: BinaryHeap::with_capacity(cap),
+                next_seq: 0,
+            }),
         }
     }
 
-    /// Creates an empty queue with room for `cap` events before reallocating.
-    pub fn with_capacity(cap: usize) -> Self {
-        Self {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
+    /// Which implementation backs this queue.
+    pub fn kind(&self) -> QueueKind {
+        match &self.imp {
+            Imp::Heap(_) => QueueKind::Heap,
+            Imp::Bucket(_) => QueueKind::Bucket,
         }
     }
 
     /// Schedules `event` to fire at absolute time `time`.
+    ///
+    /// On a [`QueueKind::Bucket`] queue, `time` must not precede the last
+    /// popped timestamp (the discrete-event clock invariant).
     pub fn schedule(&mut self, time: Time, event: E) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time, seq, event });
+        match &mut self.imp {
+            Imp::Heap(q) => q.schedule(time, event),
+            Imp::Bucket(q) => q.schedule(time, event),
+        }
     }
 
     /// Removes and returns the earliest event, FIFO among equal timestamps.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        match &mut self.imp {
+            Imp::Heap(q) => q.heap.pop().map(|s| (s.time, s.event)),
+            Imp::Bucket(q) => q.pop(),
+        }
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|s| s.time)
+        match &self.imp {
+            Imp::Heap(q) => q.heap.peek().map(|s| s.time),
+            Imp::Bucket(q) => q.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.imp {
+            Imp::Heap(q) => q.heap.len(),
+            Imp::Bucket(q) => q.len(),
+        }
     }
 
     /// True when nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled on this queue.
     pub fn scheduled_count(&self) -> u64 {
-        self.next_seq
+        match &self.imp {
+            Imp::Heap(q) => q.next_seq,
+            Imp::Bucket(q) => q.scheduled_count(),
+        }
     }
 
     /// Drops all pending events (the sequence counter keeps advancing so
     /// determinism is preserved across a clear).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.imp {
+            Imp::Heap(q) => q.heap.clear(),
+            Imp::Bucket(q) => q.clear(),
+        }
     }
 }
 
@@ -118,61 +210,86 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue<u32>; 2] {
+        [
+            EventQueue::with_kind(QueueKind::Heap),
+            EventQueue::with_kind(QueueKind::Bucket),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(Time::from_ns(50), 'c');
-        q.schedule(Time::from_ns(20), 'a');
-        q.schedule(Time::from_ns(30), 'b');
-        assert_eq!(q.pop(), Some((Time::from_ns(20), 'a')));
-        assert_eq!(q.pop(), Some((Time::from_ns(30), 'b')));
-        assert_eq!(q.pop(), Some((Time::from_ns(50), 'c')));
-        assert_eq!(q.pop(), None);
+        for mut q in [
+            EventQueue::with_kind(QueueKind::Heap),
+            EventQueue::with_kind(QueueKind::Bucket),
+        ] {
+            q.schedule(Time::from_ns(50), 'c');
+            q.schedule(Time::from_ns(20), 'a');
+            q.schedule(Time::from_ns(30), 'b');
+            assert_eq!(q.pop(), Some((Time::from_ns(20), 'a')));
+            assert_eq!(q.pop(), Some((Time::from_ns(30), 'b')));
+            assert_eq!(q.pop(), Some((Time::from_ns(50), 'c')));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn equal_timestamps_are_fifo() {
-        let mut q = EventQueue::new();
-        let t = Time::from_ns(7);
-        for i in 0..1000u32 {
-            q.schedule(t, i);
-        }
-        for i in 0..1000u32 {
-            assert_eq!(q.pop(), Some((t, i)));
+        for mut q in both() {
+            let t = Time::from_ns(7);
+            for i in 0..1000u32 {
+                q.schedule(t, i);
+            }
+            for i in 0..1000u32 {
+                assert_eq!(q.pop(), Some((t, i)));
+            }
         }
     }
 
     #[test]
     fn interleaved_schedule_and_pop_keeps_fifo_within_instant() {
-        let mut q = EventQueue::new();
-        q.schedule(Time::from_ns(10), "x1");
-        q.schedule(Time::from_ns(10), "x2");
-        assert_eq!(q.pop().unwrap().1, "x1");
-        // Scheduling later at the same instant must come after x2.
-        q.schedule(Time::from_ns(10), "x3");
-        assert_eq!(q.pop().unwrap().1, "x2");
-        assert_eq!(q.pop().unwrap().1, "x3");
+        for mut q in both() {
+            q.schedule(Time::from_ns(10), 1);
+            q.schedule(Time::from_ns(10), 2);
+            assert_eq!(q.pop().unwrap().1, 1);
+            // Scheduling later at the same instant must come after 2.
+            q.schedule(Time::from_ns(10), 3);
+            assert_eq!(q.pop().unwrap().1, 2);
+            assert_eq!(q.pop().unwrap().1, 3);
+        }
     }
 
     #[test]
     fn peek_does_not_consume() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.schedule(Time::from_ns(3), ());
-        assert_eq!(q.peek_time(), Some(Time::from_ns(3)));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        for mut q in both() {
+            assert_eq!(q.peek_time(), None);
+            q.schedule(Time::from_ns(3), 0);
+            assert_eq!(q.peek_time(), Some(Time::from_ns(3)));
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        }
     }
 
     #[test]
     fn scheduled_count_is_monotone_across_clear() {
-        let mut q = EventQueue::new();
-        q.schedule(Time::ZERO, ());
-        q.schedule(Time::ZERO, ());
-        q.clear();
-        assert!(q.is_empty());
-        assert_eq!(q.scheduled_count(), 2);
-        q.schedule(Time::ZERO, ());
-        assert_eq!(q.scheduled_count(), 3);
+        for mut q in both() {
+            q.schedule(Time::ZERO, 0);
+            q.schedule(Time::ZERO, 1);
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.scheduled_count(), 2);
+            q.schedule(Time::ZERO, 2);
+            assert_eq!(q.scheduled_count(), 3);
+        }
+    }
+
+    #[test]
+    fn default_is_heap_and_kind_reports() {
+        assert_eq!(EventQueue::<u32>::new().kind(), QueueKind::Heap);
+        assert_eq!(
+            EventQueue::<u32>::with_kind(QueueKind::Bucket).kind(),
+            QueueKind::Bucket
+        );
+        assert_eq!(QueueKind::default(), QueueKind::Bucket);
     }
 }

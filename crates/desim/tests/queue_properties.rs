@@ -1,9 +1,29 @@
 //! Property tests: the event queue is a stable priority queue — its output
 //! equals a stable sort of its input by timestamp, under arbitrary
-//! interleavings of schedule and pop operations.
+//! interleavings of schedule and pop operations — and the bucketed
+//! timing-wheel implementation is observationally identical to the
+//! reference binary heap on every schedule a `Schedule` can express.
 
-use desim::{Duration, EventQueue, Schedule, Time};
+use desim::{Duration, EventQueue, QueueKind, Schedule, Time};
 use proptest::prelude::*;
+
+/// Deltas spanning every wheel level: same-instant bursts, level-0
+/// neighbors, level-1/2 boundaries, a mid-wheel jump, and beyond-the-span
+/// overflow territory.
+const DELTAS: [u64; 12] = [
+    0,
+    1,
+    10,
+    40,
+    63,
+    64,
+    100,
+    4_095,
+    4_096,
+    100_000,
+    20_000_000,
+    1 << 37,
+];
 
 proptest! {
     #[test]
@@ -46,6 +66,77 @@ proptest! {
             }
         }
         let _ = last_popped;
+    }
+
+    #[test]
+    fn bucket_queue_matches_heap_queue_pop_for_pop(
+        ops in prop::collection::vec((any::<bool>(), 0usize..DELTAS.len()), 1..400),
+    ) {
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut wheel = EventQueue::with_kind(QueueKind::Bucket);
+        // The discrete-event clock invariant both queues run under: never
+        // schedule before the last popped instant.
+        let mut floor = 0u64;
+        for (i, &(is_pop, delta_idx)) in ops.iter().enumerate() {
+            if is_pop {
+                let a = heap.pop();
+                let b = wheel.pop();
+                prop_assert_eq!(&a, &b, "pop #{} diverged", i);
+                if let Some((t, _)) = a {
+                    floor = t.as_ns();
+                }
+            } else {
+                let t = Time::from_ns(floor + DELTAS[delta_idx % DELTAS.len()]);
+                heap.schedule(t, i);
+                wheel.schedule(t, i);
+            }
+            prop_assert_eq!(heap.len(), wheel.len());
+            prop_assert_eq!(heap.peek_time(), wheel.peek_time());
+        }
+        // Drain whatever is left: the tails must agree event for event.
+        loop {
+            let a = heap.pop();
+            let b = wheel.pop();
+            prop_assert_eq!(&a, &b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_queue_same_instant_bursts_stay_fifo(
+        bursts in prop::collection::vec((0usize..DELTAS.len(), 1usize..20), 1..50),
+    ) {
+        // Schedule bursts at increasing instants, interleaving pops, and
+        // check FIFO order within each instant against the heap.
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut wheel = EventQueue::with_kind(QueueKind::Bucket);
+        let mut t = 0u64;
+        let mut payload = 0u64;
+        for &(delta_idx, burst) in &bursts {
+            t += DELTAS[delta_idx % DELTAS.len()];
+            for _ in 0..burst {
+                heap.schedule(Time::from_ns(t), payload);
+                wheel.schedule(Time::from_ns(t), payload);
+                payload += 1;
+            }
+            // Pop roughly half after each burst to interleave.
+            for _ in 0..burst / 2 {
+                prop_assert_eq!(heap.pop(), wheel.pop());
+            }
+            if let Some(pt) = heap.peek_time() {
+                t = t.max(pt.as_ns());
+            }
+        }
+        loop {
+            let a = heap.pop();
+            let b = wheel.pop();
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

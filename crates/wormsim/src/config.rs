@@ -1,6 +1,6 @@
 //! Simulation configuration: the latency model and buffer geometry of §4.
 
-use desim::Duration;
+use desim::{Duration, QueueKind};
 
 /// The three latency constants of the paper's experiments (§4):
 ///
@@ -63,6 +63,11 @@ pub struct SimConfig {
     /// lengthen every worm, so large destination sets pay a small,
     /// size-dependent serialization cost.
     pub extra_header_flits: u32,
+    /// Which future-event-list implementation drives the run. Both kinds
+    /// produce byte-identical outcomes (pinned by the golden-regression
+    /// suite); [`QueueKind::Bucket`] is the fast default, [`QueueKind::Heap`]
+    /// remains selectable as the reference implementation.
+    pub queue: QueueKind,
 }
 
 impl SimConfig {
@@ -75,6 +80,7 @@ impl SimConfig {
             watchdog: Duration::from_us(1_000),
             max_events: u64::MAX,
             extra_header_flits: 0,
+            queue: QueueKind::Bucket,
         }
     }
 
@@ -101,6 +107,13 @@ impl SimConfig {
     /// Sets the number of extra header flits (multi-flit address encoding).
     pub fn with_extra_header_flits(mut self, extra: u32) -> Self {
         self.extra_header_flits = extra;
+        self
+    }
+
+    /// Selects the event-queue implementation (bucket wheel vs. reference
+    /// binary heap; identical outcomes, different wall-clock speed).
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
         self
     }
 }

@@ -159,8 +159,8 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         NetworkSim {
             topo,
             routing,
+            sched: Schedule::with_kind(cfg.queue),
             cfg,
-            sched: Schedule::new(),
             chans: (0..topo.num_channels()).map(|_| Chan::new()).collect(),
             msgs: Vec::new(),
             segs: Slab::new(),

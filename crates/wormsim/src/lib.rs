@@ -76,6 +76,7 @@ pub mod routing;
 pub mod trace;
 
 pub use config::{LatencyParams, SimConfig};
+pub use desim::QueueKind;
 pub use engine::NetworkSim;
 pub use flit::{Flit, FlitKind, MsgId};
 pub use message::{MessageSpec, SpecError};

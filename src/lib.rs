@@ -43,7 +43,7 @@ pub mod prelude {
     pub use traffic::{DestinationSampler, MixedTrafficConfig};
     pub use updown::{RelabelReport, RootSelection, UpDownLabeling};
     pub use wormsim::{
-        EpochStats, FailureKind, LatencyParams, MessageFailure, MessageSpec, NetworkSim,
+        EpochStats, FailureKind, LatencyParams, MessageFailure, MessageSpec, NetworkSim, QueueKind,
         RouteError, SimConfig, SimError, SimOutcome,
     };
 }

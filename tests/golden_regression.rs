@@ -183,3 +183,85 @@ fn mid_run_link_death_is_deterministic_across_runs() {
 fn golden_values_are_stable_across_repeated_runs() {
     assert_eq!(fig1_multicast_latency_ns(), fig1_multicast_latency_ns());
 }
+
+/// Full-outcome equality between two runs (everything that is observable
+/// and deterministic: per-message results, counters, timing, per-channel
+/// utilization, epoch boundaries).
+fn assert_outcomes_identical(a: &SimOutcome, b: &SimOutcome, what: &str) {
+    assert_eq!(a.counters, b.counters, "{what}: counters diverged");
+    assert_eq!(a.end_time, b.end_time, "{what}: end time diverged");
+    assert_eq!(
+        a.channel_crossings, b.channel_crossings,
+        "{what}: channel utilization diverged"
+    );
+    assert_eq!(a.fault_times, b.fault_times, "{what}: epochs diverged");
+    assert_eq!(a.error, b.error, "{what}: error diverged");
+    assert_eq!(a.messages.len(), b.messages.len());
+    for (ma, mb) in a.messages.iter().zip(&b.messages) {
+        assert_eq!(ma.completed_at, mb.completed_at, "{what}: latency diverged");
+        assert_eq!(
+            ma.dest_done_at, mb.dest_done_at,
+            "{what}: dest timing diverged"
+        );
+        assert_eq!(ma.failure, mb.failure, "{what}: failure diverged");
+    }
+}
+
+fn seeded_broadcast_outcome(queue: QueueKind) -> SimOutcome {
+    let topo = IrregularConfig::with_switches(64).generate(2024);
+    let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+    let spam = SpamRouting::new(&topo, &ud);
+    let procs: Vec<NodeId> = topo.processors().collect();
+    let mut sim = NetworkSim::new(&topo, spam, SimConfig::paper().with_queue(queue));
+    sim.submit(MessageSpec::multicast(procs[0], procs[1..].to_vec(), 128))
+        .unwrap();
+    sim.run()
+}
+
+#[test]
+fn bucket_and_heap_queues_produce_identical_outcomes() {
+    // The engine defaults to the bucketed timing wheel; the reference
+    // binary heap stays selectable. Both must simulate the exact same run:
+    // the golden values above pin the bucket default, this pins the
+    // equivalence — including a live-reconfiguration run whose teardown
+    // cascades are maximally order-sensitive.
+    let wheel = seeded_broadcast_outcome(QueueKind::Bucket);
+    let heap = seeded_broadcast_outcome(QueueKind::Heap);
+    assert!(wheel.all_delivered());
+    assert_outcomes_identical(&wheel, &heap, "seeded broadcast");
+    assert_eq!(wheel.messages[0].latency().unwrap().as_ns(), 12_230);
+}
+
+#[test]
+fn mid_run_link_death_is_identical_under_both_queues() {
+    let outcomes: Vec<SimOutcome> = [QueueKind::Bucket, QueueKind::Heap]
+        .into_iter()
+        .map(|queue| {
+            let topo = IrregularConfig::with_switches(64).generate(2024);
+            let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+            let procs: Vec<NodeId> = topo.processors().collect();
+            let doomed = procs[5];
+            let dead_link = topo.out_channels(doomed)[0];
+            let sched = FaultSchedule::new(vec![FaultEvent {
+                at: Time::from_ns(10_500),
+                kind: FaultKind::LinkDown(dead_link),
+            }]);
+            let scenario = ReconfigScenario::build(&topo, &ud, &sched);
+            let routing = scenario.routing(&topo);
+            let mut sim = NetworkSim::new(&topo, routing, SimConfig::paper().with_queue(queue));
+            sched.install(&mut sim);
+            sim.submit(MessageSpec::multicast(procs[0], procs[1..].to_vec(), 128))
+                .unwrap();
+            sim.submit(
+                MessageSpec::multicast(procs[0], vec![procs[7], procs[9]], 64)
+                    .at(Time::from_us(15)),
+            )
+            .unwrap();
+            sim.submit(MessageSpec::unicast(procs[0], doomed, 64).at(Time::from_us(15)))
+                .unwrap();
+            sim.run()
+        })
+        .collect();
+    assert!(outcomes[0].all_accounted());
+    assert_outcomes_identical(&outcomes[0], &outcomes[1], "mid-run link death");
+}
