@@ -164,6 +164,7 @@ impl<'a> UpDownUnicastRouting<'a> {
 
 impl RoutingAlgorithm for UpDownUnicastRouting<'_> {
     type Header = UdHeader;
+    type Scratch = ();
 
     fn initial_header(&self, spec: &MessageSpec) -> Result<UdHeader, RouteError> {
         assert!(
@@ -182,30 +183,52 @@ impl RoutingAlgorithm for UpDownUnicastRouting<'_> {
 
     fn route(
         &self,
-        _topo: &Topology,
         node: NodeId,
         _in_ch: ChannelId,
         header: &UdHeader,
         _spec: &MessageSpec,
-    ) -> Result<RouteDecision<UdHeader>, RouteError> {
-        let legal = self.legal_moves(node, header.phase, header.target);
-        let (ch, phase) = legal
-            .into_iter()
-            .min_by_key(|&(c, ph)| {
-                let v = self.topo.channel(c).dst;
-                (self.dist(header.target, v, ph), c)
-            })
-            .ok_or(RouteError::NoLegalMove {
-                node,
-                target: header.target,
-            })?;
-        Ok(RouteDecision::single(
+        _scratch: &mut (),
+        out: &mut RouteDecision<UdHeader>,
+    ) -> Result<(), RouteError> {
+        // The selection is a fixed min over (residual distance, channel),
+        // so fold it into the legality scan — no candidate list, no
+        // allocation per hop.
+        let mut best: Option<(u16, ChannelId, UdPhase)> = None;
+        for &c in self.topo.out_channels(node) {
+            let v = self.topo.channel(c).dst;
+            let ph = match self.ud.class(c) {
+                ChannelClass::UpTree | ChannelClass::UpCross => {
+                    if header.phase == UdPhase::Up {
+                        UdPhase::Up
+                    } else {
+                        continue;
+                    }
+                }
+                ChannelClass::DownTree | ChannelClass::DownCross => {
+                    if self.down_reach.get(v.index(), header.target.index()) {
+                        UdPhase::Down
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            let d = self.dist(header.target, v, ph);
+            if best.is_none_or(|(bd, bc, _)| (d, c) < (bd, bc)) {
+                best = Some((d, c, ph));
+            }
+        }
+        let (_, ch, phase) = best.ok_or(RouteError::NoLegalMove {
+            node,
+            target: header.target,
+        })?;
+        out.push(
             ch,
             UdHeader {
                 target: header.target,
                 phase,
             },
-        ))
+        );
+        Ok(())
     }
 }
 

@@ -64,5 +64,5 @@ pub mod tables;
 
 pub use analysis::{mean_adaptivity, path_stretch, root_transit_probability, RootTransit};
 pub use partition::{partition_destinations, partition_specs, PartitionStrategy};
-pub use routing::{SelectionPolicy, SpamHeader, SpamRouting};
-pub use tables::{Phase, RoutingTables};
+pub use routing::{RouteScratch, SelectionPolicy, SpamHeader, SpamRouting};
+pub use tables::{NodeMove, Phase, RoutingTables};

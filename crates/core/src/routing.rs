@@ -2,9 +2,20 @@
 
 use crate::tables::{Phase, RoutingTables, UNREACHABLE};
 use netgraph::{ChannelId, NodeId, Topology};
+use spam_collections::InlineVec;
 use std::sync::Arc;
 use updown::{ChannelClass, UpDownLabeling};
 use wormsim::{MessageSpec, RouteDecision, RouteError, RoutingAlgorithm};
+
+/// Reusable working memory for SPAM's per-hop decision: the legal-move
+/// candidate set of the unicast stage. Owned by the simulation engine and
+/// threaded through every [`RoutingAlgorithm::route`] call, so the hot
+/// path allocates nothing (the inline capacity covers the paper's 8-port
+/// switches; larger degrees spill once and the capacity is retained).
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    legal: InlineVec<(ChannelId, Phase), 8>,
+}
 
 /// How the partially adaptive unicast stage picks among legal channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,41 +129,55 @@ impl<'a> SpamRouting<'a> {
 
     /// All SPAM-legal `(channel, successor phase)` moves from `node` in
     /// `phase` towards `target` (§3.1 rules 1–3). Public for tests and for
-    /// the adaptivity analyses in the benchmark harness.
+    /// the adaptivity analyses in the benchmark harness; the simulation
+    /// hot path uses [`Self::legal_moves_into`] with reused scratch
+    /// storage instead.
     pub fn legal_moves(
         &self,
         node: NodeId,
         phase: Phase,
         target: NodeId,
     ) -> Vec<(ChannelId, Phase)> {
-        let mut out = Vec::new();
-        for &c in self.topo.out_channels(node) {
-            if !self.is_alive(c) {
-                continue;
-            }
-            let v = self.topo.channel(c).dst;
-            let next = match (self.ud.class(c), phase) {
+        let mut out = InlineVec::new();
+        self.legal_moves_into(node, phase, target, &mut out);
+        out.to_vec()
+    }
+
+    /// Allocation-free variant of [`Self::legal_moves`]: writes the legal
+    /// set into `out` (cleared first). Iterates the routing tables'
+    /// precomputed per-node move slice — channel, endpoint, and class come
+    /// from one contiguous record, and masked-out (dead) channels were
+    /// excluded at table-build time.
+    fn legal_moves_into(
+        &self,
+        node: NodeId,
+        phase: Phase,
+        target: NodeId,
+        out: &mut InlineVec<(ChannelId, Phase), 8>,
+    ) {
+        out.clear();
+        for m in self.tables.moves(node) {
+            let next = match (m.class, phase) {
                 // Rule 1: up channels while still in the up phase.
                 (ChannelClass::UpTree | ChannelClass::UpCross, Phase::Up) => Some(Phase::Up),
                 // Rule 2: down cross channels before any down tree use,
                 // endpoint an extended ancestor of the target.
                 (ChannelClass::DownCross, Phase::Up | Phase::DownCross)
-                    if self.ud.is_extended_ancestor(v, target) =>
+                    if self.ud.is_extended_ancestor(m.dst, target) =>
                 {
                     Some(Phase::DownCross)
                 }
                 // Rule 3: down tree channels anywhere, endpoint an
                 // ancestor of the target.
-                (ChannelClass::DownTree, _) if self.ud.is_ancestor(v, target) => {
+                (ChannelClass::DownTree, _) if self.ud.is_ancestor(m.dst, target) => {
                     Some(Phase::DownTree)
                 }
                 _ => None,
             };
             if let Some(nph) = next {
-                out.push((c, nph));
+                out.push((m.channel, nph));
             }
         }
-        out
     }
 
     /// Applies the selection policy to a non-empty legal set.
@@ -196,9 +221,23 @@ impl<'a> SpamRouting<'a> {
 
     /// The tree-stage request set at `node`: one down tree channel per
     /// child subtree containing destinations (processor children included —
-    /// delivery channels are down tree channels like any other).
-    fn tree_requests(&self, node: NodeId, header: &SpamHeader) -> Vec<(ChannelId, SpamHeader)> {
-        let mut requests = Vec::new();
+    /// delivery channels are down tree channels like any other). Test and
+    /// analysis API; the hot path is [`Self::tree_requests_into`].
+    pub fn tree_requests(&self, node: NodeId, header: &SpamHeader) -> Vec<(ChannelId, SpamHeader)> {
+        let mut out = RouteDecision::default();
+        self.tree_requests_into(node, header, &mut out);
+        out.requests
+    }
+
+    /// Allocation-free tree stage: pushes the per-subtree requests into
+    /// `out`. Successor headers share the destination set behind an `Arc`,
+    /// so each branch header is a refcount bump, not a heap copy.
+    fn tree_requests_into(
+        &self,
+        node: NodeId,
+        header: &SpamHeader,
+        out: &mut RouteDecision<SpamHeader>,
+    ) {
         for &child in self.ud.tree_children(node) {
             if header.dests.iter().any(|&d| self.ud.is_ancestor(child, d)) {
                 let ch = self
@@ -209,7 +248,7 @@ impl<'a> SpamRouting<'a> {
                     self.is_alive(ch),
                     "a relabeled spanning tree only uses surviving links"
                 );
-                requests.push((
+                out.push(
                     ch,
                     SpamHeader {
                         dests: header.dests.clone(),
@@ -217,15 +256,15 @@ impl<'a> SpamRouting<'a> {
                         phase: Phase::DownTree,
                         in_tree: true,
                     },
-                ));
+                );
             }
         }
-        requests
     }
 }
 
 impl RoutingAlgorithm for SpamRouting<'_> {
     type Header = SpamHeader;
+    type Scratch = RouteScratch;
 
     fn initial_header(&self, spec: &MessageSpec) -> Result<SpamHeader, RouteError> {
         // On a degraded network the source's island may have been severed
@@ -255,39 +294,40 @@ impl RoutingAlgorithm for SpamRouting<'_> {
 
     fn route(
         &self,
-        _topo: &Topology,
         node: NodeId,
         _in_ch: ChannelId,
         header: &SpamHeader,
         spec: &MessageSpec,
-    ) -> Result<RouteDecision<SpamHeader>, RouteError> {
+        scratch: &mut RouteScratch,
+        out: &mut RouteDecision<SpamHeader>,
+    ) -> Result<(), RouteError> {
         // Tree stage: at or below the LCA, split along down tree channels.
         if header.in_tree || node == header.lca {
-            let requests = self.tree_requests(node, header);
-            if requests.is_empty() {
+            self.tree_requests_into(node, header, out);
+            if out.requests.is_empty() {
                 // Theorem 1 guarantees this never fires on a labeled
                 // connected component; it surfaces stale labelings and
                 // out-of-component destinations on degraded networks.
                 return Err(RouteError::NoDestinationSubtree { node });
             }
-            return Ok(RouteDecision { requests });
+            return Ok(());
         }
         // Unicast stage towards the LCA.
-        let legal = self.legal_moves(node, header.phase, header.lca);
-        if legal.is_empty() {
+        self.legal_moves_into(node, header.phase, header.lca, &mut scratch.legal);
+        if scratch.legal.is_empty() {
             return Err(RouteError::NoLegalMove {
                 node,
                 target: header.lca,
             });
         }
-        let (ch, next_phase) = self.select(&legal, header.lca, node, spec.tag);
+        let (ch, next_phase) = self.select(scratch.legal.as_slice(), header.lca, node, spec.tag);
         debug_assert_ne!(
             self.tables
                 .dist(header.lca, self.topo.channel(ch).dst, next_phase),
             UNREACHABLE,
             "selected a dead-end channel"
         );
-        Ok(RouteDecision::single(
+        out.push(
             ch,
             SpamHeader {
                 dests: header.dests.clone(),
@@ -295,7 +335,8 @@ impl RoutingAlgorithm for SpamRouting<'_> {
                 phase: next_phase,
                 in_tree: false,
             },
-        ))
+        );
+        Ok(())
     }
 }
 
@@ -314,6 +355,13 @@ mod tests {
         let (t, l) = figure1();
         let ud = UpDownLabeling::build(&t, RootSelection::Fixed(l.by_label(1).unwrap()));
         (t, l, ud)
+    }
+
+    /// Channel endpoints of a legal-move / request list — the quantity
+    /// every routing test asserts on (one helper instead of six ad-hoc
+    /// `map(..).collect()` chains).
+    fn dsts<T>(t: &Topology, items: &[(ChannelId, T)]) -> Vec<NodeId> {
+        items.iter().map(|(c, _)| t.channel(*c).dst).collect()
     }
 
     #[test]
@@ -343,20 +391,18 @@ mod tests {
         // the down tree (2,4) (4 anc of itself). Not (2,5): 5 is a leaf
         // processor, not an ancestor of 4.
         let legal = spam.legal_moves(by(2), Phase::Up, by(4));
-        let dsts: Vec<NodeId> = legal.iter().map(|(c, _)| t.channel(*c).dst).collect();
-        assert!(dsts.contains(&by(1)));
-        assert!(dsts.contains(&by(3)));
-        assert!(dsts.contains(&by(4)));
-        assert!(!dsts.contains(&by(5)));
+        let up_dsts = dsts(&t, &legal);
+        assert!(up_dsts.contains(&by(1)));
+        assert!(up_dsts.contains(&by(3)));
+        assert!(up_dsts.contains(&by(4)));
+        assert!(!up_dsts.contains(&by(5)));
         // In DownCross phase the up channel disappears.
-        let legal_dc = spam.legal_moves(by(2), Phase::DownCross, by(4));
-        let dsts_dc: Vec<NodeId> = legal_dc.iter().map(|(c, _)| t.channel(*c).dst).collect();
+        let dsts_dc = dsts(&t, &spam.legal_moves(by(2), Phase::DownCross, by(4)));
         assert!(!dsts_dc.contains(&by(1)));
         assert!(dsts_dc.contains(&by(3)));
         assert!(dsts_dc.contains(&by(4)));
         // In DownTree phase only the tree descent remains.
-        let legal_dt = spam.legal_moves(by(2), Phase::DownTree, by(4));
-        let dsts_dt: Vec<NodeId> = legal_dt.iter().map(|(c, _)| t.channel(*c).dst).collect();
+        let dsts_dt = dsts(&t, &spam.legal_moves(by(2), Phase::DownTree, by(4)));
         assert_eq!(dsts_dt, vec![by(4)]);
     }
 
@@ -383,12 +429,10 @@ mod tests {
             in_tree: false,
         };
         let reqs = spam.tree_requests(by(4), &header);
-        let dsts: Vec<NodeId> = reqs.iter().map(|(c, _)| t.channel(*c).dst).collect();
-        assert_eq!(dsts, vec![by(6), by(7)]);
+        assert_eq!(dsts(&t, &reqs), vec![by(6), by(7)]);
         // Below, node 6 fans out to exactly the destination processors.
         let reqs6 = spam.tree_requests(by(6), &reqs[0].1);
-        let dsts6: Vec<NodeId> = reqs6.iter().map(|(c, _)| t.channel(*c).dst).collect();
-        assert_eq!(dsts6, vec![by(8), by(9)]);
+        assert_eq!(dsts(&t, &reqs6), vec![by(8), by(9)]);
     }
 
     #[test]

@@ -16,14 +16,15 @@
 //! ≤ ~3500 channels) this is a few milliseconds and ~1.5 MB, and makes the
 //! per-hop routing decision a pair of array reads.
 
-use netgraph::{NodeId, Topology};
+use netgraph::{ChannelId, NodeId, Topology};
 use std::collections::VecDeque;
 use updown::{ChannelClass, UpDownLabeling};
 
 /// Routing phase of a SPAM worm's unicast stage (§3.1 channel ordering).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Phase {
     /// Still in the up subnetwork; any up channel is allowed.
+    #[default]
     Up = 0,
     /// Has used a down cross channel; up channels are forbidden.
     DownCross = 1,
@@ -44,12 +45,33 @@ impl Phase {
 /// Sentinel for "no SPAM-legal completion exists from this state".
 pub const UNREACHABLE: u16 = u16::MAX;
 
-/// Exact residual SPAM distances for every (target, node, phase) triple.
+/// One precomputed outgoing move of a node: the channel, its endpoint, and
+/// its up*/down* class — everything the per-hop legality check needs,
+/// gathered into one contiguous record so the routing hot path touches a
+/// single cache line instead of three separate tables.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeMove {
+    /// The outgoing channel.
+    pub channel: ChannelId,
+    /// The channel's endpoint.
+    pub dst: NodeId,
+    /// The channel's up*/down* class under the labeling the tables were
+    /// built with.
+    pub class: ChannelClass,
+}
+
+/// Exact residual SPAM distances for every (target, node, phase) triple,
+/// plus per-node legal-channel slices precomputed at build time.
 #[derive(Debug, Clone)]
 pub struct RoutingTables {
     n: usize,
     /// `dist[target][3 * node + phase]`, row-major per target.
     dist: Vec<Vec<u16>>,
+    /// Flat per-node move records (masked-out channels excluded), in
+    /// topology channel order; sliced by `move_bounds`.
+    moves: Vec<NodeMove>,
+    /// `moves` range of node `v` is `move_bounds[v] .. move_bounds[v+1]`.
+    move_bounds: Vec<u32>,
 }
 
 impl RoutingTables {
@@ -71,7 +93,37 @@ impl RoutingTables {
             .nodes()
             .map(|t| Self::build_for_target(topo, ud, t, mask))
             .collect();
-        RoutingTables { n, dist }
+        let mut moves = Vec::with_capacity(topo.num_channels());
+        let mut move_bounds = Vec::with_capacity(n + 1);
+        move_bounds.push(0);
+        for v in topo.nodes() {
+            for &c in topo.out_channels(v) {
+                if mask.is_some_and(|m| !m[c.index()]) {
+                    continue; // a dead channel is never a legal move
+                }
+                moves.push(NodeMove {
+                    channel: c,
+                    dst: topo.channel(c).dst,
+                    class: ud.class(c),
+                });
+            }
+            move_bounds.push(moves.len() as u32);
+        }
+        RoutingTables {
+            n,
+            dist,
+            moves,
+            move_bounds,
+        }
+    }
+
+    /// The precomputed (alive) outgoing moves of `node`, in topology
+    /// channel order.
+    #[inline]
+    pub fn moves(&self, node: NodeId) -> &[NodeMove] {
+        let lo = self.move_bounds[node.index()] as usize;
+        let hi = self.move_bounds[node.index() + 1] as usize;
+        &self.moves[lo..hi]
     }
 
     /// Residual SPAM-legal distance from `(node, phase)` to `target`, in

@@ -72,6 +72,6 @@ pub mod routing;
 pub mod scenario;
 pub mod schedule;
 
-pub use routing::{EpochHeader, EpochRouting};
+pub use routing::{EpochHeader, EpochRouting, EpochScratch};
 pub use scenario::ReconfigScenario;
 pub use schedule::{FaultEvent, FaultKind, FaultSchedule};

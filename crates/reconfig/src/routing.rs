@@ -11,9 +11,20 @@
 //! believes in.
 
 use desim::Time;
-use netgraph::{ChannelId, NodeId, Topology};
-use spam_core::{SpamHeader, SpamRouting};
+use netgraph::{ChannelId, NodeId};
+use spam_collections::InlineVec;
+use spam_core::{RouteScratch, SpamHeader, SpamRouting};
 use wormsim::{MessageSpec, RouteDecision, RouteError, RoutingAlgorithm};
+
+/// Reusable working memory for the epoch dispatch: the wrapped SPAM
+/// router's scratch plus an inner decision buffer the epoch headers are
+/// re-stamped from. One value lives in the engine for the whole run, so
+/// the epoch indirection adds no per-hop allocation.
+#[derive(Debug, Default)]
+pub struct EpochScratch {
+    inner: RouteScratch,
+    decision: RouteDecision<SpamHeader>,
+}
 
 /// Header state of an epoch-stamped SPAM worm.
 #[derive(Debug, Clone)]
@@ -28,7 +39,10 @@ pub struct EpochHeader {
 /// [`SpamRouting`] of its generation epoch.
 #[derive(Debug, Clone)]
 pub struct EpochRouting<'a> {
-    boundaries: Vec<Time>,
+    /// Epoch boundaries, ascending; inline up to four faults (the common
+    /// storm sizes) so a scenario swap does not heap-allocate per epoch
+    /// lookup structure.
+    boundaries: InlineVec<Time, 4>,
     epochs: Vec<SpamRouting<'a>>,
 }
 
@@ -46,12 +60,15 @@ impl<'a> EpochRouting<'a> {
             boundaries.windows(2).all(|w| w[0] < w[1]),
             "boundaries must be strictly increasing"
         );
-        EpochRouting { boundaries, epochs }
+        EpochRouting {
+            boundaries: InlineVec::from_slice(&boundaries),
+            epochs,
+        }
     }
 
     /// The epoch a message generated at `t` belongs to.
     pub fn epoch_of(&self, t: Time) -> usize {
-        self.boundaries.partition_point(|&b| b <= t)
+        self.boundaries.as_slice().partition_point(|&b| b <= t)
     }
 
     /// Number of epochs.
@@ -67,6 +84,7 @@ impl<'a> EpochRouting<'a> {
 
 impl RoutingAlgorithm for EpochRouting<'_> {
     type Header = EpochHeader;
+    type Scratch = EpochScratch;
 
     fn initial_header(&self, spec: &MessageSpec) -> Result<EpochHeader, RouteError> {
         let epoch = self.epoch_of(spec.gen_time);
@@ -77,22 +95,27 @@ impl RoutingAlgorithm for EpochRouting<'_> {
 
     fn route(
         &self,
-        topo: &Topology,
         node: NodeId,
         in_ch: ChannelId,
         header: &EpochHeader,
         spec: &MessageSpec,
-    ) -> Result<RouteDecision<EpochHeader>, RouteError> {
+        scratch: &mut EpochScratch,
+        out: &mut RouteDecision<EpochHeader>,
+    ) -> Result<(), RouteError> {
         let epoch = header.epoch;
-        self.epochs[epoch]
-            .route(topo, node, in_ch, &header.inner, spec)
-            .map(|d| RouteDecision {
-                requests: d
-                    .requests
-                    .into_iter()
-                    .map(|(c, inner)| (c, EpochHeader { epoch, inner }))
-                    .collect(),
-            })
+        scratch.decision.clear();
+        self.epochs[epoch].route(
+            node,
+            in_ch,
+            &header.inner,
+            spec,
+            &mut scratch.inner,
+            &mut scratch.decision,
+        )?;
+        for (c, inner) in scratch.decision.requests.drain(..) {
+            out.push(c, EpochHeader { epoch, inner });
+        }
+        Ok(())
     }
 }
 

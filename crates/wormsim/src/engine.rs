@@ -40,7 +40,7 @@ use crate::message::{MessageSpec, SpecError};
 use crate::outcome::{
     Counters, DeadlockInfo, FailureKind, MessageFailure, MessageResult, SimError, SimOutcome,
 };
-use crate::routing::{CompletionHook, NoHook, RoutingAlgorithm};
+use crate::routing::{CompletionHook, NoHook, RouteDecision, RoutingAlgorithm};
 use crate::trace::{Trace, TraceEvent};
 use desim::{Schedule, Time};
 use netgraph::{ChannelId, NodeId, Topology};
@@ -123,6 +123,10 @@ pub struct NetworkSim<'a, R: RoutingAlgorithm> {
     /// Arena of in-flight header states (`R::Header` travels with the worm
     /// between routing decisions); indexed from [`Chan::hdrs`].
     headers: Slab<R::Header>,
+    /// The routing algorithm's reusable working memory (one per run).
+    route_scratch: R::Scratch,
+    /// Reused output buffer for routing decisions.
+    route_out: RouteDecision<R::Header>,
     counters: Counters,
     /// First simulation error; set once, aborts the run at the next event
     /// boundary (state mutated within the failing instant is not rolled
@@ -165,6 +169,8 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             msgs: Vec::new(),
             segs: Slab::new(),
             headers: Slab::new(),
+            route_scratch: R::Scratch::default(),
+            route_out: RouteDecision::default(),
             counters: Counters::default(),
             error: None,
             last_progress: Time::ZERO,
@@ -487,27 +493,46 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             let (_, hid) = hdrs.swap_remove(pos);
             self.headers.remove(hid).expect("header handle live")
         };
-        let decision = match self.routing.route(
-            self.topo,
+        // The decision buffer and the algorithm's scratch are reused across
+        // every routing call of the run — the per-hop path allocates
+        // nothing once their capacities settle.
+        let mut decision = std::mem::take(&mut self.route_out);
+        decision.clear();
+        self.apply_route_decision(now, msg, in_ch, node, header, &mut decision);
+        self.route_out = decision;
+    }
+
+    /// Consults the routing algorithm for `header` at `node` and turns the
+    /// decision into segment + OCRQ state (`decision` is the reused output
+    /// buffer, already cleared).
+    fn apply_route_decision(
+        &mut self,
+        now: Time,
+        msg: MsgId,
+        in_ch: ChannelId,
+        node: NodeId,
+        header: R::Header,
+        decision: &mut RouteDecision<R::Header>,
+    ) {
+        if let Err(error) = self.routing.route(
             node,
             in_ch,
             &header,
             &self.msgs[msg.index()].spec,
+            &mut self.route_scratch,
+            decision,
         ) {
-            Ok(d) => d,
-            Err(error) => {
-                let error = SimError::Route { msg, node, error };
-                if self.live_mode() {
-                    // A worm routed into a dead end (e.g. its pre-fault
-                    // labeling no longer matches the surviving channels):
-                    // a reconfiguration casualty, not a run abort.
-                    self.teardown(now, msg, error, FailureKind::TornDown);
-                    self.wake_channels(now);
-                    return;
-                }
-                return self.fail(error);
+            let error = SimError::Route { msg, node, error };
+            if self.live_mode() {
+                // A worm routed into a dead end (e.g. its pre-fault
+                // labeling no longer matches the surviving channels):
+                // a reconfiguration casualty, not a run abort.
+                self.teardown(now, msg, error, FailureKind::TornDown);
+                self.wake_channels(now);
+                return;
             }
-        };
+            return self.fail(error);
+        }
         if decision.requests.is_empty() {
             return self.fail(SimError::EmptyDecision { msg, node });
         }
@@ -539,7 +564,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         );
         self.chans[in_ch.index()].seg = Some(sid);
         self.msgs[msg.index()].live_segs.push(sid);
-        for (ch, st) in decision.requests {
+        for (ch, st) in decision.requests.drain(..) {
             let rec = self.topo.channel(ch);
             if rec.src != node {
                 return self.fail(SimError::ForeignChannel {

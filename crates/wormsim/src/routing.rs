@@ -101,11 +101,25 @@ impl std::error::Error for RouteError {}
 
 /// The channels a header requests at one router, with the header state each
 /// branch carries onward.
+///
+/// The engine owns one `RouteDecision` per simulation and passes it to
+/// [`RoutingAlgorithm::route`] as an out-parameter, cleared between calls:
+/// the backing `Vec` reaches its steady capacity within the first few hops
+/// and the per-hop decision then allocates nothing.
 #[derive(Debug, Clone)]
 pub struct RouteDecision<H> {
     /// `(channel, successor state)` pairs; all channels must originate at
-    /// the deciding router and be pairwise distinct. Must be non-empty.
+    /// the deciding router and be pairwise distinct. Must be non-empty on
+    /// success.
     pub requests: Vec<(ChannelId, H)>,
+}
+
+impl<H> Default for RouteDecision<H> {
+    fn default() -> Self {
+        RouteDecision {
+            requests: Vec::new(),
+        }
+    }
 }
 
 impl<H> RouteDecision<H> {
@@ -115,12 +129,31 @@ impl<H> RouteDecision<H> {
             requests: vec![(ch, state)],
         }
     }
+
+    /// Empties the request set, retaining capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.requests.clear();
+    }
+
+    /// Appends one `(channel, successor state)` request.
+    #[inline]
+    pub fn push(&mut self, ch: ChannelId, state: H) {
+        self.requests.push((ch, state));
+    }
 }
 
 /// A wormhole routing algorithm driven by the simulator.
 pub trait RoutingAlgorithm {
     /// Per-branch header state.
     type Header: Clone;
+
+    /// Reusable per-simulation working memory for [`Self::route`] (legal
+    /// candidate sets, inner decisions of wrapped algorithms, ...). The
+    /// engine owns one value and threads it through every call, so an
+    /// algorithm that keeps its temporaries here is allocation-free per
+    /// hop. Algorithms without temporaries use `()`.
+    type Scratch: Default;
 
     /// Header state when the worm leaves its source processor. Errors —
     /// e.g. [`RouteError::UnreachableDestination`] for a destination the
@@ -130,11 +163,14 @@ pub trait RoutingAlgorithm {
     fn initial_header(&self, spec: &MessageSpec) -> Result<Self::Header, RouteError>;
 
     /// Routing decision for a header arriving at switch `node` on channel
-    /// `in_ch` with state `header`.
+    /// `in_ch` with state `header`, written into `out` (cleared by the
+    /// engine before the call; `scratch` is the algorithm's own reusable
+    /// working memory). Algorithms bind their topology at construction —
+    /// the engine simulates the same network the algorithm routes.
     ///
     /// # Contract
     ///
-    /// On success, must return at least one request; every requested
+    /// On success, must push at least one request; every requested
     /// channel must have `src == node`; channels must be distinct. The
     /// engine converts violations — and any returned [`RouteError`] —
     /// into a typed [`crate::SimError`] on the outcome and aborts the
@@ -142,12 +178,13 @@ pub trait RoutingAlgorithm {
     /// went stale) is diagnosable rather than a crash.
     fn route(
         &self,
-        topo: &Topology,
         node: NodeId,
         in_ch: ChannelId,
         header: &Self::Header,
         spec: &MessageSpec,
-    ) -> Result<RouteDecision<Self::Header>, RouteError>;
+        scratch: &mut Self::Scratch,
+        out: &mut RouteDecision<Self::Header>,
+    ) -> Result<(), RouteError>;
 }
 
 /// Observer invoked when a message has been fully delivered; may inject
@@ -238,6 +275,7 @@ impl OracleRouting {
 
 impl RoutingAlgorithm for OracleRouting {
     type Header = ();
+    type Scratch = ();
 
     fn initial_header(&self, _spec: &MessageSpec) -> Result<Self::Header, RouteError> {
         Ok(())
@@ -245,25 +283,41 @@ impl RoutingAlgorithm for OracleRouting {
 
     fn route(
         &self,
-        _topo: &Topology,
         node: NodeId,
         _in_ch: ChannelId,
         _header: &(),
         spec: &MessageSpec,
-    ) -> Result<RouteDecision<()>, RouteError> {
+        _scratch: &mut (),
+        out: &mut RouteDecision<()>,
+    ) -> Result<(), RouteError> {
         let chans = self.plan.get(&(spec.tag, node)).ok_or(RouteError::NoPlan {
             tag: spec.tag,
             node,
         })?;
-        Ok(RouteDecision {
-            requests: chans.iter().map(|c| (*c, ())).collect(),
-        })
+        for &c in chans {
+            out.push(c, ());
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// One-shot `route` convenience for tests (fresh scratch + decision).
+    fn route_once<R: RoutingAlgorithm>(
+        r: &R,
+        node: NodeId,
+        in_ch: ChannelId,
+        header: &R::Header,
+        spec: &MessageSpec,
+    ) -> Result<RouteDecision<R::Header>, RouteError> {
+        let mut scratch = R::Scratch::default();
+        let mut out = RouteDecision::default();
+        r.route(node, in_ch, header, spec, &mut scratch, &mut out)?;
+        Ok(out)
+    }
 
     fn line3() -> (Topology, Vec<NodeId>) {
         // p3 - s0 - s1 - s2 - p4, plus p5 on s1
@@ -290,11 +344,11 @@ mod tests {
             .unwrap();
         let spec = MessageSpec::unicast(n[3], n[4], 4).tag(7);
         // At s0 the plan sends towards s1.
-        let d = o.route(&t, n[0], ChannelId(0), &(), &spec).unwrap();
+        let d = route_once(&o, n[0], ChannelId(0), &(), &spec).unwrap();
         assert_eq!(d.requests.len(), 1);
         assert_eq!(t.channel(d.requests[0].0).dst, n[1]);
         // At s2 the plan delivers to p4.
-        let d2 = o.route(&t, n[2], ChannelId(0), &(), &spec).unwrap();
+        let d2 = route_once(&o, n[2], ChannelId(0), &(), &spec).unwrap();
         assert_eq!(t.channel(d2.requests[0].0).dst, n[4]);
     }
 
@@ -305,7 +359,7 @@ mod tests {
         // At s1 split to both p5 and s2.
         o.add_tree_edges(1, [(n[1], n[5]), (n[1], n[2])]).unwrap();
         let spec = MessageSpec::multicast(n[3], vec![n[5], n[4]], 4).tag(1);
-        let d = o.route(&t, n[1], ChannelId(0), &(), &spec).unwrap();
+        let d = route_once(&o, n[1], ChannelId(0), &(), &spec).unwrap();
         assert_eq!(d.requests.len(), 2);
     }
 
@@ -315,7 +369,7 @@ mod tests {
         let o = OracleRouting::new(&t);
         let spec = MessageSpec::unicast(n[3], n[4], 4).tag(99);
         assert_eq!(
-            o.route(&t, n[0], ChannelId(0), &(), &spec).unwrap_err(),
+            route_once(&o, n[0], ChannelId(0), &(), &spec).unwrap_err(),
             RouteError::NoPlan {
                 tag: 99,
                 node: n[0]

@@ -27,6 +27,7 @@ fn line2() -> (Topology, [NodeId; 4]) {
 
 /// A router that returns whatever channel list it is configured with.
 struct EvilRouter {
+    topo: Topology,
     mode: EvilMode,
 }
 
@@ -39,6 +40,7 @@ enum EvilMode {
 
 impl RoutingAlgorithm for EvilRouter {
     type Header = ();
+    type Scratch = ();
 
     fn initial_header(&self, _spec: &MessageSpec) -> Result<Self::Header, RouteError> {
         Ok(())
@@ -46,35 +48,44 @@ impl RoutingAlgorithm for EvilRouter {
 
     fn route(
         &self,
-        topo: &Topology,
         node: NodeId,
         _in_ch: ChannelId,
         _header: &(),
         _spec: &MessageSpec,
-    ) -> Result<RouteDecision<()>, RouteError> {
-        Ok(match self.mode {
-            EvilMode::Empty => RouteDecision { requests: vec![] },
+        _scratch: &mut (),
+        out: &mut RouteDecision<()>,
+    ) -> Result<(), RouteError> {
+        match self.mode {
+            EvilMode::Empty => {}
             EvilMode::Duplicate => {
-                let c = topo.out_channels(node)[0];
-                RouteDecision {
-                    requests: vec![(c, ()), (c, ())],
-                }
+                let c = self.topo.out_channels(node)[0];
+                out.push(c, ());
+                out.push(c, ());
             }
             EvilMode::ForeignChannel => {
                 // A channel that does not leave `node`.
-                let foreign = topo
+                let foreign = self
+                    .topo
                     .channel_ids()
-                    .find(|&c| topo.channel(c).src != node)
+                    .find(|&c| self.topo.channel(c).src != node)
                     .unwrap();
-                RouteDecision::single(foreign, ())
+                out.push(foreign, ());
             }
-        })
+        }
+        Ok(())
     }
 }
 
 fn run_evil(mode: EvilMode) -> SimError {
     let (topo, [_, _, p0, p1]) = line2();
-    let mut sim = NetworkSim::new(&topo, EvilRouter { mode }, SimConfig::paper());
+    let mut sim = NetworkSim::new(
+        &topo,
+        EvilRouter {
+            topo: topo.clone(),
+            mode,
+        },
+        SimConfig::paper(),
+    );
     sim.submit(MessageSpec::unicast(p0, p1, 8)).unwrap();
     let out = sim.run();
     assert!(
