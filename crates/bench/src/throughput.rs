@@ -41,14 +41,19 @@ pub struct ThroughputConfig {
 }
 
 impl ThroughputConfig {
-    /// The full sweep: 64 → 1024 switches.
+    /// The full sweep: 64 → 1024 switches. Two 8-destination multicasts
+    /// per processor, all at time zero, keep every size deeply backlogged
+    /// (hundreds of simultaneous worms against ~a hundred concurrently
+    /// holdable channel sets) while the whole sweep stays runnable on a
+    /// single core — including on the slow pre-refactor engine the
+    /// committed baseline was recorded with.
     pub fn full() -> Self {
         ThroughputConfig {
             sizes: vec![64, 128, 256, 512, 1024],
-            msgs_per_proc: 4,
+            msgs_per_proc: 2,
             dests: 8,
             len: 32,
-            reps: 3,
+            reps: 2,
             seed: 2024,
         }
     }
@@ -100,16 +105,34 @@ fn traffic(procs: &[NodeId], cfg: &ThroughputConfig, seed: u64) -> Vec<MessageSp
             // processor ring from a seeded offset.
             let mix = split_seed(seed, (pi * cfg.msgs_per_proc + m) as u64);
             let start = (mix as usize) % procs.len();
-            let stride = 1 + (mix >> 32) as usize % (procs.len() - 1);
+            let mut stride = 1 + (mix >> 32) as usize % (procs.len() - 1);
             let mut dests = Vec::with_capacity(cfg.dests);
             let mut at = start;
+            let mut collisions = 0;
+            let mut degraded = false;
             while dests.len() < cfg.dests.min(procs.len() - 1) {
                 at = (at + stride) % procs.len();
                 let d = procs[at];
                 if d != src && !dests.contains(&d) {
                     dests.push(d);
+                    collisions = 0;
                 } else {
-                    at += 1; // collision: fall through to the next slot
+                    collisions += 1;
+                    if collisions > 2 * procs.len() {
+                        // A collision streak this long proves the strided
+                        // walk is stuck (e.g. stride len-1 cancels the +1
+                        // phase shift and re-probes one slot forever).
+                        // Degrade to *pure* linear probing — no phase
+                        // shift — which visits every slot, so it always
+                        // terminates (dests < procs). Unreachable on
+                        // walks that were already terminating, so
+                        // recorded baselines are unaffected.
+                        degraded = true;
+                        stride = 1;
+                    }
+                    if !degraded {
+                        at += 1; // collision: fall through to the next slot
+                    }
                 }
             }
             specs.push(MessageSpec::multicast(src, dests, cfg.len).tag((pi * 31 + m) as u64));
@@ -154,7 +177,7 @@ pub fn run_one(cfg: &ThroughputConfig, switches: usize) -> ThroughputPoint {
             messages: out.messages.len() as u64,
             events: out.counters.events,
             flits_delivered: out.counters.flits_delivered,
-            seg_lookups: 0,
+            seg_lookups: out.counters.seg_lookups,
             sim_end_ns: out.end_time.as_ns(),
             wall_s: wall,
             events_per_sec: out.counters.events as f64 / wall,
@@ -220,6 +243,55 @@ mod tests {
         for s in &a {
             s.validate(&topo).expect("every spec valid");
             assert_eq!(s.dests.len(), 4);
+        }
+    }
+
+    #[test]
+    fn stuck_stride_walks_terminate() {
+        // Regression: a seeded stride of procs.len()-1 cancels the +1
+        // collision phase shift and used to re-probe one slot forever.
+        // This exact (seed, size, dests) draws such a stride on a
+        // 16-processor network.
+        let topo = paper_network(16, split_seed(2024, 16));
+        let procs: Vec<NodeId> = topo.processors().collect();
+        let cfg = ThroughputConfig {
+            sizes: vec![16],
+            msgs_per_proc: 2,
+            dests: 8,
+            len: 32,
+            reps: 1,
+            seed: 2024,
+        };
+        let specs = traffic(&procs, &cfg, split_seed(2024, 0x7AFF));
+        assert_eq!(specs.len(), 32);
+        for s in &specs {
+            s.validate(&topo).expect("every spec valid");
+            assert_eq!(s.dests.len(), 8);
+        }
+    }
+
+    #[test]
+    fn degraded_walks_terminate_on_small_even_rings() {
+        // Step-2 probing (a +1 phase shift on top of stride 1) stays on
+        // one parity class of an even ring and can spin forever when
+        // that class fills up; pure linear probing cannot. Sweep many
+        // seeds on the tightest configuration (8 of 9 eligible
+        // destinations on a 10-ring): every walk must terminate.
+        let topo = paper_network(10, 5);
+        let procs: Vec<NodeId> = topo.processors().collect();
+        let cfg = ThroughputConfig {
+            sizes: vec![10],
+            msgs_per_proc: 2,
+            dests: 8,
+            len: 32,
+            reps: 1,
+            seed: 0,
+        };
+        for seed in 0..200 {
+            for s in traffic(&procs, &cfg, seed) {
+                assert_eq!(s.dests.len(), 8, "seed {seed}");
+                s.validate(&topo).expect("every spec valid");
+            }
         }
     }
 

@@ -1,0 +1,120 @@
+//! Microbenchmarks for the engine's hot-path primitives: segment
+//! allocation/free in the slab arena, event-queue push/pop under both
+//! implementations, and one SPAM routed hop through the scratch-based
+//! decision path.
+//!
+//! ```text
+//! cargo bench -p wormsim --bench hotpath
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use desim::{EventQueue, QueueKind, Time};
+use netgraph::NodeId;
+use spam_collections::{InlineVec, Slab};
+use spam_core::{RouteScratch, SpamRouting};
+use updown::{RootSelection, UpDownLabeling};
+use wormsim::{MessageSpec, RouteDecision, RoutingAlgorithm};
+
+/// Mirrors the engine's `Segment` payload (message id stand-in, input
+/// marker, inline output list, flag).
+struct SegLike {
+    _msg: u32,
+    _input: u32,
+    _outputs: InlineVec<u32, 4>,
+    _acquired: bool,
+}
+
+fn bench_segment_alloc_free(c: &mut Criterion) {
+    // Steady-state churn: one segment allocated and freed per worm-router
+    // traversal, with a handful live at any time.
+    let mut slab: Slab<SegLike> = Slab::new();
+    let live: Vec<_> = (0..64)
+        .map(|i| {
+            slab.insert(SegLike {
+                _msg: i,
+                _input: i,
+                _outputs: InlineVec::from_slice(&[i, i + 1]),
+                _acquired: false,
+            })
+        })
+        .collect();
+    let mut i = 0usize;
+    c.bench_function("slab_segment_alloc_free", |b| {
+        b.iter(|| {
+            let id = slab.insert(SegLike {
+                _msg: 7,
+                _input: 9,
+                _outputs: InlineVec::from_slice(&[1, 2, 3]),
+                _acquired: true,
+            });
+            black_box(slab.get(id));
+            slab.remove(id).unwrap();
+            // Touch a rotating live entry to keep the arena honest.
+            i = (i + 1) % live.len();
+            black_box(slab.get(live[i]));
+        })
+    });
+}
+
+fn bench_queue_push_pop(c: &mut Criterion) {
+    // The engine's cadence: one pop, a few near-future pushes (channel
+    // propagation, router setup), repeated forever.
+    for (name, kind) in [
+        ("heap_queue_push_pop", QueueKind::Heap),
+        ("bucket_queue_push_pop", QueueKind::Bucket),
+    ] {
+        let mut q = EventQueue::with_kind(kind);
+        for i in 0..256u64 {
+            q.schedule(Time::from_ns(i * 10), i);
+        }
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let (t, e) = q.pop().expect("queue stays primed");
+                q.schedule(t + desim::Duration::from_ns(10), e);
+                q.schedule(t + desim::Duration::from_ns(40), e ^ 1);
+                let (t2, e2) = q.pop().expect("queue stays primed");
+                black_box((t2, e2));
+            })
+        });
+    }
+}
+
+fn bench_routed_hop(c: &mut Criterion) {
+    // One SPAM unicast-stage decision on a 64-switch irregular network,
+    // through the same scratch-based path the engine drives.
+    let topo = netgraph::gen::lattice::IrregularConfig::with_switches(64).generate(2024);
+    let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+    let spam = SpamRouting::new(&topo, &ud);
+    let procs: Vec<NodeId> = topo.processors().collect();
+    let spec = MessageSpec::unicast(procs[0], procs[40], 32);
+    let header = spam.initial_header(&spec).expect("routable");
+    // The switch the injection channel leads to.
+    let inj = topo.out_channels(procs[0])[0];
+    let node = topo.channel(inj).dst;
+    let mut scratch = RouteScratch::default();
+    let mut out = RouteDecision::default();
+    c.bench_function("spam_routed_hop", |b| {
+        b.iter(|| {
+            out.clear();
+            spam.route(
+                black_box(node),
+                inj,
+                black_box(&header),
+                &spec,
+                &mut scratch,
+                &mut out,
+            )
+            .expect("legal hop");
+            black_box(out.requests.len());
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_segment_alloc_free(c);
+    bench_queue_push_pop(c);
+    bench_routed_hop(c);
+}
+
+criterion_group!(hotpath, benches);
+criterion_main!(hotpath);

@@ -592,14 +592,22 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 .outputs
                 .push(ch);
             if self.topo.is_switch(rec.dst) {
-                debug_assert!(
+                // Hard assert (like the pre-arena reverse-map insert): a
+                // worm re-requesting a channel is a phase-monotonicity
+                // violation, and proceeding would corrupt the per-channel
+                // header list. The list holds a couple of entries.
+                assert!(
                     !self.chans[ch.index()].hdrs.iter().any(|&(m, _)| m == msg),
                     "{msg} requested {ch} twice; phase monotonicity violated"
                 );
                 let hid = self.headers.insert(st);
                 self.chans[ch.index()].hdrs.push((msg, hid));
             }
-            debug_assert!(
+            // Hard assert for the same reason: a duplicate OCRQ entry
+            // would make teardown's position-based removal drop the wrong
+            // waiter. Requests are ~one per worm per router (not per
+            // flit), so the queue scan stays off the per-flit path.
+            assert!(
                 !self.chans[ch.index()].ocrq.iter().any(|&(m, _)| m == msg),
                 "{msg} already queued on {ch}"
             );
