@@ -139,7 +139,8 @@ pub fn run_buffer_depth(
                     let ud = crate::paper_labeling(&topo);
                     let spam = SpamRouting::new(&topo, &ud);
                     let stream = MixedTrafficConfig::figure3(rate, 8, messages)
-                        .generate(&topo, crate::split_seed(s, 0xB));
+                        .generate(&topo, crate::split_seed(s, 0xB))
+                        .expect("valid mixed-traffic config");
                     let mut sim =
                         NetworkSim::new(&topo, spam, SimConfig::paper().with_buffers(depth, depth));
                     for spec in stream {
@@ -201,7 +202,9 @@ fn partition_rep(
     let mut rng = rand::rngs::StdRng::seed_from_u64(crate::split_seed(seed, 0xB));
     let procs: Vec<NodeId> = topo.processors().collect();
     let src = procs[rng.gen_range(0..procs.len())];
-    let dset = DestinationSampler::UniformRandom { count: dests }.sample(&topo, src, &mut rng);
+    let dset = DestinationSampler::UniformRandom { count: dests }
+        .sample(&topo, src, &mut rng)
+        .expect("enough processors");
     let base = MessageSpec::multicast(src, dset, 128).tag(1000);
     let specs = match arm {
         PartitionArm::SingleWorm => vec![base],
@@ -222,7 +225,9 @@ fn partition_rep(
     // Background unicasts make the root hot-spot matter.
     for i in 0..background {
         let a = procs[rng.gen_range(0..procs.len())];
-        let b = DestinationSampler::UniformRandom { count: 1 }.sample(&topo, a, &mut rng);
+        let b = DestinationSampler::UniformRandom { count: 1 }
+            .sample(&topo, a, &mut rng)
+            .expect("enough processors");
         sim.submit(
             MessageSpec::multicast(a, b, 128)
                 .at(Time::from_ns(rng.gen_range(0..5_000)))
@@ -304,7 +309,9 @@ fn software_multicast_us(switches: usize, k: usize, seed: u64) -> f64 {
     let mut rng = rand::rngs::StdRng::seed_from_u64(crate::split_seed(seed, 0xB));
     let procs: Vec<NodeId> = topo.processors().collect();
     let src = procs[rng.gen_range(0..procs.len())];
-    let dests = DestinationSampler::UniformRandom { count: k }.sample(&topo, src, &mut rng);
+    let dests = DestinationSampler::UniformRandom { count: k }
+        .sample(&topo, src, &mut rng)
+        .expect("enough processors");
     let mut um = UnicastMulticast::new(src, &dests, 128, Duration::from_us(10));
     let mut sim = NetworkSim::new(&topo, router, SimConfig::paper());
     for s in um.initial_sends(Time::ZERO) {

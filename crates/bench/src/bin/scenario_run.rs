@@ -1,0 +1,93 @@
+//! Executes a directory of declarative `*.scenario.json` scenarios —
+//! the committed corpus by default — entirely from JSON: no code changes
+//! per scenario.
+//!
+//! ```text
+//! cargo run -p spam-bench --bin scenario_run --release
+//! cargo run -p spam-bench --bin scenario_run --release -- --quick
+//! cargo run -p spam-bench --bin scenario_run --release -- --dir my_scenarios
+//! ```
+//!
+//! Writes one `results/scenarios/<name>.csv` per scenario, a combined
+//! `results/scenario_corpus.csv`, `results/BENCH_scenario_corpus.json`,
+//! and a root-level `BENCH_scenario_corpus.json` copy, and prints a
+//! per-scenario summary table.
+
+use spam_bench::report;
+use spam_bench::scenario_corpus::{
+    corpus_bench_json, run_corpus, write_corpus_csv, write_scenario_csv,
+};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let dir: PathBuf = match args.iter().position(|a| a == "--dir") {
+        Some(i) => match args.get(i + 1) {
+            Some(d) => PathBuf::from(d),
+            None => {
+                eprintln!("scenario_run: --dir takes a directory path");
+                std::process::exit(1);
+            }
+        },
+        None => PathBuf::from("scenarios"),
+    };
+
+    eprintln!("scenario_run: corpus {} (quick: {quick})", dir.display());
+    let t0 = std::time::Instant::now();
+    let results = match run_corpus(&dir, quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scenario_run: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "scenario_run: {} scenarios in {:.1?}",
+        results.len(),
+        t0.elapsed()
+    );
+
+    let out_dir = Path::new("results/scenarios");
+    println!(
+        "  {:<28} {:>4} {:>9} {:>9} {:>6} {:>8} {:>11} {:>6}",
+        "scenario", "reps", "messages", "delivered", "torn", "unreach", "mean (µs)", "clean"
+    );
+    for r in &results {
+        write_scenario_csv(out_dir, &r.report).expect("write scenario csv");
+        let (d, t, u) = r.report.totals();
+        let submitted: u64 = r.report.reps.iter().map(|x| x.submitted).sum();
+        println!(
+            "  {:<28} {:>4} {:>9} {:>9} {:>6} {:>8} {:>11} {:>6}",
+            r.report.name,
+            r.report.reps.len(),
+            submitted,
+            d,
+            t,
+            u,
+            r.report
+                .mean_latency_us()
+                .map_or("-".to_string(), |x| format!("{x:.3}")),
+            r.report.all_clean()
+        );
+    }
+
+    write_corpus_csv(Path::new("results/scenario_corpus.csv"), &results).expect("write corpus csv");
+    let bench = corpus_bench_json(&results, quick);
+    let json_path =
+        report::write_bench_json(Path::new("results"), &bench).expect("write bench json");
+    // Root-level copy: the machine-readable record lives next to
+    // CHANGES.md, like every other bench binary's.
+    std::fs::copy(&json_path, "BENCH_scenario_corpus.json").expect("copy json to repo root");
+    println!("-> results/scenarios/*.csv");
+    println!("-> results/scenario_corpus.csv");
+    println!(
+        "-> {} (+ ./BENCH_scenario_corpus.json)",
+        json_path.display()
+    );
+
+    if results.iter().any(|r| !r.report.all_clean()) {
+        eprintln!("scenario_run: some replications did not end cleanly");
+        std::process::exit(2);
+    }
+}

@@ -77,7 +77,8 @@ pub fn mixed_traffic_mean_latency_us(
     let ud = paper_labeling(&topo);
     let spam = SpamRouting::new(&topo, &ud);
     let stream = MixedTrafficConfig::figure3(rate, multicast_size, messages)
-        .generate(&topo, crate::split_seed(seed, 0xB));
+        .generate(&topo, crate::split_seed(seed, 0xB))
+        .expect("valid mixed-traffic config");
     let mut sim = NetworkSim::new(&topo, spam, SimConfig::paper());
     for spec in stream {
         sim.submit(spec).unwrap();

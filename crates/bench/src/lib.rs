@@ -16,6 +16,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod reconfig_sweep;
 pub mod report;
+pub mod scenario_corpus;
 pub mod sweep;
 pub mod throughput;
 

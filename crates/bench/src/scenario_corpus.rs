@@ -1,0 +1,211 @@
+//! Executing a scenario corpus directory: every committed
+//! `*.scenario.json` runs from JSON alone, and each produces a
+//! per-scenario CSV plus one combined `BENCH_scenario_corpus.json`
+//! record through the shared [`crate::report`] module.
+
+use crate::report::BenchJson;
+use crate::PointSummary;
+use spam_scenario::{run_spec, CorpusError, ScenarioReport, ScenarioSpec};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One executed corpus entry.
+#[derive(Debug, Clone)]
+pub struct CorpusResult {
+    /// The scenario file.
+    pub path: PathBuf,
+    /// The (possibly quickened) spec that ran.
+    pub spec: ScenarioSpec,
+    /// The execution report.
+    pub report: ScenarioReport,
+}
+
+/// Why a corpus run failed.
+#[derive(Debug)]
+pub enum CorpusRunError {
+    /// The directory failed to load.
+    Load(CorpusError),
+    /// One scenario failed to execute.
+    Run {
+        /// The offending file.
+        path: PathBuf,
+        /// The typed reason.
+        error: spam_scenario::SpecError,
+    },
+}
+
+impl std::fmt::Display for CorpusRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusRunError::Load(e) => write!(f, "{e}"),
+            CorpusRunError::Run { path, error } => write!(f, "{}: {error}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for CorpusRunError {}
+
+/// Loads and executes every scenario under `dir`, in filename order.
+/// `quick` caps message counts and replications
+/// ([`ScenarioSpec::quicken`]).
+pub fn run_corpus(dir: &Path, quick: bool) -> Result<Vec<CorpusResult>, CorpusRunError> {
+    let corpus = spam_scenario::load_dir(dir).map_err(CorpusRunError::Load)?;
+    let mut out = Vec::with_capacity(corpus.len());
+    for (path, mut spec) in corpus {
+        if quick {
+            spec.quicken();
+        }
+        let report = run_spec(&spec).map_err(|error| CorpusRunError::Run {
+            path: path.clone(),
+            error,
+        })?;
+        out.push(CorpusResult { path, spec, report });
+    }
+    Ok(out)
+}
+
+/// Writes one scenario's per-replication CSV
+/// (`<out_dir>/<name>.csv`), returning the path.
+pub fn write_scenario_csv(out_dir: &Path, report: &ScenarioReport) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{}.csv", report.name));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(
+        f,
+        "rep,submitted,delivered,torn_down,unreachable,\
+         mean_latency_us,p50_us,p99_us,events,end_time_us,clean"
+    )?;
+    let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
+    for r in &report.reps {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{},{},{},{:.3},{}",
+            r.rep,
+            r.submitted,
+            r.delivered,
+            r.torn_down,
+            r.unreachable,
+            opt(r.mean_latency_us),
+            opt(r.p50_us),
+            opt(r.p99_us),
+            r.events,
+            r.end_time_us,
+            r.clean
+        )?;
+    }
+    Ok(path)
+}
+
+/// Writes the combined corpus summary CSV, one row per scenario.
+pub fn write_corpus_csv(path: &Path, results: &[CorpusResult]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "scenario,reps,submitted,delivered,torn_down,unreachable,mean_latency_us,all_clean"
+    )?;
+    for r in results {
+        let (d, t, u) = r.report.totals();
+        let submitted: u64 = r.report.reps.iter().map(|x| x.submitted).sum();
+        writeln!(
+            f,
+            "{},{},{submitted},{d},{t},{u},{},{}",
+            r.report.name,
+            r.report.reps.len(),
+            r.report
+                .mean_latency_us()
+                .map_or(String::new(), |x| format!("{x:.4}")),
+            r.report.all_clean()
+        )?;
+    }
+    Ok(())
+}
+
+/// The corpus as one [`BenchJson`] record: one series per scenario, one
+/// point per replication (`x` = replication index, `mean` = that
+/// replication's mean latency in µs).
+pub fn corpus_bench_json(results: &[CorpusResult], quick: bool) -> BenchJson {
+    let series = results
+        .iter()
+        .map(|r| {
+            let points = r
+                .report
+                .reps
+                .iter()
+                .map(|rep| PointSummary {
+                    x: rep.rep as f64,
+                    mean: rep.mean_latency_us.unwrap_or(f64::NAN),
+                    ci_half_width: 0.0,
+                    reps: 1,
+                    target_met: rep.clean,
+                })
+                .collect();
+            (r.report.name.clone(), points)
+        })
+        .collect();
+    BenchJson {
+        name: "scenario_corpus".to_string(),
+        params: vec![
+            ("scenarios".to_string(), results.len().to_string()),
+            ("quick".to_string(), quick.to_string()),
+        ],
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus(dir: &Path) {
+        let _ = std::fs::remove_dir_all(dir);
+        std::fs::create_dir_all(dir).unwrap();
+        let mut spec = ScenarioSpec::example("tiny-fig2");
+        spec.topology.switches = 12;
+        spec.topology.seed = 5;
+        spec.traffic = spam_scenario::TrafficSpec::SingleMulticast { dests: 4, len: 32 };
+        std::fs::write(dir.join("tiny.scenario.json"), spec.to_json_string()).unwrap();
+    }
+
+    #[test]
+    fn corpus_runs_and_reports() {
+        let dir = std::env::temp_dir().join("spam_bench_corpus_test");
+        tiny_corpus(&dir);
+        let results = run_corpus(&dir, true).unwrap();
+        assert_eq!(results.len(), 1);
+        let report = &results[0].report;
+        assert!(report.all_clean());
+        assert!(report.mean_latency_us().unwrap() > 10.0, "startup floor");
+
+        let out = dir.join("out");
+        let csv = write_scenario_csv(&out, report).unwrap();
+        let body = std::fs::read_to_string(csv).unwrap();
+        assert!(body.starts_with("rep,submitted,"));
+        assert_eq!(body.lines().count(), 1 + report.reps.len());
+
+        let combined = out.join("scenario_corpus.csv");
+        write_corpus_csv(&combined, &results).unwrap();
+        let body = std::fs::read_to_string(&combined).unwrap();
+        assert!(body.contains("tiny-fig2"));
+
+        let bench = corpus_bench_json(&results, true);
+        assert_eq!(bench.series.len(), 1);
+        assert_eq!(bench.series[0].0, "tiny-fig2");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_corpus_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("spam_bench_corpus_bad_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.scenario.json"), "{\"name\": \"x\"}").unwrap();
+        assert!(matches!(
+            run_corpus(&dir, false),
+            Err(CorpusRunError::Load(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,256 @@
+//! Regenerates the committed scenario corpus (`scenarios/*.scenario.json`).
+//!
+//! ```text
+//! cargo run -p spam-scenario --example make_corpus [-- <out_dir>]
+//! ```
+//!
+//! The corpus is authored here — in code, through the typed
+//! [`ScenarioSpec`] model — and serialized through the same codec the
+//! loader uses, so every committed file is schema-exact by construction.
+//! Each entry composes axes the paper never combined: hotspots under
+//! live link storms, incast on a degraded 256-switch lattice, coordinate
+//! permutations on the unicast baseline, bursty MMPP arrivals, bounded
+//! closed-loop injection, and the software-multicast control arm.
+
+use spam_scenario::{
+    ArrivalSpec, FaultModelSpec, FaultsSpec, PatternSpec, PolicySpec, QueueSpec, RoutingSpec,
+    ScenarioSpec, StrategySpec, TrafficSpec,
+};
+
+/// The committed corpus, in one place.
+fn corpus() -> Vec<ScenarioSpec> {
+    let nb = ArrivalSpec::NegativeBinomial { r: 1 };
+    let mut out = Vec::new();
+
+    // 1. The paper's Figure 2 point as a scenario file: one 16-destination
+    //    multicast in an idle 64-switch network.
+    let mut s = ScenarioSpec::example("fig2_single_multicast");
+    s.description = "Figure 2 reference point: one 16-destination SPAM multicast, idle 64-switch \
+                     lattice"
+        .into();
+    s.topology.seed = 2024;
+    s.traffic = TrafficSpec::SingleMulticast {
+        dests: 16,
+        len: 128,
+    };
+    s.seed = 1;
+    s.replications = 3;
+    out.push(s);
+
+    // 2. The paper's Figure 3 regime, quick-sized.
+    let mut s = ScenarioSpec::example("fig3_mixed_negbinomial");
+    s.description = "Figure 3 regime: 90/10 mixed traffic, negative-binomial arrivals, 32 \
+                     switches"
+        .into();
+    s.topology.switches = 32;
+    s.topology.seed = 7;
+    s.traffic = TrafficSpec::Mixed {
+        unicast_fraction: 0.9,
+        multicast_dests: 8,
+        rate_per_node_per_us: 0.02,
+        len: 128,
+        messages: 250,
+        arrival: nb,
+    };
+    s.seed = 7;
+    s.replications = 2;
+    out.push(s);
+
+    // 3. Hotspot traffic while a 20% link storm tears the fabric down
+    //    mid-run (the live-reconfiguration path end to end).
+    let mut s = ScenarioSpec::example("hotspot_link_storm");
+    s.description = "4-node hotspot under a live 20% link storm: teardowns, relabeling, and \
+                     epoch routing under concentrated load"
+        .into();
+    s.topology.seed = 11;
+    s.traffic = TrafficSpec::Hotspot {
+        hot_nodes: 4,
+        hot_fraction: 0.3,
+        rate_per_node_per_us: 0.015,
+        len: 64,
+        messages: 300,
+        arrival: nb,
+    };
+    s.faults = FaultsSpec::Storm {
+        model: FaultModelSpec::IidLinks { rate: 0.2 },
+        seed: 99,
+        window_start_us: 20,
+        window_end_us: 60,
+        bursts: 3,
+    };
+    s.horizon_us = Some(2_000);
+    s.seed = 13;
+    out.push(s);
+
+    // 4. Incast on a degraded 256-switch lattice: static 10% link damage,
+    //    reconfigured, many-to-few inside the largest component.
+    let mut s = ScenarioSpec::example("incast_degraded_256");
+    s.description = "4-server incast on a 256-switch lattice with 10% of links dead before the \
+                     run (largest surviving component)"
+        .into();
+    s.topology.switches = 256;
+    s.topology.seed = 42;
+    s.traffic = TrafficSpec::Incast {
+        servers: 4,
+        rate_per_client_per_us: 0.01,
+        len: 64,
+        messages: 400,
+        arrival: nb,
+    };
+    s.faults = FaultsSpec::Static {
+        model: FaultModelSpec::IidLinks { rate: 0.1 },
+        seed: 5,
+    };
+    s.seed = 19;
+    out.push(s);
+
+    // 5. Every node broadcasts at once — the OCRQ worst case.
+    let mut s = ScenarioSpec::example("broadcast_storm_32");
+    s.description =
+        "All 32 processors multicast to all others, 100 ns apart: maximal contention".into();
+    s.topology.switches = 32;
+    s.topology.seed = 3;
+    s.traffic = TrafficSpec::BroadcastStorm {
+        len: 64,
+        stagger_ns: 100,
+    };
+    out.push(s);
+
+    // 6. Transpose permutation on the classic up*/down* unicast baseline.
+    let mut s = ScenarioSpec::example("transpose_updown_unicast");
+    s.description =
+        "Lattice transpose permutation carried by plain up*/down* unicast routing".into();
+    s.topology.seed = 9;
+    s.routing = RoutingSpec::UpDownUnicast;
+    s.traffic = TrafficSpec::Permutation {
+        pattern: PatternSpec::Transpose,
+        rate_per_node_per_us: 0.02,
+        len: 64,
+        messages_per_node: 3,
+        arrival: nb,
+    };
+    s.seed = 23;
+    s.replications = 2;
+    out.push(s);
+
+    // 7. Bit-complement permutation under SPAM with the ablation's
+    //    first-legal selection policy.
+    let mut s = ScenarioSpec::example("bit_complement_spam");
+    s.description = "Bit-complement permutation under SPAM, first-legal selection (ablation \
+                     policy)"
+        .into();
+    s.topology.seed = 13;
+    s.routing = RoutingSpec::Spam {
+        policy: PolicySpec::FirstLegal,
+    };
+    s.traffic = TrafficSpec::Permutation {
+        pattern: PatternSpec::BitComplement,
+        rate_per_node_per_us: 0.02,
+        len: 64,
+        messages_per_node: 3,
+        arrival: nb,
+    };
+    s.seed = 29;
+    out.push(s);
+
+    // 8. Figure 3 traffic with bursty on/off (MMPP) arrivals.
+    let mut s = ScenarioSpec::example("bursty_onoff_mixed");
+    s.description = "90/10 mixed traffic with two-state on/off bursts (25% duty cycle) over the \
+                     negative-binomial process"
+        .into();
+    s.topology.switches = 32;
+    s.topology.seed = 21;
+    s.traffic = TrafficSpec::Mixed {
+        unicast_fraction: 0.9,
+        multicast_dests: 8,
+        rate_per_node_per_us: 0.03,
+        len: 128,
+        messages: 250,
+        arrival: ArrivalSpec::OnOff {
+            r: 1,
+            mean_on_us: 100,
+            mean_off_us: 300,
+        },
+    };
+    s.seed = 31;
+    out.push(s);
+
+    // 9. Closed-loop injection: at most 4 outstanding per source.
+    let mut s = ScenarioSpec::example("closed_loop_window4");
+    s.description = "Closed-loop unicasts, window 4, 6 messages per source, 2 µs think time".into();
+    s.topology.switches = 24;
+    s.topology.seed = 17;
+    s.traffic = TrafficSpec::ClosedLoop {
+        window: 4,
+        messages_per_source: 6,
+        len: 64,
+        think_ns: 2_000,
+    };
+    s.seed = 37;
+    s.replications = 2;
+    out.push(s);
+
+    // 10. The software-multicast control arm on mixed traffic: every
+    //     multicast expands into a binomial unicast tree.
+    let mut s = ScenarioSpec::example("software_multicast_mixed");
+    s.description = "80/20 mixed traffic where multicasts run as binomial software-multicast \
+                     unicast trees (the paper's baseline) on up*/down* routing"
+        .into();
+    s.topology.switches = 24;
+    s.topology.seed = 31;
+    s.routing = RoutingSpec::SoftwareMulticast;
+    s.traffic = TrafficSpec::Mixed {
+        unicast_fraction: 0.8,
+        multicast_dests: 4,
+        rate_per_node_per_us: 0.01,
+        len: 64,
+        messages: 120,
+        arrival: nb,
+    };
+    s.seed = 41;
+    out.push(s);
+
+    // 11. A region fault (dead rack) with every off-default engine knob:
+    //     uniform-retry lattice sampling, heap queue, deep buffers, an
+    //     extra header flit, and hotspot traffic inside the survivors.
+    let mut s = ScenarioSpec::example("region_fault_hotspot");
+    s.description = "Manhattan-radius-2 region fault on a uniform-retry lattice; hotspot traffic \
+                     in the surviving component; heap queue, 2-flit buffers, 1 extra header flit"
+        .into();
+    s.topology.switches = 48;
+    s.topology.seed = 15;
+    s.topology.strategy = StrategySpec::UniformRetry;
+    s.traffic = TrafficSpec::Hotspot {
+        hot_nodes: 2,
+        hot_fraction: 0.5,
+        rate_per_node_per_us: 0.01,
+        len: 64,
+        messages: 200,
+        arrival: nb,
+    };
+    s.faults = FaultsSpec::Static {
+        model: FaultModelSpec::Region { radius: 2 },
+        seed: 77,
+    };
+    s.engine.queue = Some(QueueSpec::Heap);
+    s.engine.input_buffer_flits = 2;
+    s.engine.output_buffer_flits = 2;
+    s.engine.extra_header_flits = 1;
+    s.seed = 43;
+    out.push(s);
+
+    out
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "scenarios".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create corpus dir");
+    for spec in corpus() {
+        spec.validate().expect("corpus specs must validate");
+        let path = format!("{out_dir}/{}.scenario.json", spec.name);
+        std::fs::write(&path, spec.to_json_string()).expect("write scenario");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Loading a directory of `*.scenario.json` files — the committed
+//! scenario corpus that `scenario_run` executes and the golden corpus
+//! suite pins.
+
+use crate::spec::{ScenarioSpec, SpecError};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The filename suffix a corpus file must carry.
+pub const SCENARIO_SUFFIX: &str = ".scenario.json";
+
+/// Why a corpus directory could not be loaded.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Filesystem failure (directory missing, unreadable file, ...).
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// A file parsed or validated wrong.
+    Bad {
+        /// The offending file.
+        path: PathBuf,
+        /// The typed reason.
+        error: SpecError,
+    },
+    /// Two files declare the same scenario name (reports would collide).
+    DuplicateName {
+        /// The scenario name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            CorpusError::Bad { path, error } => write!(f, "{}: {error}", path.display()),
+            CorpusError::DuplicateName { name } => {
+                write!(f, "two corpus files both declare scenario \"{name}\"")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// Loads, decodes, and validates every `*.scenario.json` under `dir`,
+/// sorted by filename (deterministic corpus order).
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, ScenarioSpec)>, CorpusError> {
+    let entries = std::fs::read_dir(dir).map_err(|error| CorpusError::Io {
+        path: dir.to_path_buf(),
+        error,
+    })?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(SCENARIO_SUFFIX))
+        })
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    let mut names = std::collections::HashSet::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path).map_err(|error| CorpusError::Io {
+            path: path.clone(),
+            error,
+        })?;
+        let spec = ScenarioSpec::from_json(&text).map_err(|error| CorpusError::Bad {
+            path: path.clone(),
+            error,
+        })?;
+        spec.validate().map_err(|error| CorpusError::Bad {
+            path: path.clone(),
+            error,
+        })?;
+        if !names.insert(spec.name.clone()) {
+            return Err(CorpusError::DuplicateName { name: spec.name });
+        }
+        out.push((path, spec));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_sorted_and_rejects_bad_files() {
+        let dir = std::env::temp_dir().join("spam_scenario_corpus_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let b = ScenarioSpec::example("b-scenario");
+        let a = ScenarioSpec::example("a-scenario");
+        std::fs::write(dir.join("b.scenario.json"), b.to_json_string()).unwrap();
+        std::fs::write(dir.join("a.scenario.json"), a.to_json_string()).unwrap();
+        std::fs::write(dir.join("ignored.json"), "{}").unwrap();
+        let corpus = load_dir(&dir).unwrap();
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus[0].1.name, "a-scenario");
+        assert_eq!(corpus[1].1.name, "b-scenario");
+
+        std::fs::write(dir.join("c.scenario.json"), "{ not json").unwrap();
+        assert!(matches!(
+            load_dir(&dir),
+            Err(CorpusError::Bad {
+                error: SpecError::Json(_),
+                ..
+            })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let dir = std::env::temp_dir().join("spam_scenario_corpus_dup_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = ScenarioSpec::example("same");
+        std::fs::write(dir.join("x.scenario.json"), spec.to_json_string()).unwrap();
+        std::fs::write(dir.join("y.scenario.json"), spec.to_json_string()).unwrap();
+        assert!(matches!(
+            load_dir(&dir),
+            Err(CorpusError::DuplicateName { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,530 @@
+//! A minimal JSON value, parser, and pretty-printer.
+//!
+//! The workspace's `serde` is an offline no-op shim (the build environment
+//! has no crates.io access), so the scenario subsystem carries its own
+//! small JSON layer: insertion-ordered objects, exact `u64`/`i64`
+//! round-tripping (seeds must survive serialization bit-for-bit, which
+//! `f64`-only number models cannot guarantee), and positioned parse
+//! errors.
+
+use std::fmt;
+
+/// A JSON number. Integers keep their exact value; anything with a
+/// fraction or exponent is an `f64` (printed via the shortest
+/// round-trippable representation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    /// Non-negative integer (covers every seed and count).
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Everything else.
+    F(f64),
+}
+
+impl Num {
+    /// The value as an `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Num::U(v) => v as f64,
+            Num::I(v) => v as f64,
+            Num::F(v) => v,
+        }
+    }
+
+    /// The value as a `u64`, if it is exactly a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Num::U(v) => Some(v),
+            Num::I(v) => u64::try_from(v).ok(),
+            Num::F(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            Num::F(_) => None,
+        }
+    }
+}
+
+/// A parsed JSON value. Object keys keep insertion order so specs
+/// round-trip in a stable, diffable layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(Num),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered key/value pairs).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<Num> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        use fmt::Write as _;
+        let pad = |out: &mut String, n: usize| {
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(Num::U(v)) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(Num::I(v)) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(Num::F(v)) => {
+                if v.is_finite() {
+                    // `{:?}` is the shortest representation that parses
+                    // back to the identical bits.
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// A positioned parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column of the offending byte.
+    pub col: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at {}:{}: {}",
+            self.line, self.col, self.msg
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document (one value, optional surrounding
+/// whitespace).
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        let (mut line, mut col) = (1, 1);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        JsonError {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s_rest =
+                        std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s_rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::Num(Num::U(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Num(Num::I(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Json::Num(Num::F(v)))
+            .map_err(|_| self.err(format!("bad number '{text}'")))
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate key \"{key}\"")));
+            }
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("42").unwrap(), Json::Num(Num::U(42)));
+        assert_eq!(parse("-7").unwrap(), Json::Num(Num::I(-7)));
+        assert_eq!(parse("2.5e-3").unwrap(), Json::Num(Num::F(0.0025)));
+        assert_eq!(
+            parse("\"a\\nb\\u0041\"").unwrap(),
+            Json::Str("a\nbA".to_string())
+        );
+    }
+
+    #[test]
+    fn u64_seeds_round_trip_exactly() {
+        for v in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 53, (1 << 53) + 1] {
+            let s = Json::Num(Num::U(v)).to_string_pretty();
+            assert_eq!(parse(s.trim()).unwrap(), Json::Num(Num::U(v)), "{v}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [0.9, 0.005, 1.0 / 3.0, 1e-12, 123456.789] {
+            let s = Json::Num(Num::F(v)).to_string_pretty();
+            let Json::Num(n) = parse(s.trim()).unwrap() else {
+                panic!()
+            };
+            assert_eq!(n.as_f64(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn object_order_and_nesting_round_trip() {
+        let doc = Json::Obj(vec![
+            ("zeta".into(), Json::Num(Num::U(1))),
+            (
+                "alpha".into(),
+                Json::Arr(vec![Json::Null, Json::Bool(false)]),
+            ),
+            (
+                "nested".into(),
+                Json::Obj(vec![("k".into(), Json::Str("v \"q\"".into()))]),
+            ),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+        ]);
+        let text = doc.to_string_pretty();
+        assert_eq!(parse(&text).unwrap(), doc);
+        // Insertion order is preserved verbatim.
+        assert!(text.find("zeta").unwrap() < text.find("alpha").unwrap());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse("{\n  \"a\": 1,\n  \"a\": 2\n}").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+        assert_eq!(e.line, 3);
+        let e = parse("[1, 2,]").unwrap_err();
+        assert!(e.line == 1 && e.col >= 7, "{e}");
+        assert!(parse("").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("123 456").unwrap_err().msg.contains("trailing"));
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = parse("{\"s\": \"x\", \"n\": 3, \"b\": true, \"a\": [1]}").unwrap();
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(
+            doc.get("n").and_then(Json::as_num).unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(doc.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("a").and_then(Json::as_arr).unwrap().len(), 1);
+        assert!(doc.get("missing").is_none());
+    }
+}

@@ -1,0 +1,424 @@
+//! Executing a validated [`ScenarioSpec`]: build the topology, compose
+//! faults and routing, generate the workload, and run the wormhole
+//! simulator — one deterministic [`wormsim::SimOutcome`] per replication.
+
+use crate::spec::{
+    FaultsSpec, PolicySpec, QueueSpec, RoutingSpec, ScenarioSpec, SpecError, StrategySpec,
+    TrafficSpec,
+};
+use baselines::{UnicastMulticast, UpDownUnicastRouting};
+use desim::{Duration, QueueKind, Time};
+use netgraph::gen::lattice::{IrregularConfig, LatticeLayout, LatticeStrategy};
+use netgraph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spam_core::{SelectionPolicy, SpamRouting};
+use spam_faults::DegradedNetwork;
+use spam_reconfig::{FaultSchedule, ReconfigScenario};
+use std::collections::HashMap;
+use traffic::{BroadcastStormConfig, ClosedLoopInjector, DestinationSampler};
+use updown::{RootSelection, UpDownLabeling};
+use wormsim::{
+    CompletionHook, MessageSpec, MsgId, NetworkSim, RoutingAlgorithm, SimConfig, SimOutcome,
+};
+
+/// Splits a u64 seed stream deterministically (SplitMix64; the same
+/// mixer `spam-bench` uses).
+pub fn split_seed(seed: u64, stream: u64) -> u64 {
+    let mut x = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Replication `0` uses the spec's seeds verbatim (so a one-replication
+/// scenario is exactly the instance its file describes); later
+/// replications derive independent streams.
+fn rep_seed(base: u64, rep: u32) -> u64 {
+    if rep == 0 {
+        base
+    } else {
+        split_seed(base, rep as u64)
+    }
+}
+
+/// One replication's digest: message accounting plus a latency summary.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct RepSummary {
+    /// Replication index.
+    pub rep: u32,
+    /// Messages the engine saw (software-multicast runs count the
+    /// constituent unicasts).
+    pub submitted: u64,
+    /// ... of which fully delivered.
+    pub delivered: u64,
+    /// ... torn down by mid-run faults.
+    pub torn_down: u64,
+    /// ... rejected at the source as unreachable.
+    pub unreachable: u64,
+    /// Mean end-to-end latency (µs) over delivered messages.
+    pub mean_latency_us: Option<f64>,
+    /// Median delivered latency (µs).
+    pub p50_us: Option<f64>,
+    /// 99th-percentile delivered latency (µs), nearest-rank.
+    pub p99_us: Option<f64>,
+    /// Engine events processed.
+    pub events: u64,
+    /// Simulated clock at the end of the run (µs).
+    pub end_time_us: f64,
+    /// True when the run ended cleanly with every message accounted for
+    /// (false = deadlock or engine error — a simulation *result*, not a
+    /// spec error).
+    pub clean: bool,
+}
+
+/// A finished scenario: one [`RepSummary`] per replication.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ScenarioReport {
+    /// The scenario's name.
+    pub name: String,
+    /// Per-replication digests, in replication order.
+    pub reps: Vec<RepSummary>,
+}
+
+impl ScenarioReport {
+    /// Mean of the per-replication mean latencies (µs).
+    pub fn mean_latency_us(&self) -> Option<f64> {
+        let xs: Vec<f64> = self.reps.iter().filter_map(|r| r.mean_latency_us).collect();
+        (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+
+    /// Total (delivered, torn down, unreachable) over all replications.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        self.reps.iter().fold((0, 0, 0), |(d, t, u), r| {
+            (d + r.delivered, t + r.torn_down, u + r.unreachable)
+        })
+    }
+
+    /// True when every replication ended cleanly.
+    pub fn all_clean(&self) -> bool {
+        self.reps.iter().all(|r| r.clean)
+    }
+}
+
+/// Nearest-rank percentile of a sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Digests one replication's outcome.
+pub fn summarize(rep: u32, out: &SimOutcome) -> RepSummary {
+    let mut lat = out.latencies_us(|_| true);
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    RepSummary {
+        rep,
+        submitted: out.messages.len() as u64,
+        delivered: out.counters.messages_completed,
+        torn_down: out.counters.messages_torn_down,
+        unreachable: out.counters.messages_unreachable,
+        mean_latency_us: out.mean_latency_us(|_| true),
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+        events: out.counters.events,
+        end_time_us: out.end_time.as_us_f64(),
+        clean: out.all_accounted(),
+    }
+}
+
+/// Runs every replication of a scenario. Validates first; every failure
+/// mode is a typed [`SpecError`].
+pub fn run_spec(spec: &ScenarioSpec) -> Result<ScenarioReport, SpecError> {
+    spec.validate()?;
+    let mut reps = Vec::with_capacity(spec.replications as usize);
+    for rep in 0..spec.replications {
+        let out = run_once(spec, rep, None)?;
+        reps.push(summarize(rep, &out));
+    }
+    Ok(ScenarioReport {
+        name: spec.name.clone(),
+        reps,
+    })
+}
+
+/// Runs one replication and returns the raw outcome. `queue` overrides
+/// the spec's event-queue choice (the golden corpus suite uses this to
+/// pin byte-identical outcomes under both implementations).
+pub fn run_once(
+    spec: &ScenarioSpec,
+    rep: u32,
+    queue: Option<QueueKind>,
+) -> Result<SimOutcome, SpecError> {
+    spec.validate()?;
+    let tspec = &spec.topology;
+    let default_side = IrregularConfig::with_switches(tspec.switches).side;
+    let gen = IrregularConfig {
+        switches: tspec.switches,
+        side: tspec.side.unwrap_or(default_side),
+        strategy: match tspec.strategy {
+            StrategySpec::ConnectedGrowth => LatticeStrategy::ConnectedGrowth,
+            StrategySpec::UniformRetry => LatticeStrategy::UniformRetry,
+        },
+        max_retries: 64,
+    };
+    let (topo, layout) = gen.generate_with_layout(rep_seed(tspec.seed, rep));
+    topo.validate(tspec.ports)
+        .map_err(|_| SpecError::BadPorts { ports: tspec.ports })?;
+
+    let mut cfg = SimConfig::paper()
+        .with_buffers(
+            spec.engine.input_buffer_flits,
+            spec.engine.output_buffer_flits,
+        )
+        .with_extra_header_flits(spec.engine.extra_header_flits);
+    if let Some(q) = spec.engine.queue {
+        cfg = cfg.with_queue(match q {
+            QueueSpec::Bucket => QueueKind::Bucket,
+            QueueSpec::Heap => QueueKind::Heap,
+        });
+    }
+    if let Some(q) = queue {
+        cfg = cfg.with_queue(q);
+    }
+
+    let traffic_seed = rep_seed(spec.seed, rep);
+    match &spec.faults {
+        FaultsSpec::Storm {
+            model,
+            seed,
+            window_start_us,
+            window_end_us,
+            bursts,
+        } => {
+            // Live reconfiguration: epoch-stamped SPAM routing over the
+            // pristine population; teardowns and unreachables are
+            // expected per-message verdicts.
+            let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+            let schedule = FaultSchedule::storm(
+                &model.to_model(),
+                &topo,
+                Some(&layout),
+                (
+                    Time::from_us(*window_start_us),
+                    Time::from_us(*window_end_us),
+                ),
+                *bursts,
+                rep_seed(*seed, rep),
+            );
+            let scenario = ReconfigScenario::build(&topo, &ud, &schedule);
+            let routing = scenario.routing(&topo);
+            let procs: Vec<NodeId> = topo.processors().collect();
+            let stream = open_stream(spec, &topo, &layout, &procs, traffic_seed)?;
+            let mut sim = NetworkSim::new(&topo, routing, cfg);
+            schedule.install(&mut sim);
+            submit_all(&mut sim, stream)?;
+            Ok(sim.run())
+        }
+        FaultsSpec::None => {
+            let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+            let procs: Vec<NodeId> = topo.processors().collect();
+            dispatch(spec, &topo, &layout, &ud, &procs, cfg, traffic_seed)
+        }
+        FaultsSpec::Static { model, seed } => {
+            // Damage strikes before the run: reconfigure and confine the
+            // workload to the largest surviving component.
+            let plan = model
+                .to_model()
+                .sample(&topo, Some(&layout), rep_seed(*seed, rep));
+            let net = DegradedNetwork::build(&topo, &plan, None);
+            let comp = net.largest().ok_or(SpecError::NoSurvivingComponent)?;
+            let procs = comp.processors(&net.topo);
+            if procs.len() < 2 {
+                return Err(SpecError::NoSurvivingComponent);
+            }
+            dispatch(
+                spec,
+                &net.topo,
+                &layout,
+                &comp.labeling,
+                &procs,
+                cfg,
+                traffic_seed,
+            )
+        }
+    }
+}
+
+/// Static-network execution: build the routing arm and drive the
+/// workload (open-loop stream or closed-loop hook).
+fn dispatch(
+    spec: &ScenarioSpec,
+    topo: &Topology,
+    layout: &LatticeLayout,
+    ud: &UpDownLabeling,
+    procs: &[NodeId],
+    cfg: SimConfig,
+    traffic_seed: u64,
+) -> Result<SimOutcome, SpecError> {
+    let closed_loop = spec.closed_loop_config();
+    match spec.routing {
+        RoutingSpec::Spam { policy } => {
+            let routing = SpamRouting::new(topo, ud).with_policy(to_policy(policy));
+            match closed_loop {
+                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed),
+                None => {
+                    let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
+                    run_open(topo, routing, cfg, stream)
+                }
+            }
+        }
+        RoutingSpec::UpDownUnicast => {
+            let routing = UpDownUnicastRouting::new(topo, ud);
+            match closed_loop {
+                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed),
+                None => {
+                    let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
+                    run_open(topo, routing, cfg, stream)
+                }
+            }
+        }
+        RoutingSpec::SoftwareMulticast => {
+            let routing = UpDownUnicastRouting::new(topo, ud);
+            let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
+            run_software(topo, routing, cfg, stream)
+        }
+    }
+}
+
+fn to_policy(p: PolicySpec) -> SelectionPolicy {
+    match p {
+        PolicySpec::MinResidualDistance => SelectionPolicy::MinResidualDistance,
+        PolicySpec::FirstLegal => SelectionPolicy::FirstLegal,
+        PolicySpec::RandomLegal { seed } => SelectionPolicy::RandomLegal { seed },
+    }
+}
+
+/// Generates the open-loop stream a spec describes, confined to `procs`.
+fn open_stream(
+    spec: &ScenarioSpec,
+    topo: &Topology,
+    layout: &LatticeLayout,
+    procs: &[NodeId],
+    seed: u64,
+) -> Result<Vec<MessageSpec>, SpecError> {
+    match &spec.traffic {
+        TrafficSpec::SingleMulticast { dests, len } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let src = procs[rng.gen_range(0..procs.len())];
+            let d = DestinationSampler::UniformRandom { count: *dests }
+                .sample_within(topo, procs, src, &mut rng)?;
+            Ok(vec![MessageSpec::multicast(src, d, *len)])
+        }
+        TrafficSpec::Mixed { .. } => Ok(spec
+            .mixed_config()
+            .expect("variant checked")
+            .generate_within(topo, procs, seed)?),
+        TrafficSpec::Hotspot { .. } => Ok(spec
+            .hotspot_config()
+            .expect("variant checked")
+            .generate_within(topo, procs, seed)?),
+        TrafficSpec::Permutation { .. } => Ok(spec
+            .permutation_config()
+            .expect("variant checked")
+            .generate_within(topo, layout, procs, seed)?),
+        TrafficSpec::Incast { .. } => Ok(spec
+            .incast_config()
+            .expect("variant checked")
+            .generate_within(topo, procs, seed)?),
+        TrafficSpec::BroadcastStorm { len, stagger_ns } => {
+            let cfg = BroadcastStormConfig {
+                message_len: *len,
+                stagger: Duration::from_ns(*stagger_ns),
+            };
+            Ok(cfg.generate_within(topo, procs)?)
+        }
+        TrafficSpec::ClosedLoop { .. } => unreachable!("closed loop handled by the dispatcher"),
+    }
+}
+
+fn to_msg_err(e: wormsim::SpecError) -> SpecError {
+    SpecError::Message {
+        detail: e.to_string(),
+    }
+}
+
+fn submit_all<R: RoutingAlgorithm>(
+    sim: &mut NetworkSim<'_, R>,
+    stream: Vec<MessageSpec>,
+) -> Result<(), SpecError> {
+    for spec in stream {
+        sim.submit(spec).map_err(to_msg_err)?;
+    }
+    Ok(())
+}
+
+fn run_open<R: RoutingAlgorithm>(
+    topo: &Topology,
+    routing: R,
+    cfg: SimConfig,
+    stream: Vec<MessageSpec>,
+) -> Result<SimOutcome, SpecError> {
+    let mut sim = NetworkSim::new(topo, routing, cfg);
+    submit_all(&mut sim, stream)?;
+    Ok(sim.run())
+}
+
+fn run_closed_loop<R: RoutingAlgorithm>(
+    topo: &Topology,
+    routing: R,
+    cfg: SimConfig,
+    cl: traffic::ClosedLoopConfig,
+    procs: &[NodeId],
+    seed: u64,
+) -> Result<SimOutcome, SpecError> {
+    let mut inj = ClosedLoopInjector::new_within(cl, procs, seed)?;
+    let initial = inj.initial_sends();
+    let mut sim = NetworkSim::new(topo, routing, cfg);
+    submit_all(&mut sim, initial)?;
+    Ok(sim.run_with_hook(&mut inj))
+}
+
+/// All the in-flight software multicasts of one run, dispatched by tag.
+#[derive(Default)]
+struct MulticastFleet {
+    by_tag: HashMap<u64, UnicastMulticast>,
+}
+
+impl CompletionHook for MulticastFleet {
+    fn on_complete(&mut self, m: MsgId, spec: &MessageSpec, at: Time) -> Vec<MessageSpec> {
+        match self.by_tag.get_mut(&spec.tag) {
+            Some(um) => um.on_complete(m, spec, at),
+            None => Vec::new(),
+        }
+    }
+}
+
+fn run_software(
+    topo: &Topology,
+    routing: UpDownUnicastRouting<'_>,
+    cfg: SimConfig,
+    stream: Vec<MessageSpec>,
+) -> Result<SimOutcome, SpecError> {
+    let mut fleet = MulticastFleet::default();
+    let mut sim = NetworkSim::new(topo, routing, cfg);
+    for spec in stream {
+        if spec.is_unicast() {
+            sim.submit(spec).map_err(to_msg_err)?;
+        } else {
+            // One binomial forwarding tree per multicast; the original
+            // message's tag names the tree (tags are unique per stream).
+            let um = UnicastMulticast::new(spec.src, &spec.dests, spec.len, cfg.latency.startup)
+                .with_tag(spec.tag);
+            for s in um.initial_sends(spec.gen_time) {
+                sim.submit(s).map_err(to_msg_err)?;
+            }
+            fleet.by_tag.insert(spec.tag, um);
+        }
+    }
+    Ok(sim.run_with_hook(&mut fleet))
+}

@@ -10,6 +10,7 @@
 
 use desim::Duration;
 use rand::Rng;
+use std::cell::Cell;
 
 /// A stream of interarrival gaps.
 pub trait ArrivalProcess {
@@ -119,6 +120,87 @@ impl ArrivalProcess for NegativeBinomial {
     }
 }
 
+/// Draws an exponential duration with the given mean, in whole ns.
+fn draw_exp_ns<R: Rng + ?Sized>(mean: Duration, rng: &mut R) -> u64 {
+    if mean == Duration::ZERO {
+        return 0;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-(mean.as_ns() as f64) * u.ln()).round() as u64
+}
+
+/// Sentinel: the ON-state budget has not been initialized yet.
+const ONOFF_UNINIT: u64 = u64::MAX;
+
+/// Two-state on/off modulation (an MMPP) wrapping any [`ArrivalProcess`].
+///
+/// While the source is ON, arrivals follow the inner process unchanged;
+/// ON periods alternate with silent OFF periods, both exponentially
+/// distributed. The result is the classic bursty-traffic model: trains of
+/// arrivals at the inner rate separated by idle gaps, with squared
+/// coefficient of variation well above the inner process's own.
+///
+/// Note the *in-burst* rate is the inner process's rate; the long-run
+/// mean rate is scaled by the duty cycle `on / (on + off)`, which is what
+/// [`OnOff::mean_gap`] reports.
+#[derive(Debug, Clone)]
+pub struct OnOff<P> {
+    inner: P,
+    mean_on: Duration,
+    mean_off: Duration,
+    /// Remaining ON-state budget in ns ([`ONOFF_UNINIT`] before the first
+    /// draw). Interior mutability keeps the [`ArrivalProcess`] contract
+    /// (`&self`) while the modulation state advances draw to draw.
+    remaining_on_ns: Cell<u64>,
+}
+
+impl<P> OnOff<P> {
+    /// Wraps `inner` with exponential ON/OFF periods of the given means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_on` is zero (the source would never send). A zero
+    /// `mean_off` is legal and reduces to the inner process.
+    pub fn new(inner: P, mean_on: Duration, mean_off: Duration) -> Self {
+        assert!(mean_on > Duration::ZERO, "mean ON period must be positive");
+        OnOff {
+            inner,
+            mean_on,
+            mean_off,
+            remaining_on_ns: Cell::new(ONOFF_UNINIT),
+        }
+    }
+}
+
+impl<P: ArrivalProcess> ArrivalProcess for OnOff<P> {
+    fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        let mut rem = self.remaining_on_ns.get();
+        if rem == ONOFF_UNINIT {
+            // The source starts ON (first burst underway at time zero).
+            rem = draw_exp_ns(self.mean_on, rng).max(1);
+        }
+        let on_gap = self.inner.next_gap(rng).as_ns();
+        // Walk the gap through the ON budget; every exhaustion inserts one
+        // OFF period and a fresh ON period.
+        let mut left = on_gap;
+        let mut off_total = 0u64;
+        while left > rem {
+            left -= rem;
+            off_total += draw_exp_ns(self.mean_off, rng);
+            rem = draw_exp_ns(self.mean_on, rng).max(1);
+        }
+        rem -= left;
+        self.remaining_on_ns.set(rem);
+        Duration::from_ns(on_gap + off_total)
+    }
+
+    fn mean_gap(&self) -> Duration {
+        let duty =
+            self.mean_on.as_ns() as f64 / (self.mean_on.as_ns() + self.mean_off.as_ns()) as f64;
+        Duration::from_ns((self.inner.mean_gap().as_ns() as f64 / duty) as u64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +285,72 @@ mod tests {
     fn impossible_rate_rejected() {
         // Mean gap below one slot cannot be represented.
         NegativeBinomial::with_rate_per_us(200.0, 1, Duration::from_ns(10));
+    }
+
+    #[test]
+    fn onoff_duty_cycle_scales_the_mean() {
+        // 50% duty cycle: long-run rate halves, so the mean gap doubles.
+        let inner = Poisson::with_rate_per_us(0.02);
+        let p = OnOff::new(inner, Duration::from_us(200), Duration::from_us(200));
+        assert_eq!(p.mean_gap(), Duration::from_ns(100_000));
+        let m = empirical_mean(&p, 60_000, 17);
+        assert!(
+            (m - 100_000.0).abs() < 5_000.0,
+            "on/off mean {m} far from 100_000"
+        );
+    }
+
+    #[test]
+    fn onoff_is_burstier_than_its_inner_process() {
+        let var = |mk: &dyn Fn() -> Box<dyn Fn(&mut rand::rngs::StdRng) -> f64>| {
+            let f = mk();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+            let xs: Vec<f64> = (0..40_000).map(|_| f(&mut rng)).collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let v = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+            v / (mean * mean) // squared coefficient of variation
+        };
+        let plain = var(&|| {
+            let p = Poisson::with_rate_per_us(0.02);
+            Box::new(move |rng| p.next_gap(rng).as_ns() as f64)
+        });
+        let bursty = var(&|| {
+            let p = OnOff::new(
+                Poisson::with_rate_per_us(0.02),
+                Duration::from_us(150),
+                Duration::from_us(450),
+            );
+            Box::new(move |rng| p.next_gap(rng).as_ns() as f64)
+        });
+        assert!(
+            bursty > plain * 1.5,
+            "on/off CV² {bursty} not above inner CV² {plain}"
+        );
+    }
+
+    #[test]
+    fn onoff_zero_off_reduces_to_inner() {
+        let p = OnOff::new(
+            Deterministic {
+                gap: Duration::from_us(2),
+            },
+            Duration::from_us(100),
+            Duration::ZERO,
+        );
+        assert_eq!(p.mean_gap(), Duration::from_us(2));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert_eq!(p.next_gap(&mut rng), Duration::from_us(2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ON period")]
+    fn onoff_rejects_zero_on_period() {
+        OnOff::new(
+            Poisson::with_rate_per_us(0.01),
+            Duration::ZERO,
+            Duration::from_us(1),
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Destination-set samplers.
 
+use crate::error::TrafficError;
 use netgraph::{algo, NodeId, Topology};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -25,35 +26,75 @@ pub enum DestinationSampler {
 }
 
 impl DestinationSampler {
-    /// Draws a destination set for a message from `src`.
+    /// Draws a destination set for a message from `src`, over every
+    /// processor of the topology.
     ///
-    /// # Panics
-    ///
-    /// Panics if the topology has fewer processors than requested
-    /// (excluding the source).
+    /// Returns a typed [`TrafficError`] — never panics — when the request
+    /// exceeds the available processors (e.g. a 64-destination multicast
+    /// on a 2-processor network).
     pub fn sample<R: Rng + ?Sized>(
         &self,
         topo: &Topology,
         src: NodeId,
         rng: &mut R,
-    ) -> Vec<NodeId> {
-        let mut others: Vec<NodeId> = topo.processors().filter(|&p| p != src).collect();
+    ) -> Result<Vec<NodeId>, TrafficError> {
+        let others: Vec<NodeId> = topo.processors().filter(|&p| p != src).collect();
+        self.sample_others(topo, others, rng)
+    }
+
+    /// Like [`DestinationSampler::sample`], but draws only from the given
+    /// processor population (e.g. the largest surviving component of a
+    /// degraded network). `src` is excluded from the draw.
+    pub fn sample_within<R: Rng + ?Sized>(
+        &self,
+        topo: &Topology,
+        procs: &[NodeId],
+        src: NodeId,
+        rng: &mut R,
+    ) -> Result<Vec<NodeId>, TrafficError> {
+        let others: Vec<NodeId> = procs.iter().copied().filter(|&p| p != src).collect();
+        self.sample_others(topo, others, rng)
+    }
+
+    /// Shared core: `others` is the candidate set (source already
+    /// excluded).
+    fn sample_others<R: Rng + ?Sized>(
+        &self,
+        topo: &Topology,
+        mut others: Vec<NodeId>,
+        rng: &mut R,
+    ) -> Result<Vec<NodeId>, TrafficError> {
+        let check = |count: usize| -> Result<(), TrafficError> {
+            if count == 0 {
+                return Err(TrafficError::NoDestinations);
+            }
+            if count > others.len() {
+                return Err(TrafficError::NotEnoughProcessors {
+                    requested: count,
+                    available: others.len(),
+                });
+            }
+            Ok(())
+        };
         match *self {
             DestinationSampler::UniformRandom { count } => {
-                assert!(count >= 1 && count <= others.len(), "not enough processors");
+                check(count)?;
                 others.shuffle(rng);
                 others.truncate(count);
-                others
+                Ok(others)
             }
-            DestinationSampler::Broadcast => others,
+            DestinationSampler::Broadcast => {
+                check(1)?;
+                Ok(others)
+            }
             DestinationSampler::Cluster { count } => {
-                assert!(count >= 1 && count <= others.len(), "not enough processors");
+                check(count)?;
                 let switches: Vec<NodeId> = topo.switches().collect();
                 let seed = switches[rng.gen_range(0..switches.len())];
                 let dist = algo::bfs_distances(topo, seed);
                 others.sort_by_key(|p| (dist[p.index()], *p));
                 others.truncate(count);
-                others
+                Ok(others)
             }
         }
     }
@@ -76,7 +117,9 @@ mod tests {
         let (t, procs) = setup();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         for _ in 0..50 {
-            let d = DestinationSampler::UniformRandom { count: 8 }.sample(&t, procs[0], &mut rng);
+            let d = DestinationSampler::UniformRandom { count: 8 }
+                .sample(&t, procs[0], &mut rng)
+                .unwrap();
             assert_eq!(d.len(), 8);
             assert!(!d.contains(&procs[0]));
             let mut s = d.clone();
@@ -90,7 +133,9 @@ mod tests {
     fn broadcast_hits_everyone_else() {
         let (t, procs) = setup();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let d = DestinationSampler::Broadcast.sample(&t, procs[3], &mut rng);
+        let d = DestinationSampler::Broadcast
+            .sample(&t, procs[3], &mut rng)
+            .unwrap();
         assert_eq!(d.len(), procs.len() - 1);
         assert!(!d.contains(&procs[3]));
     }
@@ -99,7 +144,9 @@ mod tests {
     fn cluster_is_bfs_tight() {
         let (t, procs) = setup();
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let d = DestinationSampler::Cluster { count: 6 }.sample(&t, procs[0], &mut rng);
+        let d = DestinationSampler::Cluster { count: 6 }
+            .sample(&t, procs[0], &mut rng)
+            .unwrap();
         assert_eq!(d.len(), 6);
         // The chosen processors must be closer to each other than a random
         // spread: check max pairwise distance is below the diameter.
@@ -119,10 +166,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not enough processors")]
-    fn oversized_request_panics() {
+    fn sample_within_respects_the_population() {
+        let (t, procs) = setup();
+        let pop = &procs[..6];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for sampler in [
+            DestinationSampler::UniformRandom { count: 3 },
+            DestinationSampler::Broadcast,
+            DestinationSampler::Cluster { count: 3 },
+        ] {
+            let d = sampler.sample_within(&t, pop, pop[0], &mut rng).unwrap();
+            assert!(!d.contains(&pop[0]));
+            for p in &d {
+                assert!(pop.contains(p), "{p} outside the population");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_request_is_a_typed_error() {
         let (t, procs) = setup();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        DestinationSampler::UniformRandom { count: 1000 }.sample(&t, procs[0], &mut rng);
+        assert_eq!(
+            DestinationSampler::UniformRandom { count: 1000 }.sample(&t, procs[0], &mut rng),
+            Err(TrafficError::NotEnoughProcessors {
+                requested: 1000,
+                available: procs.len() - 1
+            })
+        );
+        assert_eq!(
+            DestinationSampler::UniformRandom { count: 0 }.sample(&t, procs[0], &mut rng),
+            Err(TrafficError::NoDestinations)
+        );
+    }
+
+    #[test]
+    fn two_processor_topology_regressions() {
+        // The smallest legal population: exactly one destination can ever
+        // be drawn, and every oversized request must be a typed error —
+        // not a clamp, not a spin, not a panic.
+        let t = IrregularConfig::with_switches(2).generate(3);
+        let procs: Vec<NodeId> = t.processors().collect();
+        assert_eq!(procs.len(), 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let ok = DestinationSampler::UniformRandom { count: 1 }
+            .sample(&t, procs[0], &mut rng)
+            .unwrap();
+        assert_eq!(ok, vec![procs[1]]);
+        assert_eq!(
+            DestinationSampler::UniformRandom { count: 2 }.sample(&t, procs[0], &mut rng),
+            Err(TrafficError::NotEnoughProcessors {
+                requested: 2,
+                available: 1
+            })
+        );
+        assert_eq!(
+            DestinationSampler::Cluster { count: 5 }.sample(&t, procs[1], &mut rng),
+            Err(TrafficError::NotEnoughProcessors {
+                requested: 5,
+                available: 1
+            })
+        );
     }
 }

@@ -1,0 +1,99 @@
+//! Typed workload-generation errors.
+
+use std::fmt;
+
+/// Why a workload configuration cannot produce a stream on a given
+/// topology (or population of processors).
+///
+/// Generators return these instead of panicking so a declarative scenario
+/// layer can surface "this spec asks for a 64-destination multicast on a
+/// 32-processor network" as a validation diagnostic rather than a crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficError {
+    /// A destination-set size exceeds the processors reachable from the
+    /// source (the source itself never counts).
+    NotEnoughProcessors {
+        /// Destinations requested per message.
+        requested: usize,
+        /// Distinct non-source processors actually available.
+        available: usize,
+    },
+    /// A sampler was asked for an empty destination set.
+    NoDestinations,
+    /// The generator needs more sources than the population provides
+    /// (e.g. mixed traffic needs at least two processors; incast needs at
+    /// least one client besides its servers).
+    TooFewSources {
+        /// Processors available.
+        available: usize,
+        /// Minimum the generator needs.
+        needed: usize,
+    },
+    /// A probability-like knob is outside `[0, 1]`.
+    BadFraction {
+        /// Which knob (e.g. `"unicast_fraction"`, `"hot_fraction"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An arrival rate is zero, negative, or non-finite — no interarrival
+    /// process can be built from it.
+    NonPositiveRate {
+        /// The offending rate (messages/µs).
+        rate: f64,
+    },
+    /// The arrival rate implies a mean gap below one arrival slot — the
+    /// discrete negative-binomial process cannot represent it.
+    RateTooHigh {
+        /// The offending rate (messages/µs).
+        rate: f64,
+    },
+    /// A duration knob that must be positive (burst ON period, closed-loop
+    /// window, per-source message quota, ...) is zero.
+    ZeroDuration {
+        /// Which knob.
+        what: &'static str,
+    },
+    /// A duration knob too large to represent in nanoseconds.
+    DurationTooLarge {
+        /// Which knob.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TrafficError::NotEnoughProcessors {
+                requested,
+                available,
+            } => write!(
+                f,
+                "destination set of {requested} exceeds the {available} reachable processors"
+            ),
+            TrafficError::NoDestinations => write!(f, "destination set size must be at least 1"),
+            TrafficError::TooFewSources { available, needed } => {
+                write!(
+                    f,
+                    "workload needs {needed} processors, topology has {available}"
+                )
+            }
+            TrafficError::BadFraction { what, value } => {
+                write!(f, "{what} = {value} is not a probability in [0, 1]")
+            }
+            TrafficError::NonPositiveRate { rate } => {
+                write!(f, "arrival rate {rate} msg/us is not positive and finite")
+            }
+            TrafficError::RateTooHigh { rate } => write!(
+                f,
+                "arrival rate {rate} msg/us implies a mean gap below one arrival slot"
+            ),
+            TrafficError::ZeroDuration { what } => write!(f, "{what} must be positive"),
+            TrafficError::DurationTooLarge { what } => {
+                write!(f, "{what} exceeds the representable nanosecond range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}

@@ -21,7 +21,7 @@ proptest! {
         let topo = IrregularConfig::with_switches(switches).generate(topo_seed);
         let rate = rate_milli as f64 / 1000.0;
         let cfg = MixedTrafficConfig::figure3(rate, k, messages);
-        let specs = cfg.generate(&topo, stream_seed);
+        let specs = cfg.generate(&topo, stream_seed).unwrap();
         prop_assert_eq!(specs.len(), messages);
         let mut prev = None;
         for (i, s) in specs.iter().enumerate() {
@@ -42,7 +42,10 @@ proptest! {
     ) {
         let topo = IrregularConfig::with_switches(16).generate(topo_seed);
         let cfg = MixedTrafficConfig::figure3(0.02, 4, 60);
-        prop_assert_eq!(cfg.generate(&topo, stream_seed), cfg.generate(&topo, stream_seed));
+        prop_assert_eq!(
+            cfg.generate(&topo, stream_seed).unwrap(),
+            cfg.generate(&topo, stream_seed).unwrap()
+        );
     }
 
     #[test]
@@ -61,7 +64,7 @@ proptest! {
             DestinationSampler::Cluster { count },
             DestinationSampler::Broadcast,
         ] {
-            let d = sampler.sample(&topo, src, &mut rng);
+            let d = sampler.sample(&topo, src, &mut rng).unwrap();
             prop_assert!(!d.is_empty());
             prop_assert!(!d.contains(&src));
             let mut sorted = d.clone();
@@ -94,7 +97,7 @@ proptest! {
             arrival,
             ..MixedTrafficConfig::figure3(0.01, 3, 40)
         };
-        let specs = cfg.generate(&topo, 9);
+        let specs = cfg.generate(&topo, 9).unwrap();
         prop_assert_eq!(specs.len(), 40);
     }
 }

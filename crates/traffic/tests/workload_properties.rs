@@ -1,0 +1,223 @@
+//! Property tests for the workload library's new patterns: every
+//! generated stream is time-sorted, self-send-free, duplicate-free, and
+//! confined to its topology/population, and closed-loop injection never
+//! exceeds its outstanding-message bound.
+
+use desim::{Duration, Time};
+use netgraph::gen::lattice::IrregularConfig;
+use netgraph::NodeId;
+use proptest::prelude::*;
+use spam_core::SpamRouting;
+use traffic::{
+    ArrivalKind, BroadcastStormConfig, ClosedLoopConfig, ClosedLoopInjector, HotspotConfig,
+    IncastConfig, MixedTrafficConfig, PermutationConfig, PermutationPattern,
+};
+use updown::{RootSelection, UpDownLabeling};
+use wormsim::{MessageSpec, NetworkSim, SimConfig};
+
+/// The shared stream invariants every open-loop generator must uphold.
+fn assert_stream_invariants(specs: &[MessageSpec], topo: &netgraph::Topology) {
+    let mut prev = None;
+    for (i, s) in specs.iter().enumerate() {
+        // validate() checks: src is a processor, dests are processors,
+        // no src-in-dests, no duplicate dests, len >= 2.
+        s.validate(topo).unwrap();
+        assert_eq!(s.tag, i as u64, "tags number the stream in order");
+        if let Some(p) = prev {
+            assert!(s.gen_time >= p, "stream must be time-sorted");
+        }
+        prev = Some(s.gen_time);
+    }
+}
+
+fn arrival_of(pick: u8) -> ArrivalKind {
+    match pick % 4 {
+        0 => ArrivalKind::NegativeBinomial { r: 1 },
+        1 => ArrivalKind::Poisson,
+        2 => ArrivalKind::Deterministic,
+        _ => ArrivalKind::OnOff {
+            r: 1,
+            mean_on_us: 50,
+            mean_off_us: 150,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn hotspot_streams_hold_invariants(
+        topo_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        switches in 8usize..40,
+        hot_nodes in 1usize..5,
+        hot_milli in 0u64..=1000,
+        arrival_pick in any::<u8>(),
+        messages in 1usize..150,
+    ) {
+        let topo = IrregularConfig::with_switches(switches).generate(topo_seed);
+        let cfg = HotspotConfig {
+            hot_nodes,
+            hot_fraction: hot_milli as f64 / 1000.0,
+            rate_per_node_per_us: 0.02,
+            message_len: 16,
+            messages,
+            arrival: arrival_of(arrival_pick),
+        };
+        let specs = cfg.generate(&topo, stream_seed).unwrap();
+        prop_assert_eq!(specs.len(), messages);
+        assert_stream_invariants(&specs, &topo);
+        prop_assert!(specs.iter().all(|s| s.is_unicast()));
+        // Purity: same seed, same stream.
+        prop_assert_eq!(specs, cfg.generate(&topo, stream_seed).unwrap());
+    }
+
+    #[test]
+    fn permutation_streams_hold_invariants(
+        topo_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        switches in 8usize..40,
+        transpose in any::<bool>(),
+        arrival_pick in any::<u8>(),
+        per_node in 1usize..6,
+    ) {
+        let (topo, layout) =
+            IrregularConfig::with_switches(switches).generate_with_layout(topo_seed);
+        let cfg = PermutationConfig {
+            pattern: if transpose {
+                PermutationPattern::Transpose
+            } else {
+                PermutationPattern::BitComplement
+            },
+            rate_per_node_per_us: 0.02,
+            message_len: 16,
+            messages_per_node: per_node,
+            arrival: arrival_of(arrival_pick),
+        };
+        let specs = cfg.generate(&topo, &layout, stream_seed).unwrap();
+        assert_stream_invariants(&specs, &topo);
+        prop_assert!(specs.iter().all(|s| s.is_unicast()));
+        // Each non-silent source sends exactly `per_node` messages, all
+        // to its fixed partner.
+        let mut srcs: Vec<NodeId> = specs.iter().map(|s| s.src).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        for src in srcs {
+            let mine: Vec<&MessageSpec> =
+                specs.iter().filter(|s| s.src == src).collect();
+            prop_assert_eq!(mine.len(), per_node);
+            prop_assert!(mine.iter().all(|s| s.dests == mine[0].dests));
+        }
+    }
+
+    #[test]
+    fn incast_streams_hold_invariants(
+        topo_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        switches in 8usize..40,
+        servers in 1usize..5,
+        arrival_pick in any::<u8>(),
+        messages in 1usize..150,
+    ) {
+        let topo = IrregularConfig::with_switches(switches).generate(topo_seed);
+        let cfg = IncastConfig {
+            servers,
+            rate_per_client_per_us: 0.02,
+            message_len: 16,
+            messages,
+            arrival: arrival_of(arrival_pick),
+        };
+        let specs = cfg.generate(&topo, stream_seed).unwrap();
+        prop_assert_eq!(specs.len(), messages);
+        assert_stream_invariants(&specs, &topo);
+        let mut procs: Vec<NodeId> = topo.processors().collect();
+        procs.sort_unstable();
+        let server_set = &procs[..servers];
+        for s in &specs {
+            prop_assert!(server_set.contains(&s.dests[0]));
+            prop_assert!(!server_set.contains(&s.src));
+        }
+    }
+
+    #[test]
+    fn broadcast_storm_holds_invariants(
+        topo_seed in any::<u64>(),
+        switches in 4usize..32,
+        stagger in 0u64..500,
+    ) {
+        let topo = IrregularConfig::with_switches(switches).generate(topo_seed);
+        let cfg = BroadcastStormConfig {
+            message_len: 8,
+            stagger: Duration::from_ns(stagger),
+        };
+        let specs = cfg.generate(&topo).unwrap();
+        prop_assert_eq!(specs.len(), switches);
+        assert_stream_invariants(&specs, &topo);
+        for s in &specs {
+            prop_assert_eq!(s.dests.len(), switches - 1);
+        }
+    }
+
+    #[test]
+    fn mixed_within_population_holds_invariants(
+        topo_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        pop_size in 4usize..16,
+        messages in 1usize..120,
+    ) {
+        let topo = IrregularConfig::with_switches(24).generate(topo_seed);
+        let procs: Vec<NodeId> = topo.processors().collect();
+        let pop = &procs[..pop_size];
+        let cfg = MixedTrafficConfig::figure3(0.02, 2, messages);
+        let specs = cfg.generate_within(&topo, pop, stream_seed).unwrap();
+        assert_stream_invariants(&specs, &topo);
+        for s in &specs {
+            prop_assert!(pop.contains(&s.src));
+            prop_assert!(s.dests.iter().all(|d| pop.contains(d)));
+        }
+    }
+
+    #[test]
+    fn closed_loop_never_exceeds_its_window(
+        seed in any::<u64>(),
+        window in 1usize..4,
+        per_source in 1usize..6,
+    ) {
+        let topo = IrregularConfig::with_switches(10).generate(3);
+        let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+        let cfg = ClosedLoopConfig {
+            window,
+            messages_per_source: per_source,
+            message_len: 8,
+            think: Duration::from_us(1),
+        };
+        let mut inj = ClosedLoopInjector::new(cfg, &topo, seed).unwrap();
+        let mut sim = NetworkSim::new(&topo, SpamRouting::new(&topo, &ud), SimConfig::paper());
+        for spec in inj.initial_sends() {
+            sim.submit(spec).unwrap();
+        }
+        let out = sim.run_with_hook(&mut inj);
+        prop_assert!(out.all_delivered());
+        prop_assert_eq!(out.messages.len(), 10 * per_source);
+        // Replay each source's (gen, complete) intervals: the number of
+        // in-flight messages never exceeds the window.
+        let mut srcs: Vec<NodeId> = out.messages.iter().map(|m| m.spec.src).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        for src in srcs {
+            let mut events: Vec<(Time, i32)> = Vec::new();
+            for m in out.messages.iter().filter(|m| m.spec.src == src) {
+                m.spec.validate(&topo).unwrap();
+                events.push((m.spec.gen_time, 1));
+                events.push((m.completed_at.unwrap(), -1));
+            }
+            events.sort_by_key(|&(t, d)| (t, d));
+            let mut cur = 0i32;
+            for (_, d) in events {
+                cur += d;
+                prop_assert!(cur <= window as i32, "window exceeded at {src}");
+            }
+        }
+    }
+}

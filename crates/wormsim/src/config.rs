@@ -66,8 +66,12 @@ pub struct SimConfig {
     /// Which future-event-list implementation drives the run. Both kinds
     /// produce byte-identical outcomes (pinned by the golden-regression
     /// suite); [`QueueKind::Bucket`] is the fast default, [`QueueKind::Heap`]
-    /// remains selectable as the reference implementation.
-    pub queue: QueueKind,
+    /// remains selectable as the reference implementation. `None` (the
+    /// default) defers to [`QueueKind::from_env`], so an entire test run
+    /// can be replayed on the reference heap via `WORMSIM_QUEUE=heap`
+    /// without touching any call site; an explicit [`Self::with_queue`]
+    /// always wins over the environment.
+    pub queue: Option<QueueKind>,
 }
 
 impl SimConfig {
@@ -80,7 +84,7 @@ impl SimConfig {
             watchdog: Duration::from_us(1_000),
             max_events: u64::MAX,
             extra_header_flits: 0,
-            queue: QueueKind::Bucket,
+            queue: None,
         }
     }
 
@@ -111,10 +115,18 @@ impl SimConfig {
     }
 
     /// Selects the event-queue implementation (bucket wheel vs. reference
-    /// binary heap; identical outcomes, different wall-clock speed).
+    /// binary heap; identical outcomes, different wall-clock speed). An
+    /// explicit choice overrides the `WORMSIM_QUEUE` environment variable.
     pub fn with_queue(mut self, queue: QueueKind) -> Self {
-        self.queue = queue;
+        self.queue = Some(queue);
         self
+    }
+
+    /// The queue kind this configuration resolves to: the explicit choice
+    /// if one was made, otherwise the `WORMSIM_QUEUE` environment
+    /// selection (default [`QueueKind::Bucket`]).
+    pub fn resolved_queue(&self) -> QueueKind {
+        self.queue.unwrap_or_else(QueueKind::from_env)
     }
 }
 
@@ -156,5 +168,14 @@ mod tests {
     #[should_panic(expected = "buffers must hold")]
     fn zero_buffers_rejected() {
         SimConfig::paper().with_buffers(0, 1);
+    }
+
+    #[test]
+    fn explicit_queue_choice_beats_environment() {
+        // paper() leaves the kind open (env-resolvable); with_queue pins it.
+        assert_eq!(SimConfig::paper().queue, None);
+        let c = SimConfig::paper().with_queue(QueueKind::Heap);
+        assert_eq!(c.queue, Some(QueueKind::Heap));
+        assert_eq!(c.resolved_queue(), QueueKind::Heap);
     }
 }

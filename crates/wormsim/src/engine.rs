@@ -163,7 +163,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         NetworkSim {
             topo,
             routing,
-            sched: Schedule::with_kind(cfg.queue),
+            sched: Schedule::with_kind(cfg.resolved_queue()),
             cfg,
             chans: (0..topo.num_channels()).map(|_| Chan::new()).collect(),
             msgs: Vec::new(),

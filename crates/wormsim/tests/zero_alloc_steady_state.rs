@@ -14,7 +14,15 @@ use netgraph::{NodeId, Topology};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use wormsim::routing::OracleRouting;
-use wormsim::{MessageSpec, NetworkSim, SimConfig, SimOutcome};
+use wormsim::{MessageSpec, NetworkSim, QueueKind, SimConfig, SimOutcome};
+
+/// The zero-alloc discipline is a property of the bucket wheel's pooled
+/// slot chains; the reference heap grows its backing storage on its own
+/// schedule. Pin the wheel explicitly so a `WORMSIM_QUEUE=heap` test run
+/// (the CI reference-queue job) still measures the intended path.
+fn cfg() -> SimConfig {
+    SimConfig::paper().with_queue(QueueKind::Bucket)
+}
 
 struct CountingAlloc;
 
@@ -62,7 +70,7 @@ fn run_unicast(len: u32) -> (SimOutcome, u64) {
     path.extend(&switches);
     path.push(dst);
     oracle.add_unicast_path(0, &path).unwrap();
-    let mut sim = NetworkSim::new(&topo, oracle, SimConfig::paper());
+    let mut sim = NetworkSim::new(&topo, oracle, cfg());
     sim.submit(MessageSpec::unicast(src, dst, len).tag(0))
         .unwrap();
     let before = ALLOCS.load(Ordering::Relaxed);
@@ -89,7 +97,7 @@ fn run_branching(len: u32) -> (SimOutcome, u64) {
     edges.push((switches[4], switches[5]));
     edges.push((switches[5], dst));
     oracle.add_tree_edges(1, edges).unwrap();
-    let mut sim = NetworkSim::new(&topo, oracle, SimConfig::paper());
+    let mut sim = NetworkSim::new(&topo, oracle, cfg());
     sim.submit(MessageSpec::multicast(src, vec![dst, side], len).tag(1))
         .unwrap();
     let before = ALLOCS.load(Ordering::Relaxed);
@@ -97,6 +105,23 @@ fn run_branching(len: u32) -> (SimOutcome, u64) {
     let after = ALLOCS.load(Ordering::Relaxed);
     assert!(out.all_delivered(), "{:?} {:?}", out.error, out.deadlock);
     (out, after - before)
+}
+
+/// Minimum allocation count over several identical runs. The counter is
+/// process-global, and the libtest harness occasionally allocates on its
+/// own thread mid-measurement (timing-dependent — observed as a spurious
+/// ±2 on a loaded single-core box, including on the pre-scenario tree).
+/// The simulation's own allocations are deterministic, so the minimum
+/// over a few tries is exactly the run's true count.
+fn min_allocs(run: impl Fn() -> (SimOutcome, u64)) -> (SimOutcome, u64) {
+    let mut best = run();
+    for _ in 0..5 {
+        let next = run();
+        if next.1 < best.1 {
+            best = next;
+        }
+    }
+    best
 }
 
 #[test]
@@ -107,8 +132,8 @@ fn body_flits_allocate_nothing() {
     // per-slot capacities (a few microseconds of simulated time); past
     // that point the runs differ only in body-flit count, so any nonzero
     // delta is a per-flit allocation.
-    let (short_out, short_allocs) = run_unicast(4096);
-    let (long_out, long_allocs) = run_unicast(12288);
+    let (short_out, short_allocs) = min_allocs(|| run_unicast(4096));
+    let (long_out, long_allocs) = min_allocs(|| run_unicast(12288));
     let extra_flits = long_out.counters.flits_delivered - short_out.counters.flits_delivered;
     assert!(
         extra_flits >= 8000,
@@ -126,8 +151,8 @@ fn body_flits_allocate_nothing() {
 #[test]
 fn branch_replication_allocates_nothing_per_flit() {
     let _ = run_branching(16);
-    let (short_out, short_allocs) = run_branching(4096);
-    let (long_out, long_allocs) = run_branching(12288);
+    let (short_out, short_allocs) = min_allocs(|| run_branching(4096));
+    let (long_out, long_allocs) = min_allocs(|| run_branching(12288));
     let extra_flits = long_out.counters.flits_delivered - short_out.counters.flits_delivered;
     assert!(
         extra_flits >= 16000,

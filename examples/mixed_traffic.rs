@@ -26,7 +26,9 @@ fn main() {
     for rate in [0.005f64, 0.01, 0.02, 0.03, 0.04] {
         let mut row = format!("{rate:>10.3} |");
         for k in [8usize, 16, 32] {
-            let stream = MixedTrafficConfig::figure3(rate, k, messages).generate(&topo, 42);
+            let stream = MixedTrafficConfig::figure3(rate, k, messages)
+                .generate(&topo, 42)
+                .expect("valid mixed-traffic config");
             let mut sim = NetworkSim::new(&topo, spam.clone(), SimConfig::paper());
             for spec in stream {
                 sim.submit(spec).unwrap();

@@ -13,7 +13,12 @@
 //! * [`faults`] — fault injection and reconfiguration on degraded networks,
 //! * [`reconfig`] — *live* reconfiguration: timed fault storms, worm
 //!   teardown, online relabeling, and epoch-based routing swaps,
-//! * [`traffic`] — workload generation,
+//! * [`traffic`] — the workload library: the paper's two models plus
+//!   hotspot, lattice permutations, bursty on/off arrivals, incast,
+//!   broadcast storms, and closed-loop injection,
+//! * [`scenario`] — declarative experiments: every axis above composed
+//!   in one serializable spec, executed straight from
+//!   `*.scenario.json` files,
 //! * [`simstats`] — statistics and CI-driven replication control.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
@@ -25,6 +30,7 @@ pub use simstats;
 pub use spam_core as spam;
 pub use spam_faults as faults;
 pub use spam_reconfig as reconfig;
+pub use spam_scenario as scenario;
 pub use traffic;
 pub use updown;
 pub use wormsim;
@@ -40,7 +46,15 @@ pub mod prelude {
     pub use spam_core::{SelectionPolicy, SpamRouting};
     pub use spam_faults::{DegradedNetwork, FaultModel, FaultPlan};
     pub use spam_reconfig::{EpochRouting, FaultEvent, FaultKind, FaultSchedule, ReconfigScenario};
-    pub use traffic::{DestinationSampler, MixedTrafficConfig};
+    pub use spam_scenario::{
+        run_once as run_scenario_once, run_spec as run_scenario, FaultsSpec, RoutingSpec,
+        ScenarioReport, ScenarioSpec, SpecError as ScenarioError, TrafficSpec,
+    };
+    pub use traffic::{
+        ArrivalKind, BroadcastStormConfig, ClosedLoopConfig, ClosedLoopInjector,
+        DestinationSampler, HotspotConfig, IncastConfig, MixedTrafficConfig, PermutationConfig,
+        PermutationPattern, TrafficError,
+    };
     pub use updown::{RelabelReport, RootSelection, UpDownLabeling};
     pub use wormsim::{
         EpochStats, FailureKind, LatencyParams, MessageFailure, MessageSpec, NetworkSim, QueueKind,

@@ -57,7 +57,9 @@ fn seeded_mixed_traffic_run_is_pinned() {
     let topo = IrregularConfig::with_switches(32).generate(7);
     let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
     let spam = SpamRouting::new(&topo, &ud);
-    let stream = MixedTrafficConfig::figure3(0.02, 8, 250).generate(&topo, 7);
+    let stream = MixedTrafficConfig::figure3(0.02, 8, 250)
+        .generate(&topo, 7)
+        .unwrap();
     let mut sim = NetworkSim::new(&topo, spam, SimConfig::paper());
     for s in stream {
         sim.submit(s).unwrap();
@@ -230,6 +232,208 @@ fn bucket_and_heap_queues_produce_identical_outcomes() {
     assert!(wheel.all_delivered());
     assert_outcomes_identical(&wheel, &heap, "seeded broadcast");
     assert_eq!(wheel.messages[0].latency().unwrap().as_ns(), 12_230);
+}
+
+/// Pinned digest of one corpus scenario's replication 0.
+struct CorpusPin {
+    name: &'static str,
+    /// (submitted, delivered, torn_down, unreachable) — exact.
+    counts: (u64, u64, u64, u64),
+    /// Engine events processed — exact (the strongest cheap pin: any
+    /// event-ordering or routing change moves it).
+    events: u64,
+    /// Latency digest (µs): mean / p50 / p99 over delivered messages,
+    /// `None` when nothing delivered.
+    mean_us: Option<f64>,
+    p50_us: Option<f64>,
+    p99_us: Option<f64>,
+}
+
+/// Golden values for replication 0 of every committed scenario, pinned
+/// against the workspace's deterministic SplitMix64 `rand` shim. Update
+/// only for *intentional* semantic changes, and record why in the
+/// commit. (Cross-check: `fig3_mixed_negbinomial` reproduces the
+/// `seeded_mixed_traffic_run_is_pinned` mean exactly — the declarative
+/// layer and the direct API drive identical simulations.)
+const CORPUS_PINS: &[CorpusPin] = &[
+    CorpusPin {
+        name: "bit_complement_spam",
+        counts: (189, 189, 0, 0),
+        events: 242_775,
+        mean_us: Some(30.7356),
+        p50_us: Some(13.98),
+        p99_us: Some(170.65),
+    },
+    CorpusPin {
+        name: "broadcast_storm_32",
+        counts: (32, 32, 0, 0),
+        events: 162_923,
+        mean_us: Some(25.1509),
+        p50_us: Some(24.64),
+        p99_us: Some(39.79),
+    },
+    CorpusPin {
+        name: "bursty_onoff_mixed",
+        counts: (250, 250, 0, 0),
+        events: 312_553,
+        mean_us: Some(11.7049),
+        p50_us: Some(11.58),
+        p99_us: Some(13.61),
+    },
+    CorpusPin {
+        name: "closed_loop_window4",
+        counts: (144, 144, 0, 0),
+        events: 52_130,
+        mean_us: Some(14.0247),
+        p50_us: Some(13.20),
+        p99_us: Some(23.53),
+    },
+    CorpusPin {
+        name: "fig2_single_multicast",
+        counts: (1, 1, 0, 0),
+        events: 8_505,
+        mean_us: Some(12.18),
+        p50_us: Some(12.18),
+        p99_us: Some(12.18),
+    },
+    CorpusPin {
+        name: "fig3_mixed_negbinomial",
+        counts: (250, 250, 0, 0),
+        events: 269_727,
+        mean_us: Some(11.7098),
+        p50_us: Some(11.58),
+        p99_us: Some(13.27),
+    },
+    CorpusPin {
+        name: "hotspot_link_storm",
+        counts: (300, 28, 5, 267),
+        events: 13_937,
+        mean_us: Some(11.0229),
+        p50_us: Some(10.94),
+        p99_us: Some(11.75),
+    },
+    CorpusPin {
+        name: "incast_degraded_256",
+        counts: (400, 400, 0, 0),
+        events: 431_015,
+        mean_us: Some(31.52),
+        p50_us: Some(13.18),
+        p99_us: Some(189.73),
+    },
+    CorpusPin {
+        name: "region_fault_hotspot",
+        counts: (200, 200, 0, 0),
+        events: 84_150,
+        mean_us: Some(10.9462),
+        p50_us: Some(10.90),
+        p99_us: Some(11.70),
+    },
+    CorpusPin {
+        name: "software_multicast_mixed",
+        counts: (183, 183, 0, 0),
+        events: 63_960,
+        mean_us: Some(10.8732),
+        p50_us: Some(10.84),
+        p99_us: Some(11.45),
+    },
+    CorpusPin {
+        name: "transpose_updown_unicast",
+        counts: (171, 171, 0, 0),
+        events: 92_235,
+        mean_us: Some(11.0653),
+        p50_us: Some(10.99),
+        p99_us: Some(12.20),
+    },
+];
+
+#[test]
+fn scenario_corpus_is_pinned_and_queue_equivalent() {
+    // The corpus runner: every committed `scenarios/*.scenario.json`
+    // executes from JSON alone; replication 0 of each is pinned
+    // (delivered / torn-down / unreachable counts, event count, latency
+    // digest) and must be byte-identical under both event-queue
+    // implementations — the declarative layer adds no nondeterminism on
+    // top of the engine equivalence pinned above.
+    let corpus = spam_net::scenario::load_dir(std::path::Path::new("scenarios"))
+        .expect("committed corpus loads and validates");
+    assert_eq!(
+        corpus.len(),
+        CORPUS_PINS.len(),
+        "corpus size pinned: add a CorpusPin for every new scenario"
+    );
+    let close = |got: Option<f64>, want: Option<f64>, what: &str, name: &str| match (got, want) {
+        (Some(g), Some(w)) => assert!((g - w).abs() < 5e-4, "{name}: {what} drifted: {g} vs {w}"),
+        (g, w) => assert_eq!(g.is_some(), w.is_some(), "{name}: {what} presence"),
+    };
+    for ((path, spec), pin) in corpus.iter().zip(CORPUS_PINS) {
+        assert_eq!(
+            spec.name,
+            pin.name,
+            "corpus order pinned ({})",
+            path.display()
+        );
+        let wheel = spam_net::scenario::run_once(spec, 0, Some(QueueKind::Bucket))
+            .unwrap_or_else(|e| panic!("{}: {e}", pin.name));
+        let heap = spam_net::scenario::run_once(spec, 0, Some(QueueKind::Heap))
+            .unwrap_or_else(|e| panic!("{}: {e}", pin.name));
+        assert_outcomes_identical(&wheel, &heap, pin.name);
+        assert!(wheel.all_accounted(), "{}: not accounted", pin.name);
+        let s = spam_net::scenario::summarize(0, &wheel);
+        assert_eq!(
+            (s.submitted, s.delivered, s.torn_down, s.unreachable),
+            pin.counts,
+            "{}: message accounting drifted",
+            pin.name
+        );
+        assert_eq!(s.events, pin.events, "{}: event count drifted", pin.name);
+        close(s.mean_latency_us, pin.mean_us, "mean latency", pin.name);
+        close(s.p50_us, pin.p50_us, "p50 latency", pin.name);
+        close(s.p99_us, pin.p99_us, "p99 latency", pin.name);
+    }
+}
+
+#[test]
+fn scenario_corpus_covers_every_axis() {
+    // The corpus must keep exercising the full composition surface:
+    // every routing arm, every fault mode, and most of the workload
+    // library. A scenario deletion that narrows coverage trips this.
+    let corpus = spam_net::scenario::load_dir(std::path::Path::new("scenarios")).unwrap();
+    let specs: Vec<_> = corpus.iter().map(|(_, s)| s).collect();
+    use spam_net::scenario::{FaultsSpec, RoutingSpec, TrafficSpec};
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.routing, RoutingSpec::Spam { .. })));
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.routing, RoutingSpec::UpDownUnicast)));
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.routing, RoutingSpec::SoftwareMulticast)));
+    assert!(specs.iter().any(|s| matches!(s.faults, FaultsSpec::None)));
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.faults, FaultsSpec::Static { .. })));
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.faults, FaultsSpec::Storm { .. })));
+    let kinds: Vec<u32> = specs
+        .iter()
+        .map(|s| match s.traffic {
+            TrafficSpec::SingleMulticast { .. } => 0,
+            TrafficSpec::Mixed { .. } => 1,
+            TrafficSpec::Hotspot { .. } => 2,
+            TrafficSpec::Permutation { .. } => 3,
+            TrafficSpec::Incast { .. } => 4,
+            TrafficSpec::BroadcastStorm { .. } => 5,
+            TrafficSpec::ClosedLoop { .. } => 6,
+        })
+        .collect();
+    for kind in 0..7 {
+        assert!(
+            kinds.contains(&kind),
+            "no scenario covers traffic kind {kind}"
+        );
+    }
 }
 
 #[test]

@@ -93,7 +93,9 @@ fn mixed_traffic_pipeline_with_stats_protocol() {
         let topo = IrregularConfig::with_switches(24).generate(rep);
         let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
         let spam = SpamRouting::new(&topo, &ud);
-        let stream = MixedTrafficConfig::figure3(0.01, 4, 200).generate(&topo, rep);
+        let stream = MixedTrafficConfig::figure3(0.01, 4, 200)
+            .generate(&topo, rep)
+            .unwrap();
         let mut sim = NetworkSim::new(&topo, spam, SimConfig::paper());
         for spec in stream {
             sim.submit(spec).unwrap();
@@ -145,7 +147,9 @@ fn deterministic_across_full_pipeline() {
         let topo = IrregularConfig::with_switches(32).generate(77);
         let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
         let spam = SpamRouting::new(&topo, &ud);
-        let stream = MixedTrafficConfig::figure3(0.02, 8, 300).generate(&topo, 77);
+        let stream = MixedTrafficConfig::figure3(0.02, 8, 300)
+            .generate(&topo, 77)
+            .unwrap();
         let mut sim = NetworkSim::new(&topo, spam, SimConfig::paper());
         for spec in stream {
             sim.submit(spec).unwrap();
