@@ -259,6 +259,7 @@ mod tests {
             deadlock: None,
             error: None,
             end_time: Time::ZERO,
+            quiescent: true,
             counters: Default::default(),
             channel_crossings: Vec::new(),
             fault_times: Vec::new(),

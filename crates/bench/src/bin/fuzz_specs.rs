@@ -1,0 +1,241 @@
+//! Coverage-guided scenario fuzzing driver.
+//!
+//! ```text
+//! cargo run -p spam-bench --bin fuzz_specs --release -- --quick
+//! cargo run -p spam-bench --bin fuzz_specs --release -- --mutants 20000
+//! cargo run -p spam-bench --bin fuzz_specs --release -- --seed 7 --promote
+//! ```
+//!
+//! Seeds from the committed corpus (`scenarios/`), mutates, runs every
+//! valid mutant under the four oracles, and tracks engine-coverage
+//! novelty. Outputs:
+//!
+//! * `results/fuzz_coverage.csv` — per-signal table: every coverage bit
+//!   and watermark, corpus baseline vs. post-fuzz value.
+//! * `results/BENCH_fuzz_coverage.json` (+ root-level copy) — the
+//!   machine-readable record. Deliberately contains *no wall-clock
+//!   numbers*: the same seed over the same corpus reproduces the file
+//!   byte for byte (throughput goes to stderr instead).
+//! * `results/fuzz_promoted/*.scenario.json` — novel clean mutants,
+//!   exactly as the oracles ran them. With `--promote` they are also
+//!   copied into `scenarios/` for golden-pinning via `make_corpus`.
+//! * `scenarios/regressions/*.scenario.json` — minimized
+//!   oracle-violating specs, failing oracle named in the description.
+//!   Any regression exits nonzero.
+
+use spam_bench::report::{self, BenchJson};
+use spam_bench::PointSummary;
+use spam_fuzz::{fuzz, FuzzConfig, FuzzReport};
+use std::io::Write as _;
+use std::path::Path;
+use wormsim::COVERAGE_BITS;
+
+fn arg_value(args: &[String], flag: &str) -> Option<u64> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1).and_then(|v| v.parse().ok()) {
+        Some(v) => Some(v),
+        None => {
+            eprintln!("fuzz_specs: {flag} takes an integer");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn point(x: f64, mean: f64) -> PointSummary {
+    PointSummary {
+        x,
+        mean,
+        ci_half_width: 0.0,
+        reps: 1,
+        target_met: true,
+    }
+}
+
+fn write_coverage_csv(path: &Path, report: &FuzzReport) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "kind,signal,baseline,final,novel")?;
+    for bit in COVERAGE_BITS {
+        let before = report.baseline.has(bit.mask) as u8;
+        let after = report.accumulated.has(bit.mask) as u8;
+        writeln!(
+            f,
+            "bit,{},{before},{after},{}",
+            bit.name,
+            (after > before) as u8
+        )?;
+    }
+    let base_marks = report.baseline.watermarks();
+    for (b, a) in base_marks.iter().zip(report.accumulated.watermarks()) {
+        debug_assert_eq!(b.name, a.name);
+        writeln!(
+            f,
+            "watermark,{},{},{},{}",
+            b.name,
+            b.value,
+            a.value,
+            (a.value > b.value) as u8
+        )?;
+    }
+    Ok(())
+}
+
+fn write_specs(
+    dir: &Path,
+    specs: &[(String, &spam_scenario::ScenarioSpec)],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (name, spec) in specs {
+        let path = dir.join(format!("{name}.scenario.json"));
+        std::fs::write(&path, spec.to_json_string())?;
+        eprintln!("fuzz_specs:   wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let promote = args.iter().any(|a| a == "--promote");
+    let cfg = FuzzConfig {
+        seed: arg_value(&args, "--seed").unwrap_or(0x5bad_f00d),
+        mutants: arg_value(&args, "--mutants").unwrap_or(if quick { 1000 } else { 10_000 })
+            as usize,
+        // Quick mode is CI's: time-boxed as a backstop, but sized to
+        // finish far inside the box so the outputs stay deterministic.
+        budget_ms: arg_value(&args, "--budget-ms").or(if quick { Some(240_000) } else { None }),
+        max_promotions: 16,
+    };
+
+    let corpus_dir = Path::new("scenarios");
+    let corpus = match spam_scenario::load_dir(corpus_dir) {
+        Ok(c) => c.into_iter().map(|(_, s)| s).collect::<Vec<_>>(),
+        Err(e) => {
+            eprintln!("fuzz_specs: loading {}: {e}", corpus_dir.display());
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "fuzz_specs: {} corpus seeds, {} mutants, seed 0x{:x} (quick: {quick})",
+        corpus.len(),
+        cfg.mutants,
+        cfg.seed
+    );
+
+    let t0 = std::time::Instant::now();
+    let report = fuzz(&corpus, &cfg);
+    let elapsed = t0.elapsed();
+    let s = &report.stats;
+    // Wall-clock throughput is stderr-only: the JSON record must be
+    // byte-identical across re-runs of the same seed.
+    eprintln!(
+        "fuzz_specs: {} mutants in {elapsed:.1?} ({:.0} mutants/s){}",
+        s.mutants_run,
+        s.mutants_run as f64 / elapsed.as_secs_f64().max(1e-9),
+        if s.budget_exhausted {
+            " — budget exhausted"
+        } else {
+            ""
+        }
+    );
+
+    println!("coverage:");
+    println!(
+        "  bits lit      {:>4} baseline -> {:>4} final",
+        report.baseline.bits_lit(),
+        report.accumulated.bits_lit()
+    );
+    println!("  novel signals {:>4}", report.novel_vs_baseline.len());
+    for sig in &report.novel_vs_baseline {
+        println!("    + {sig}");
+    }
+    println!("mutants:");
+    println!("  run           {:>6}", s.mutants_run);
+    println!("  valid         {:>6}", s.valid);
+    println!(
+        "  rejected      {:>6}  (predictions: {} confirmed, {} cross-axis)",
+        s.rejected, s.expect_confirmed, s.expect_missed
+    );
+    println!("  run-rejected  {:>6}", s.run_rejected);
+    println!("  oracle fails  {:>6}", s.oracle_failures);
+    if !report.spec_errors.is_empty() {
+        println!("rejections by SpecError variant:");
+        for (variant, n) in &report.spec_errors {
+            println!("  {variant:<32} {n:>6}");
+        }
+    }
+
+    let csv_path = Path::new("results/fuzz_coverage.csv");
+    write_coverage_csv(csv_path, &report).expect("write coverage csv");
+
+    let mut params: Vec<(String, String)> = vec![
+        ("seed".into(), format!("0x{:x}", cfg.seed)),
+        ("mutants".into(), s.mutants_run.to_string()),
+        ("corpus_seeds".into(), corpus.len().to_string()),
+        ("quick".into(), quick.to_string()),
+        ("novel_signals".into(), report.novel_vs_baseline.join(" ")),
+    ];
+    for (variant, n) in &report.spec_errors {
+        params.push((format!("rejected.{variant}"), n.to_string()));
+    }
+    let bench = BenchJson {
+        name: "fuzz_coverage".into(),
+        params,
+        series: vec![
+            (
+                "bits_lit".into(),
+                vec![
+                    point(0.0, report.baseline.bits_lit() as f64),
+                    point(1.0, report.accumulated.bits_lit() as f64),
+                ],
+            ),
+            (
+                "mutants".into(),
+                vec![
+                    point(0.0, s.valid as f64),
+                    point(1.0, s.rejected as f64),
+                    point(2.0, s.oracle_failures as f64),
+                    point(3.0, report.promoted.len() as f64),
+                ],
+            ),
+        ],
+    };
+    let json_path =
+        report::write_bench_json(Path::new("results"), &bench).expect("write bench json");
+    std::fs::copy(&json_path, "BENCH_fuzz_coverage.json").expect("copy json to repo root");
+    println!("-> {}", csv_path.display());
+    println!("-> {} (+ ./BENCH_fuzz_coverage.json)", json_path.display());
+
+    let promoted: Vec<(String, &spam_scenario::ScenarioSpec)> = report
+        .promoted
+        .iter()
+        .map(|p| (p.spec.name.clone(), &p.spec))
+        .collect();
+    if !promoted.is_empty() {
+        write_specs(Path::new("results/fuzz_promoted"), &promoted).expect("write promoted specs");
+        if promote {
+            // Opt-in: drop novel specs straight into the corpus. The
+            // golden pins (corpus length, per-spec counters) then need
+            // regenerating via examples/make_corpus.
+            write_specs(corpus_dir, &promoted).expect("promote specs into corpus");
+        }
+    }
+
+    if !report.regressions.is_empty() {
+        let regressions: Vec<(String, &spam_scenario::ScenarioSpec)> = report
+            .regressions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (format!("regress_{i:03}_{}", r.violation), &r.spec))
+            .collect();
+        write_specs(Path::new("scenarios/regressions"), &regressions)
+            .expect("write regression specs");
+        eprintln!(
+            "fuzz_specs: {} oracle violation(s) — minimized specs in scenarios/regressions/",
+            report.regressions.len()
+        );
+        std::process::exit(2);
+    }
+}

@@ -45,6 +45,13 @@ use crate::time::Time;
 const LEVELS: usize = 6;
 /// log2(slots per level).
 const BITS: u32 = 6;
+/// Horizon of the wheel proper: an event scheduled at or beyond
+/// `now + WHEEL_SPAN_NS` (more precisely, whose timestamp differs from the
+/// clock above bit `LEVELS * BITS`) lands on the overflow list instead of
+/// a slot. Exported so clients (the wormhole engine's coverage signals,
+/// overflow-targeting tests) can reason about the boundary without
+/// duplicating the wheel geometry.
+pub const WHEEL_SPAN_NS: u64 = 1 << (LEVELS as u32 * BITS);
 /// Slots per level.
 const SLOTS: usize = 1 << BITS;
 /// Slot-index mask.

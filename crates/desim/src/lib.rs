@@ -31,7 +31,7 @@ pub mod bucket;
 pub mod queue;
 pub mod time;
 
-pub use bucket::BucketQueue;
+pub use bucket::{BucketQueue, WHEEL_SPAN_NS};
 pub use queue::{EventQueue, QueueKind, ScheduledEvent};
 pub use time::{Duration, Time};
 

@@ -4,7 +4,7 @@
 //! timing-wheel implementation is observationally identical to the
 //! reference binary heap on every schedule a `Schedule` can express.
 
-use desim::{Duration, EventQueue, QueueKind, Schedule, Time};
+use desim::{Duration, EventQueue, QueueKind, Schedule, Time, WHEEL_SPAN_NS};
 use proptest::prelude::*;
 
 /// Deltas spanning every wheel level: same-instant bursts, level-0
@@ -133,6 +133,101 @@ proptest! {
             let a = heap.pop();
             let b = wheel.pop();
             prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn wheel_overflow_list_matches_heap(
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u64..4, 0u64..200), 1..300,
+        ),
+    ) {
+        // Events landing past the wheel's span (~68.7 s of simulated
+        // time) park on an overflow list and re-ingest as the wheel
+        // advances. Keep a standing population of far-future events —
+        // 0, 1, 2, or 3 whole spans out, plus near-instant jitter — and
+        // interleave pops, so draining constantly migrates events from
+        // the overflow list back into live slots. The heap has no such
+        // list; any divergence is an overflow-path bug.
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut wheel = EventQueue::with_kind(QueueKind::Bucket);
+        let mut floor = 0u64;
+        for (i, &(is_pop, spans, jitter)) in ops.iter().enumerate() {
+            if is_pop {
+                let a = heap.pop();
+                let b = wheel.pop();
+                prop_assert_eq!(&a, &b, "pop #{} diverged", i);
+                if let Some((t, _)) = a {
+                    floor = t.as_ns();
+                }
+            } else {
+                let t = Time::from_ns(floor + spans * WHEEL_SPAN_NS + jitter);
+                heap.schedule(t, i);
+                wheel.schedule(t, i);
+            }
+            prop_assert_eq!(heap.peek_time(), wheel.peek_time());
+        }
+        loop {
+            let a = heap.pop();
+            let b = wheel.pop();
+            prop_assert_eq!(&a, &b, "overflow drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn storm_burst_boundaries_stay_fifo_across_the_span(
+        windows in prop::collection::vec(
+            (0u64..3, 1usize..12, 1usize..12), 1..30,
+        ),
+    ) {
+        // A fault-storm schedule in miniature: at each window boundary a
+        // burst of same-instant teardown events lands together with a
+        // burst one wheel-span later (the relabel/horizon tail). FIFO
+        // order within each instant and heap/wheel agreement must both
+        // survive the boundary straddling the overflow list — the exact
+        // shape a storm spec with a long horizon produces.
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut wheel = EventQueue::with_kind(QueueKind::Bucket);
+        let mut t = 0u64;
+        let mut payload = 0u64;
+        for &(gap_spans, burst_now, burst_far) in &windows {
+            // Window boundary: just before, at, and just after a span
+            // multiple — the three instants a storm's `window_end` can
+            // land relative to the wheel horizon.
+            t += gap_spans * WHEEL_SPAN_NS + (WHEEL_SPAN_NS / 2);
+            for instant in [t.saturating_sub(1), t, t + 1] {
+                for _ in 0..burst_now {
+                    heap.schedule(Time::from_ns(instant), payload);
+                    wheel.schedule(Time::from_ns(instant), payload);
+                    payload += 1;
+                }
+            }
+            let far = t + WHEEL_SPAN_NS;
+            for _ in 0..burst_far {
+                heap.schedule(Time::from_ns(far), payload);
+                wheel.schedule(Time::from_ns(far), payload);
+                payload += 1;
+            }
+            // Drain the near bursts; the far burst stays parked.
+            for _ in 0..(3 * burst_now) {
+                let a = heap.pop();
+                let b = wheel.pop();
+                prop_assert_eq!(&a, &b, "near-burst pop diverged");
+                if let Some((pt, _)) = a {
+                    t = t.max(pt.as_ns());
+                }
+            }
+        }
+        loop {
+            let a = heap.pop();
+            let b = wheel.pop();
+            prop_assert_eq!(&a, &b, "far-tail drain diverged");
             if a.is_none() {
                 break;
             }

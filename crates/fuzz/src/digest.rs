@@ -1,0 +1,113 @@
+//! A canonical 64-bit digest of a [`SimOutcome`] — the fuzzer's
+//! byte-identity check for the rep-0 determinism and queue-equivalence
+//! oracles.
+//!
+//! Two outcomes digest equal iff every field an experiment could observe
+//! is equal: all counters (including the coverage record), the end time,
+//! per-message completion/failure verdicts and per-destination times,
+//! per-channel crossings, and the fault epoch boundaries. FNV-1a over
+//! the little-endian field stream; no allocation.
+
+use wormsim::{FailureKind, SimOutcome};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a accumulator over `u64` words.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+}
+
+impl Fnv {
+    /// Feeds one word (as eight little-endian bytes).
+    #[inline]
+    pub fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Digests everything observable about a finished run.
+pub fn outcome_digest(out: &SimOutcome) -> u64 {
+    let mut h = Fnv::default();
+    let c = &out.counters;
+    for w in [
+        c.events,
+        c.wire_transfers,
+        c.bubbles_created,
+        c.flits_delivered,
+        c.messages_completed,
+        c.acquisitions,
+        c.seg_lookups,
+        c.messages_torn_down,
+        c.messages_unreachable,
+        c.links_killed,
+        c.coverage.bits,
+        c.coverage.max_branch_fanout as u64,
+        c.coverage.max_ocrq_depth as u64,
+        c.coverage.epochs as u64,
+        c.coverage.wheel_deferrals as u64,
+        c.coverage.max_reattached_nodes as u64,
+        out.end_time.as_ns(),
+        out.quiescent as u64,
+        out.deadlock.is_some() as u64,
+        out.error.is_some() as u64,
+    ] {
+        h.word(w);
+    }
+    h.word(out.messages.len() as u64);
+    for m in &out.messages {
+        h.word(m.completed_at.map_or(u64::MAX, |t| t.as_ns()));
+        for d in &m.dest_done_at {
+            h.word(d.map_or(u64::MAX, |t| t.as_ns()));
+        }
+        match m.failure {
+            None => h.word(0),
+            Some(f) => {
+                h.word(match f.kind {
+                    FailureKind::TornDown => 1,
+                    FailureKind::Unreachable => 2,
+                });
+                h.word(f.at.as_ns());
+            }
+        }
+    }
+    h.word(out.channel_crossings.len() as u64);
+    for &x in &out.channel_crossings {
+        h.word(x);
+    }
+    h.word(out.fault_times.len() as u64);
+    for t in &out.fault_times {
+        h.word(t.as_ns());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_order_sensitive() {
+        let mut a = Fnv::default();
+        a.word(1);
+        a.word(2);
+        let mut b = Fnv::default();
+        b.word(2);
+        b.word(1);
+        assert_ne!(a.finish(), b.finish());
+        assert_ne!(Fnv::default().finish(), a.finish());
+    }
+}

@@ -1,0 +1,52 @@
+//! Greedy minimization of oracle-violating specs.
+//!
+//! Candidates come from [`spam_scenario::simplify_candidates`] — each a
+//! one-axis simplification that still validates. A candidate is adopted
+//! whenever the shrunk spec still trips the *same named oracle*; the
+//! walk restarts from the adopted spec and runs to a fixpoint (no
+//! candidate reproduces the violation) or an iteration bound. The bound
+//! exists only as a backstop: every candidate strictly shrinks a
+//! monotone measure, so the walk terminates on its own.
+
+use crate::oracle::check_spec;
+use spam_scenario::{simplify_candidates, ScenarioSpec};
+
+/// Upper bound on adopted shrink steps (backstop, not a tuning knob).
+const MAX_STEPS: usize = 24;
+
+/// Shrinks `spec` while preserving the named `violation`. Returns the
+/// smallest spec found and the number of candidates adopted. `spec`
+/// itself must already exhibit the violation.
+pub fn minimize_violation(spec: &ScenarioSpec, violation: &'static str) -> (ScenarioSpec, usize) {
+    let mut current = spec.clone();
+    let mut steps = 0;
+    'shrink: while steps < MAX_STEPS {
+        for (_axis, cand) in simplify_candidates(&current) {
+            if let Ok(report) = check_spec(&cand) {
+                if report.violation == Some(violation) {
+                    current = cand;
+                    steps += 1;
+                    continue 'shrink;
+                }
+            }
+        }
+        break;
+    }
+    (current, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_clean_spec_minimizes_to_itself() {
+        // No candidate of a passing spec can exhibit a violation the
+        // spec itself lacks, so the walk adopts nothing.
+        let mut spec = ScenarioSpec::example("already-clean");
+        spec.quicken();
+        let (min, steps) = minimize_violation(&spec, "accounting");
+        assert_eq!(min, spec);
+        assert_eq!(steps, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! The novelty tracker: decides whether a run taught us anything.
+//!
+//! A run is *novel* when its [`CoverageSet`] lights a bit no prior run
+//! lit, or pushes a watermark counter past the best value seen so far.
+//! The tracker accumulates everything it observes, so novelty is always
+//! judged against the union of all prior runs — the hand-authored
+//! corpus seeds the baseline, and each promoted mutant raises the bar
+//! for the next.
+
+use wormsim::CoverageSet;
+
+/// Accumulated coverage across every run observed so far.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoveltyTracker {
+    seen: CoverageSet,
+}
+
+impl NoveltyTracker {
+    /// A tracker pre-seeded with baseline coverage (e.g. the union over
+    /// the hand-authored corpus).
+    pub fn with_baseline(baseline: CoverageSet) -> Self {
+        NoveltyTracker { seen: baseline }
+    }
+
+    /// The union of everything observed so far.
+    pub fn seen(&self) -> &CoverageSet {
+        &self.seen
+    }
+
+    /// Records `cov` and returns the signals it newly contributed:
+    /// freshly-lit bit names, plus `"counter>value"` entries for
+    /// watermarks it pushed past the previous best. Empty means the run
+    /// showed the engine nothing new.
+    pub fn observe(&mut self, cov: &CoverageSet) -> Vec<String> {
+        let fresh = cov.novel_signals(&self.seen);
+        self.seen.absorb(cov);
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_observation_of_the_same_coverage_is_stale() {
+        let mut cov = CoverageSet::default();
+        cov.set(CoverageSet::BUBBLES);
+        cov.max_branch_fanout = 3;
+
+        let mut tracker = NoveltyTracker::default();
+        let first = tracker.observe(&cov);
+        assert!(first.iter().any(|s| s == "bubbles"));
+        assert!(first.iter().any(|s| s.starts_with("max_branch_fanout>")));
+        assert!(tracker.observe(&cov).is_empty());
+
+        // A strictly higher watermark is novel again.
+        cov.max_branch_fanout = 4;
+        let again = tracker.observe(&cov);
+        assert_eq!(again, vec!["max_branch_fanout>4".to_string()]);
+    }
+
+    #[test]
+    fn baseline_masks_corpus_coverage() {
+        let mut baseline = CoverageSet::default();
+        baseline.set(CoverageSet::BUBBLES);
+        let mut tracker = NoveltyTracker::with_baseline(baseline);
+
+        let mut cov = CoverageSet::default();
+        cov.set(CoverageSet::BUBBLES);
+        assert!(tracker.observe(&cov).is_empty());
+        cov.set(CoverageSet::MULTI_EPOCH);
+        assert_eq!(tracker.observe(&cov), vec!["multi_epoch".to_string()]);
+    }
+}

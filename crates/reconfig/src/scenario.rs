@@ -33,8 +33,21 @@ impl ReconfigScenario {
     /// # Panics
     ///
     /// Panics if a boundary leaves no switch alive (the storm destroyed
-    /// the whole fabric — no labeling can exist).
+    /// the whole fabric — no labeling can exist). Use [`Self::try_build`]
+    /// when the storm is untrusted.
     pub fn build(base: &Topology, initial: &UpDownLabeling, schedule: &FaultSchedule) -> Self {
+        Self::try_build(base, initial, schedule).expect("a switch survives the storm")
+    }
+
+    /// Like [`Self::build`], but returns `None` when a fault boundary
+    /// destroys the whole fabric (no switch alive, so no labeling
+    /// exists). Found by fuzzing: an `IidSwitches` storm at rate 1.0
+    /// validates but kills every switch at its first burst.
+    pub fn try_build(
+        base: &Topology,
+        initial: &UpDownLabeling,
+        schedule: &FaultSchedule,
+    ) -> Option<Self> {
         assert_eq!(
             initial.num_nodes(),
             base.num_nodes(),
@@ -47,19 +60,17 @@ impl ReconfigScenario {
         for &t in &boundaries {
             let view = schedule.view_at(base, t);
             let prev = labelings.last().expect("epoch 0 exists");
-            let (next, report) = prev
-                .relabel_after(&view)
-                .expect("a switch survives the storm");
+            let (next, report) = prev.relabel_after(&view)?;
             masks.push(view.alive_channel_mask());
             labelings.push(next);
             reports.push(report);
         }
-        ReconfigScenario {
+        Some(ReconfigScenario {
             boundaries,
             labelings,
             masks,
             reports,
-        }
+        })
     }
 
     /// Number of routing epochs (fault boundaries plus one).

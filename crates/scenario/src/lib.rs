@@ -43,10 +43,14 @@
 pub mod codec;
 pub mod corpus;
 pub mod json;
+pub mod minimize;
+pub mod mutate;
 pub mod run;
 pub mod spec;
 
 pub use corpus::{load_dir, CorpusError, SCENARIO_SUFFIX};
+pub use minimize::simplify_candidates;
+pub use mutate::{mutate_spec, Mutation, STAGGER_PALETTE, SWITCH_PALETTE};
 pub use run::{run_once, run_spec, split_seed, summarize, RepSummary, ScenarioReport};
 pub use spec::{
     ArrivalSpec, EngineSpec, FaultModelSpec, FaultsSpec, PatternSpec, PolicySpec, QueueSpec,

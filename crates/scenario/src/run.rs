@@ -210,14 +210,33 @@ pub fn run_once(
                 *bursts,
                 rep_seed(*seed, rep),
             );
-            let scenario = ReconfigScenario::build(&topo, &ud, &schedule);
+            // A storm can destroy the whole fabric (e.g. switch faults
+            // at rate 1.0); that is a typed rejection, not a panic.
+            let scenario = ReconfigScenario::try_build(&topo, &ud, &schedule)
+                .ok_or(SpecError::NoSurvivingComponent)?;
             let routing = scenario.routing(&topo);
             let procs: Vec<NodeId> = topo.processors().collect();
             let stream = open_stream(spec, &topo, &layout, &procs, traffic_seed)?;
             let mut sim = NetworkSim::new(&topo, routing, cfg);
             schedule.install(&mut sim);
             submit_all(&mut sim, stream)?;
-            Ok(sim.run())
+            let mut out = sim.run();
+            // Scenario-level coverage: the shape of each post-fault
+            // relabel (incremental reattach vs full rebuild) is decided
+            // here, not in the engine, so merge it into the run's
+            // coverage record. Reports depend only on the topology and
+            // the fault schedule, never on the event queue, so the
+            // merged record stays queue-independent.
+            for r in scenario.reports() {
+                let cov = &mut out.counters.coverage;
+                if r.full_rebuild {
+                    cov.set(wormsim::CoverageSet::RELABEL_FULL_REBUILD);
+                } else if r.reattached_nodes > 0 {
+                    cov.set(wormsim::CoverageSet::RELABEL_REATTACH);
+                }
+                cov.max_reattached_nodes = cov.max_reattached_nodes.max(r.reattached_nodes as u32);
+            }
+            Ok(out)
         }
         FaultsSpec::None => {
             let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);

@@ -484,6 +484,46 @@ impl fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+impl SpecError {
+    /// Stable variant name, used as a coverage key by the fuzzer and
+    /// asserted by the exhaustive negative-case table test. Nested
+    /// traffic errors read `Traffic.<variant>`.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            SpecError::Json(_) => "Json",
+            SpecError::MissingField { .. } => "MissingField",
+            SpecError::WrongType { .. } => "WrongType",
+            SpecError::UnknownKind { .. } => "UnknownKind",
+            SpecError::UnknownField { .. } => "UnknownField",
+            SpecError::EmptyName => "EmptyName",
+            SpecError::TooFewSwitches { .. } => "TooFewSwitches",
+            SpecError::LatticeTooSmall { .. } => "LatticeTooSmall",
+            SpecError::BadPorts { .. } => "BadPorts",
+            SpecError::ZeroReplications => "ZeroReplications",
+            SpecError::BadBuffers { .. } => "BadBuffers",
+            SpecError::Traffic(t) => match t {
+                TrafficError::NotEnoughProcessors { .. } => "Traffic.NotEnoughProcessors",
+                TrafficError::NoDestinations => "Traffic.NoDestinations",
+                TrafficError::TooFewSources { .. } => "Traffic.TooFewSources",
+                TrafficError::BadFraction { .. } => "Traffic.BadFraction",
+                TrafficError::NonPositiveRate { .. } => "Traffic.NonPositiveRate",
+                TrafficError::RateTooHigh { .. } => "Traffic.RateTooHigh",
+                TrafficError::ZeroDuration { .. } => "Traffic.ZeroDuration",
+                TrafficError::DurationTooLarge { .. } => "Traffic.DurationTooLarge",
+            },
+            SpecError::BadFaultRate { .. } => "BadFaultRate",
+            SpecError::EmptyStormWindow { .. } => "EmptyStormWindow",
+            SpecError::ZeroBursts => "ZeroBursts",
+            SpecError::FaultsPastHorizon { .. } => "FaultsPastHorizon",
+            SpecError::StormNeedsSpam => "StormNeedsSpam",
+            SpecError::UnicastRoutingNeedsUnicastTraffic => "UnicastRoutingNeedsUnicastTraffic",
+            SpecError::UnsupportedCombination { .. } => "UnsupportedCombination",
+            SpecError::NoSurvivingComponent => "NoSurvivingComponent",
+            SpecError::Message { .. } => "Message",
+        }
+    }
+}
+
 impl From<TrafficError> for SpecError {
     fn from(e: TrafficError) -> Self {
         SpecError::Traffic(e)

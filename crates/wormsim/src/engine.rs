@@ -35,6 +35,7 @@
 
 use crate::channel::Chan;
 use crate::config::SimConfig;
+use crate::coverage::CoverageSet;
 use crate::flit::{Flit, FlitKind, MsgId};
 use crate::message::{MessageSpec, SpecError};
 use crate::outcome::{
@@ -198,6 +199,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             "{link} is not a channel of this topology"
         );
         let at = at.max(self.sched.now());
+        self.note_wheel_horizon(at);
         self.sched.at_or_now(at, Event::LinkDown(link));
         if let Err(pos) = self.fault_times.binary_search(&at) {
             self.fault_times.insert(pos, at);
@@ -276,10 +278,9 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         ];
         let remaining = spec.dests.len();
         let worm_len = spec.len + self.cfg.extra_header_flits;
-        self.sched.at(
-            spec.gen_time + self.cfg.latency.startup,
-            Event::SourceReady(id),
-        );
+        let ready_at = spec.gen_time + self.cfg.latency.startup;
+        self.note_wheel_horizon(ready_at);
+        self.sched.at(ready_at, Event::SourceReady(id));
         self.msgs.push(MsgState {
             spec,
             worm_len,
@@ -351,6 +352,29 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             debug_assert!(self.headers.is_empty());
             debug_assert!(self.msgs.iter().all(|m| m.live_segs.is_empty()));
         }
+        // Run-level coverage: how the run ended and how many routing
+        // epochs it crossed. Computed from engine state only, so the
+        // record is identical under both event-queue implementations.
+        if let Some(d) = &deadlock {
+            self.counters.coverage.set(if d.queue_exhausted {
+                CoverageSet::DEADLOCK_QUEUE_EXHAUSTED
+            } else {
+                CoverageSet::DEADLOCK_WATCHDOG
+            });
+        }
+        if self.counters.bubbles_created > 0 {
+            self.counters.coverage.set(CoverageSet::BUBBLES);
+        }
+        if self.fault_times.len() >= 2 {
+            self.counters.coverage.set(CoverageSet::MULTI_EPOCH);
+        }
+        let epochs = (self.fault_times.len() + 1) as u32;
+        self.counters.coverage.epochs = self.counters.coverage.epochs.max(epochs);
+        let quiescent = deadlock.is_none()
+            && self.error.is_none()
+            && self.chans.iter().all(|c| c.is_quiescent())
+            && self.segs.is_empty()
+            && self.headers.is_empty();
         let messages = self
             .msgs
             .into_iter()
@@ -366,6 +390,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             deadlock,
             error: self.error.take(),
             end_time: self.sched.now(),
+            quiescent,
             counters: self.counters,
             channel_crossings: self.chans.iter().map(|c| c.crossings).collect(),
             fault_times: std::mem::take(&mut self.fault_times),
@@ -376,8 +401,21 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
     /// Records the first simulation error; the run loop aborts at the next
     /// event boundary.
     fn fail(&mut self, e: SimError) {
+        self.counters.coverage.note_sim_error(&e);
         if self.error.is_none() {
             self.error = Some(e);
+        }
+    }
+
+    /// Coverage: an event scheduled at `when` whose timestamp differs
+    /// from the current clock above the bucket wheel's span would land on
+    /// the wheel's overflow list. Detected here from engine state (not
+    /// queue internals), so the signal is identical under both event
+    /// queues — the equivalence suite pins `Counters` equality.
+    fn note_wheel_horizon(&mut self, when: Time) {
+        if (when.as_ns() ^ self.sched.now().as_ns()) >= desim::WHEEL_SPAN_NS {
+            self.counters.coverage.set(CoverageSet::WHEEL_OVERFLOW);
+            self.counters.coverage.wheel_deferrals += 1;
         }
     }
 
@@ -425,6 +463,10 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 if self.live_mode() {
                     // A destination lost to the dead zone: this message is
                     // unreachable; the rest of the traffic keeps flowing.
+                    self.counters
+                        .coverage
+                        .set(CoverageSet::UNREACHABLE_AT_SOURCE);
+                    self.counters.coverage.note_sim_error(&error);
                     self.msgs[msg.index()].failure = Some(MessageFailure {
                         at: now,
                         kind: FailureKind::Unreachable,
@@ -442,6 +484,9 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         if self.dead[inj.index()] {
             // The source's own injection link died: the worm cannot even
             // enter the network. Nothing was reserved yet.
+            self.counters
+                .coverage
+                .set(CoverageSet::SOURCE_INJECTION_DEAD);
             self.teardown(
                 now,
                 msg,
@@ -462,6 +507,8 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         });
         self.msgs[msg.index()].live_segs.push(sid);
         self.chans[inj.index()].ocrq.push_back((msg, sid));
+        let depth = self.chans[inj.index()].ocrq.len() as u32;
+        self.counters.coverage.note_ocrq_depth(depth);
         self.try_acquire(now, sid);
     }
 
@@ -527,6 +574,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 // A worm routed into a dead end (e.g. its pre-fault
                 // labeling no longer matches the surviving channels):
                 // a reconfiguration casualty, not a run abort.
+                self.counters.coverage.set(CoverageSet::ROUTE_DEADEND_LIVE);
                 self.teardown(now, msg, error, FailureKind::TornDown);
                 self.wake_channels(now);
                 return;
@@ -540,6 +588,9 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             // The decision asks for a channel that died since the worm's
             // labeling was built: the worm ran into the fault. Tear it
             // down before any of the request set is enqueued.
+            self.counters
+                .coverage
+                .set(CoverageSet::DECISION_HIT_DEAD_CHANNEL);
             self.teardown(
                 now,
                 msg,
@@ -614,6 +665,8 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             // Atomic enqueue: the whole request set lands in this one event
             // before any other message can enqueue at this router (§3.2).
             self.chans[ch.index()].ocrq.push_back((msg, sid));
+            let depth = self.chans[ch.index()].ocrq.len() as u32;
+            self.counters.coverage.note_ocrq_depth(depth);
         }
         if self.trace.is_some() {
             let channels = self.segs.get(sid).expect("just inserted").outputs.to_vec();
@@ -744,6 +797,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             kind,
             error: cause,
         });
+        self.counters.coverage.note_sim_error(&cause);
         match kind {
             FailureKind::TornDown => self.counters.messages_torn_down += 1,
             FailureKind::Unreachable => self.counters.messages_unreachable += 1,
@@ -760,6 +814,14 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 .remove(sid)
                 .expect("live list tracks live segments");
             debug_assert_eq!(seg.msg, m);
+            if seg.outputs.len() >= 2 {
+                // A fault caught a branch-replication unit mid-flight —
+                // the rarest teardown shape (multi-head worm partially
+                // delivered).
+                self.counters
+                    .coverage
+                    .set(CoverageSet::TEARDOWN_DURING_BRANCH);
+            }
             if let SegInput::Channel(ic) = seg.input {
                 debug_assert_eq!(self.chans[ic.index()].seg, Some(sid));
                 self.chans[ic.index()].seg = None;
@@ -874,6 +936,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         let input = seg.input;
         let nout = seg.outputs.len();
         self.counters.acquisitions += 1;
+        self.counters.coverage.note_fanout(nout as u32);
         self.last_progress = now;
         let node = match input {
             SegInput::Source { .. } => self.msgs[msg.index()].spec.src,

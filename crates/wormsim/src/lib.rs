@@ -68,6 +68,7 @@
 
 pub mod channel;
 pub mod config;
+pub mod coverage;
 pub mod engine;
 pub mod flit;
 pub mod message;
@@ -76,6 +77,7 @@ pub mod routing;
 pub mod trace;
 
 pub use config::{LatencyParams, SimConfig};
+pub use coverage::{CoverageBit, CoverageSet, Watermark, COVERAGE_BITS};
 pub use desim::QueueKind;
 pub use engine::NetworkSim;
 pub use flit::{Flit, FlitKind, MsgId};

@@ -212,6 +212,10 @@ pub struct Counters {
     pub messages_unreachable: u64,
     /// Bidirectional links killed by fault events during the run.
     pub links_killed: u64,
+    /// Which rare engine mechanisms the run exercised (novelty bitset +
+    /// watermarks). Lives inside `Counters` so the queue-equivalence
+    /// suite pins it identical across event-queue implementations.
+    pub coverage: crate::coverage::CoverageSet,
 }
 
 /// Everything a finished (or aborted) run reports.
@@ -226,6 +230,12 @@ pub struct SimOutcome {
     pub error: Option<SimError>,
     /// Simulation clock at the end of the run.
     pub end_time: Time,
+    /// True when the network drained completely: no deadlock, no
+    /// run-aborting error, every channel idle and every segment and
+    /// header retired when the event queue emptied. This is the fuzzer's
+    /// quiescence oracle — stronger than `all_accounted`, which only
+    /// checks per-message verdicts.
+    pub quiescent: bool,
     /// Aggregate counters.
     pub counters: Counters,
     /// Flits (real + bubble) that crossed each channel, indexed by
@@ -402,6 +412,7 @@ mod tests {
             deadlock: None,
             error: None,
             end_time: Time::from_us(20),
+            quiescent: true,
             counters: Counters::default(),
             channel_crossings: vec![5, 9, 1],
             fault_times: Vec::new(),
@@ -444,6 +455,7 @@ mod tests {
             deadlock: None,
             error: None,
             end_time: Time::from_us(33),
+            quiescent: true,
             counters: Counters::default(),
             channel_crossings: vec![],
             fault_times: vec![Time::from_us(13)],

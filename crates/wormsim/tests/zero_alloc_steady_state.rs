@@ -9,6 +9,12 @@
 //! body flits differs. If the per-flit path allocated anything, the longer
 //! run would count more allocations — so the difference must be exactly
 //! zero.
+//!
+//! This is a `harness = false` target: the libtest harness runs tests on
+//! spawned threads and allocates on its own schedule, which used to force
+//! a min-over-retries workaround. With the harness gone the process is
+//! single-threaded and the allocator counter observes *only* the
+//! simulation, so every pin below is an exact equality.
 
 use netgraph::{NodeId, Topology};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -107,33 +113,15 @@ fn run_branching(len: u32) -> (SimOutcome, u64) {
     (out, after - before)
 }
 
-/// Minimum allocation count over several identical runs. The counter is
-/// process-global, and the libtest harness occasionally allocates on its
-/// own thread mid-measurement (timing-dependent — observed as a spurious
-/// ±2 on a loaded single-core box, including on the pre-scenario tree).
-/// The simulation's own allocations are deterministic, so the minimum
-/// over a few tries is exactly the run's true count.
-fn min_allocs(run: impl Fn() -> (SimOutcome, u64)) -> (SimOutcome, u64) {
-    let mut best = run();
-    for _ in 0..5 {
-        let next = run();
-        if next.1 < best.1 {
-            best = next;
-        }
-    }
-    best
-}
-
-#[test]
 fn body_flits_allocate_nothing() {
-    // Warm up (first run pays one-time lazy init in the harness/runtime).
+    // Warm up (first run pays one-time lazy init in the runtime).
     let _ = run_unicast(16);
     // Both measured runs are long enough to fully warm the event wheel's
     // per-slot capacities (a few microseconds of simulated time); past
     // that point the runs differ only in body-flit count, so any nonzero
     // delta is a per-flit allocation.
-    let (short_out, short_allocs) = min_allocs(|| run_unicast(4096));
-    let (long_out, long_allocs) = min_allocs(|| run_unicast(12288));
+    let (short_out, short_allocs) = run_unicast(4096);
+    let (long_out, long_allocs) = run_unicast(12288);
     let extra_flits = long_out.counters.flits_delivered - short_out.counters.flits_delivered;
     assert!(
         extra_flits >= 8000,
@@ -148,11 +136,21 @@ fn body_flits_allocate_nothing() {
     );
 }
 
-#[test]
+fn repeated_runs_have_identical_alloc_counts() {
+    // The exactness the harness-free process buys: the same simulation
+    // allocates the same number of times, every time — no tolerance.
+    let _ = run_unicast(512);
+    let (_, a) = run_unicast(512);
+    let (_, b) = run_unicast(512);
+    let (_, c) = run_unicast(512);
+    assert_eq!(a, b, "alloc count drifted across identical runs");
+    assert_eq!(b, c, "alloc count drifted across identical runs");
+}
+
 fn branch_replication_allocates_nothing_per_flit() {
     let _ = run_branching(16);
-    let (short_out, short_allocs) = min_allocs(|| run_branching(4096));
-    let (long_out, long_allocs) = min_allocs(|| run_branching(12288));
+    let (short_out, short_allocs) = run_branching(4096);
+    let (long_out, long_allocs) = run_branching(12288);
     let extra_flits = long_out.counters.flits_delivered - short_out.counters.flits_delivered;
     assert!(
         extra_flits >= 16000,
@@ -167,7 +165,6 @@ fn branch_replication_allocates_nothing_per_flit() {
     );
 }
 
-#[test]
 fn seg_lookups_are_counted() {
     // The arena refactor's accounting hook: every event-path state lookup
     // (a hash probe before, an array index now) is counted.
@@ -181,4 +178,23 @@ fn seg_lookups_are_counted() {
     // Startup aside, sim time should be deterministic across runs.
     let (again, _) = run_unicast(128);
     assert_eq!(out.counters, again.counters);
+}
+
+fn main() {
+    let checks: [(&str, fn()); 4] = [
+        ("body_flits_allocate_nothing", body_flits_allocate_nothing),
+        (
+            "repeated_runs_have_identical_alloc_counts",
+            repeated_runs_have_identical_alloc_counts,
+        ),
+        (
+            "branch_replication_allocates_nothing_per_flit",
+            branch_replication_allocates_nothing_per_flit,
+        ),
+        ("seg_lookups_are_counted", seg_lookups_are_counted),
+    ];
+    for (name, check) in checks {
+        check();
+        println!("zero_alloc_steady_state::{name} ... ok");
+    }
 }

@@ -19,6 +19,8 @@
 //! * [`scenario`] — declarative experiments: every axis above composed
 //!   in one serializable spec, executed straight from
 //!   `*.scenario.json` files,
+//! * [`fuzz`] — coverage-guided scenario fuzzing: typed spec mutation,
+//!   engine-novelty signals, correctness oracles, greedy minimization,
 //! * [`simstats`] — statistics and CI-driven replication control.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
@@ -29,6 +31,7 @@ pub use netgraph;
 pub use simstats;
 pub use spam_core as spam;
 pub use spam_faults as faults;
+pub use spam_fuzz as fuzz;
 pub use spam_reconfig as reconfig;
 pub use spam_scenario as scenario;
 pub use traffic;

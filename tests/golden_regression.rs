@@ -305,6 +305,30 @@ const CORPUS_PINS: &[CorpusPin] = &[
         p99_us: Some(13.27),
     },
     CorpusPin {
+        name: "fuzzed_relabel_reattach",
+        counts: (189, 169, 7, 13),
+        events: 125_699,
+        mean_us: Some(11.2388),
+        p50_us: Some(11.19),
+        p99_us: Some(12.75),
+    },
+    CorpusPin {
+        name: "fuzzed_teardown_branch",
+        counts: (150, 51, 5, 94),
+        events: 38_706,
+        mean_us: Some(11.5335),
+        p50_us: Some(11.48),
+        p99_us: Some(12.81),
+    },
+    CorpusPin {
+        name: "fuzzed_wheel_overflow",
+        counts: (64, 64, 0, 0),
+        events: 104_813,
+        mean_us: Some(11.1323),
+        p50_us: Some(11.13),
+        p99_us: Some(11.38),
+    },
+    CorpusPin {
         name: "hotspot_link_storm",
         counts: (300, 28, 5, 267),
         events: 13_937,
@@ -390,6 +414,35 @@ fn scenario_corpus_is_pinned_and_queue_equivalent() {
         close(s.p50_us, pin.p50_us, "p50 latency", pin.name);
         close(s.p99_us, pin.p99_us, "p99 latency", pin.name);
     }
+}
+
+#[test]
+fn fuzzed_corpus_specs_light_their_namesake_coverage() {
+    // The three fuzzer-promoted scenarios were committed *because* they
+    // light engine-coverage signals the hand-authored corpus never set.
+    // Pin that property: if a refactor stops a spec from reaching its
+    // namesake state, the spec has lost its reason to exist.
+    use spam_net::wormsim::CoverageSet;
+    let check = |name: &str, mask: u64| {
+        let body = std::fs::read_to_string(format!("scenarios/{name}.scenario.json")).unwrap();
+        let spec = spam_net::scenario::ScenarioSpec::from_json(&body).unwrap();
+        let out = spam_net::scenario::run_once(&spec, 0, None).unwrap();
+        assert!(
+            out.counters.coverage.has(mask),
+            "{name}: coverage signal {mask:#x} lost (got {:#x})",
+            out.counters.coverage.bits
+        );
+        assert!(out.quiescent, "{name}: network failed to drain");
+    };
+    check(
+        "fuzzed_teardown_branch",
+        CoverageSet::TEARDOWN_DURING_BRANCH,
+    );
+    check("fuzzed_wheel_overflow", CoverageSet::WHEEL_OVERFLOW);
+    check(
+        "fuzzed_relabel_reattach",
+        CoverageSet::RELABEL_REATTACH | CoverageSet::SOURCE_INJECTION_DEAD,
+    );
 }
 
 #[test]
