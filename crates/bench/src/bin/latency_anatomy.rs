@@ -1,0 +1,76 @@
+//! Latency-anatomy report: runs the `(arm, regime)` grid with tracing
+//! enabled, decomposes every delivered message's latency into exact
+//! phases, and writes the table + a Perfetto example trace.
+//!
+//! Outputs:
+//! * `results/latency_anatomy.csv` — per-phase mean/p50/p99/share rows;
+//! * `results/BENCH_latency_anatomy.json` (+ root copy) — machine record;
+//! * `results/fig2_single_multicast.perfetto-trace` — the golden fig2
+//!   scenario re-run with tracing on, exported for `ui.perfetto.dev`.
+//!
+//! Usage: `latency_anatomy [--quick]`
+
+use spam_bench::latency_anatomy::{
+    anatomy_bench_json, anatomy_table, run_latency_anatomy, write_anatomy_csv,
+};
+use spam_scenario::ScenarioSpec;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn export_golden_trace(results: &Path) -> std::io::Result<std::path::PathBuf> {
+    let spec_path = Path::new("scenarios/fig2_single_multicast.scenario.json");
+    let text = std::fs::read_to_string(spec_path)?;
+    let mut spec = ScenarioSpec::from_json(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    spec.engine.trace = true;
+    let (out, topo) = spam_scenario::run_once_with_topology(&spec, 0, None)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    let bytes = spam_trace::export(&topo, &out);
+    let path = results.join("fig2_single_multicast.perfetto-trace");
+    std::fs::write(&path, &bytes)?;
+    Ok(path)
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    eprintln!(
+        "latency anatomy: tracing the (arm, regime) grid ({})...",
+        if quick { "quick" } else { "full" }
+    );
+    let cells = run_latency_anatomy(quick);
+
+    println!("Latency anatomy (share of end-to-end, per arm and fault regime):");
+    println!("{}", anatomy_table(&cells));
+
+    let results = Path::new("results");
+    let csv = results.join("latency_anatomy.csv");
+    if let Err(e) = write_anatomy_csv(&csv, &cells) {
+        eprintln!("error: writing {}: {e}", csv.display());
+        return ExitCode::from(1);
+    }
+    eprintln!("wrote {}", csv.display());
+
+    let bench = anatomy_bench_json(&cells, quick);
+    let json_path = match spam_bench::report::write_bench_json(results, &bench) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: writing bench json: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    eprintln!("wrote {}", json_path.display());
+    if let Err(e) = std::fs::copy(&json_path, "BENCH_latency_anatomy.json") {
+        eprintln!("error: copying bench json to repo root: {e}");
+        return ExitCode::from(1);
+    }
+
+    match export_golden_trace(results) {
+        Ok(p) => eprintln!("wrote {} (open in ui.perfetto.dev)", p.display()),
+        Err(e) => {
+            eprintln!("error: exporting golden Perfetto trace: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -14,6 +14,7 @@ pub mod broadcast;
 pub mod fault_sweep;
 pub mod fig2;
 pub mod fig3;
+pub mod latency_anatomy;
 pub mod reconfig_sweep;
 pub mod report;
 pub mod scenario_corpus;

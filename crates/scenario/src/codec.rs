@@ -83,6 +83,13 @@ fn u32_of(v: &Json, path: &str) -> Result<u32, SpecError> {
     })
 }
 
+fn bool_of(v: &Json, path: &str) -> Result<bool, SpecError> {
+    v.as_bool().ok_or_else(|| SpecError::WrongType {
+        field: path.to_string(),
+        expected: "a boolean",
+    })
+}
+
 fn f64_of(v: &Json, path: &str) -> Result<f64, SpecError> {
     v.as_num()
         .map(|n| n.as_f64())
@@ -814,6 +821,7 @@ fn decode_engine(v: &Json) -> Result<EngineSpec, SpecError> {
             "input_buffer_flits",
             "output_buffer_flits",
             "extra_header_flits",
+            "trace",
         ],
     )?;
     let d = EngineSpec::default();
@@ -843,6 +851,10 @@ fn decode_engine(v: &Json) -> Result<EngineSpec, SpecError> {
             Some(v) => u32_of(v, "scenario.engine.extra_header_flits")?,
             None => d.extra_header_flits,
         },
+        trace: match get(f, "trace") {
+            Some(v) => bool_of(v, "scenario.engine.trace")?,
+            None => d.trace,
+        },
     })
 }
 
@@ -859,5 +871,6 @@ fn encode_engine(e: &EngineSpec) -> Json {
         ("input_buffer_flits", uz(e.input_buffer_flits)),
         ("output_buffer_flits", uz(e.output_buffer_flits)),
         ("extra_header_flits", u(e.extra_header_flits as u64)),
+        ("trace", Json::Bool(e.trace)),
     ])
 }

@@ -51,7 +51,9 @@ pub mod spec;
 pub use corpus::{load_dir, CorpusError, SCENARIO_SUFFIX};
 pub use minimize::simplify_candidates;
 pub use mutate::{mutate_spec, Mutation, STAGGER_PALETTE, SWITCH_PALETTE};
-pub use run::{run_once, run_spec, split_seed, summarize, RepSummary, ScenarioReport};
+pub use run::{
+    run_once, run_once_with_topology, run_spec, split_seed, summarize, RepSummary, ScenarioReport,
+};
 pub use spec::{
     ArrivalSpec, EngineSpec, FaultModelSpec, FaultsSpec, PatternSpec, PolicySpec, QueueSpec,
     RoutingSpec, ScenarioSpec, SpecError, StrategySpec, TopologySpec, TrafficSpec,

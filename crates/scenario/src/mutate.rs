@@ -420,6 +420,7 @@ fn perturb_engine(
         input_buffer_flits: rng.gen_range(1..5usize),
         output_buffer_flits: rng.gen_range(1..5usize),
         extra_header_flits: rng.gen_range(0..3u32),
+        trace: spec.engine.trace,
     };
     ("engine.buffers", None)
 }

@@ -154,6 +154,18 @@ pub fn run_once(
     rep: u32,
     queue: Option<QueueKind>,
 ) -> Result<SimOutcome, SpecError> {
+    run_once_with_topology(spec, rep, queue).map(|(out, _)| out)
+}
+
+/// Like [`run_once`], but also returns the exact [`Topology`] the run
+/// executed on (post-degradation for static-fault scenarios). Trace
+/// consumers — span derivation, Perfetto export, the latency-anatomy
+/// report — need the topology to reconstruct worm paths from channel ids.
+pub fn run_once_with_topology(
+    spec: &ScenarioSpec,
+    rep: u32,
+    queue: Option<QueueKind>,
+) -> Result<(SimOutcome, Topology), SpecError> {
     spec.validate()?;
     let tspec = &spec.topology;
     let default_side = IrregularConfig::with_switches(tspec.switches).side;
@@ -218,6 +230,9 @@ pub fn run_once(
             let procs: Vec<NodeId> = topo.processors().collect();
             let stream = open_stream(spec, &topo, &layout, &procs, traffic_seed)?;
             let mut sim = NetworkSim::new(&topo, routing, cfg);
+            if spec.engine.trace {
+                sim.enable_trace();
+            }
             schedule.install(&mut sim);
             submit_all(&mut sim, stream)?;
             let mut out = sim.run();
@@ -236,12 +251,13 @@ pub fn run_once(
                 }
                 cov.max_reattached_nodes = cov.max_reattached_nodes.max(r.reattached_nodes as u32);
             }
-            Ok(out)
+            Ok((out, topo))
         }
         FaultsSpec::None => {
             let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
             let procs: Vec<NodeId> = topo.processors().collect();
-            dispatch(spec, &topo, &layout, &ud, &procs, cfg, traffic_seed)
+            let out = dispatch(spec, &topo, &layout, &ud, &procs, cfg, traffic_seed)?;
+            Ok((out, topo))
         }
         FaultsSpec::Static { model, seed } => {
             // Damage strikes before the run: reconfigure and confine the
@@ -255,7 +271,7 @@ pub fn run_once(
             if procs.len() < 2 {
                 return Err(SpecError::NoSurvivingComponent);
             }
-            dispatch(
+            let out = dispatch(
                 spec,
                 &net.topo,
                 &layout,
@@ -263,7 +279,8 @@ pub fn run_once(
                 &procs,
                 cfg,
                 traffic_seed,
-            )
+            )?;
+            Ok((out, net.topo))
         }
     }
 }
@@ -280,31 +297,32 @@ fn dispatch(
     traffic_seed: u64,
 ) -> Result<SimOutcome, SpecError> {
     let closed_loop = spec.closed_loop_config();
+    let trace = spec.engine.trace;
     match spec.routing {
         RoutingSpec::Spam { policy } => {
             let routing = SpamRouting::new(topo, ud).with_policy(to_policy(policy));
             match closed_loop {
-                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed),
+                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed, trace),
                 None => {
                     let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
-                    run_open(topo, routing, cfg, stream)
+                    run_open(topo, routing, cfg, stream, trace)
                 }
             }
         }
         RoutingSpec::UpDownUnicast => {
             let routing = UpDownUnicastRouting::new(topo, ud);
             match closed_loop {
-                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed),
+                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed, trace),
                 None => {
                     let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
-                    run_open(topo, routing, cfg, stream)
+                    run_open(topo, routing, cfg, stream, trace)
                 }
             }
         }
         RoutingSpec::SoftwareMulticast => {
             let routing = UpDownUnicastRouting::new(topo, ud);
             let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
-            run_software(topo, routing, cfg, stream)
+            run_software(topo, routing, cfg, stream, trace)
         }
     }
 }
@@ -381,8 +399,12 @@ fn run_open<R: RoutingAlgorithm>(
     routing: R,
     cfg: SimConfig,
     stream: Vec<MessageSpec>,
+    trace: bool,
 ) -> Result<SimOutcome, SpecError> {
     let mut sim = NetworkSim::new(topo, routing, cfg);
+    if trace {
+        sim.enable_trace();
+    }
     submit_all(&mut sim, stream)?;
     Ok(sim.run())
 }
@@ -394,10 +416,14 @@ fn run_closed_loop<R: RoutingAlgorithm>(
     cl: traffic::ClosedLoopConfig,
     procs: &[NodeId],
     seed: u64,
+    trace: bool,
 ) -> Result<SimOutcome, SpecError> {
     let mut inj = ClosedLoopInjector::new_within(cl, procs, seed)?;
     let initial = inj.initial_sends();
     let mut sim = NetworkSim::new(topo, routing, cfg);
+    if trace {
+        sim.enable_trace();
+    }
     submit_all(&mut sim, initial)?;
     Ok(sim.run_with_hook(&mut inj))
 }
@@ -422,9 +448,13 @@ fn run_software(
     routing: UpDownUnicastRouting<'_>,
     cfg: SimConfig,
     stream: Vec<MessageSpec>,
+    trace: bool,
 ) -> Result<SimOutcome, SpecError> {
     let mut fleet = MulticastFleet::default();
     let mut sim = NetworkSim::new(topo, routing, cfg);
+    if trace {
+        sim.enable_trace();
+    }
     for spec in stream {
         if spec.is_unicast() {
             sim.submit(spec).map_err(to_msg_err)?;

@@ -293,6 +293,11 @@ pub struct EngineSpec {
     pub output_buffer_flits: usize,
     /// Extra header flits per worm (multi-flit address encoding).
     pub extra_header_flits: u32,
+    /// Record the protocol-level event trace during the run (pure
+    /// observer: outcomes are identical with it on or off). Off by
+    /// default; omitted in documents means off, so older corpus files
+    /// keep parsing unchanged.
+    pub trace: bool,
 }
 
 impl Default for EngineSpec {
@@ -302,6 +307,7 @@ impl Default for EngineSpec {
             input_buffer_flits: 1,
             output_buffer_flits: 1,
             extra_header_flits: 0,
+            trace: false,
         }
     }
 }

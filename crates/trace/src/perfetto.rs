@@ -1,0 +1,268 @@
+//! Perfetto track-event export.
+//!
+//! Emits the subset of Perfetto's `Trace` protobuf that `ui.perfetto.dev`
+//! needs to render a run: a `TrackDescriptor` per track, then
+//! `TrackEvent` slices and instants stamped with the simulation's
+//! nanosecond clock. Tracks:
+//!
+//! * one **message track** per worm, carrying the critical-chain slices
+//!   (startup, inject wait, per-hop wire/route/OCRQ segments, drain) plus
+//!   instants for each delivery, bubble insertion, and teardown;
+//! * one **channel track** per touched channel, carrying its occupancy
+//!   slices (acquire → release), named by the owning message;
+//! * one **network track** for link-death and epoch-boundary instants.
+//!
+//! Field numbers follow `perfetto/trace/trace_packet.proto` and
+//! `track_event.proto`; the writer is the hand-rolled subset in
+//! [`crate::proto`].
+
+use crate::spans::{MessageSpans, SpanSet};
+use desim::Time;
+use netgraph::{ChannelId, Topology};
+use wormsim::{MsgId, SimOutcome};
+
+use crate::proto::{put_bytes_field, put_string_field, put_varint_field};
+
+/// `TracePacket.timestamp`.
+const PACKET_TIMESTAMP: u32 = 8;
+/// `TracePacket.trusted_packet_sequence_id`.
+const PACKET_SEQUENCE_ID: u32 = 10;
+/// `TracePacket.track_event`.
+const PACKET_TRACK_EVENT: u32 = 11;
+/// `TracePacket.sequence_flags`.
+const PACKET_SEQUENCE_FLAGS: u32 = 13;
+/// `TracePacket.track_descriptor`.
+const PACKET_TRACK_DESCRIPTOR: u32 = 60;
+
+/// `TrackDescriptor.uuid` / `.name` / `.parent_uuid`.
+const DESC_UUID: u32 = 1;
+const DESC_NAME: u32 = 2;
+const DESC_PARENT_UUID: u32 = 5;
+
+/// `TrackEvent.type` / `.track_uuid` / `.name` (non-interned).
+const EVENT_TYPE: u32 = 9;
+const EVENT_TRACK_UUID: u32 = 11;
+const EVENT_NAME: u32 = 23;
+
+/// `TrackEvent.Type` values.
+const TYPE_SLICE_BEGIN: u64 = 1;
+const TYPE_SLICE_END: u64 = 2;
+const TYPE_INSTANT: u64 = 3;
+
+/// `SEQ_INCREMENTAL_STATE_CLEARED`: first packet of a sequence.
+const SEQ_CLEARED: u64 = 1;
+
+/// The network (global instants) track.
+const NETWORK_TRACK: u64 = 1;
+/// Message track uuids start here (`+ MsgId`).
+const MSG_TRACK_BASE: u64 = 0x0010_0000;
+/// Channel track uuids start here (`+ ChannelId`).
+const CH_TRACK_BASE: u64 = 0x0020_0000;
+
+/// Incremental writer for one Perfetto trace file.
+pub struct PerfettoWriter {
+    buf: Vec<u8>,
+    first: bool,
+}
+
+impl Default for PerfettoWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PerfettoWriter {
+    /// An empty trace.
+    pub fn new() -> Self {
+        PerfettoWriter {
+            buf: Vec::new(),
+            first: true,
+        }
+    }
+
+    fn packet(&mut self, body: &[u8]) {
+        let mut pkt = Vec::with_capacity(body.len() + 8);
+        pkt.extend_from_slice(body);
+        put_varint_field(&mut pkt, PACKET_SEQUENCE_ID, 1);
+        if self.first {
+            put_varint_field(&mut pkt, PACKET_SEQUENCE_FLAGS, SEQ_CLEARED);
+            self.first = false;
+        }
+        put_bytes_field(&mut self.buf, 1, &pkt);
+    }
+
+    /// Declares a track.
+    pub fn track(&mut self, uuid: u64, name: &str, parent: Option<u64>) {
+        let mut desc = Vec::new();
+        put_varint_field(&mut desc, DESC_UUID, uuid);
+        put_string_field(&mut desc, DESC_NAME, name);
+        if let Some(p) = parent {
+            put_varint_field(&mut desc, DESC_PARENT_UUID, p);
+        }
+        let mut body = Vec::new();
+        put_bytes_field(&mut body, PACKET_TRACK_DESCRIPTOR, &desc);
+        self.packet(&body);
+    }
+
+    fn event(&mut self, track: u64, at: Time, ty: u64, name: Option<&str>) {
+        let mut ev = Vec::new();
+        put_varint_field(&mut ev, EVENT_TYPE, ty);
+        put_varint_field(&mut ev, EVENT_TRACK_UUID, track);
+        if let Some(n) = name {
+            put_string_field(&mut ev, EVENT_NAME, n);
+        }
+        let mut body = Vec::new();
+        put_varint_field(&mut body, PACKET_TIMESTAMP, at.as_ns());
+        put_bytes_field(&mut body, PACKET_TRACK_EVENT, &ev);
+        self.packet(&body);
+    }
+
+    /// Opens a named slice on `track`.
+    pub fn slice_begin(&mut self, track: u64, at: Time, name: &str) {
+        self.event(track, at, TYPE_SLICE_BEGIN, Some(name));
+    }
+
+    /// Closes the innermost open slice on `track`.
+    pub fn slice_end(&mut self, track: u64, at: Time) {
+        self.event(track, at, TYPE_SLICE_END, None);
+    }
+
+    /// A zero-duration marker on `track`.
+    pub fn instant(&mut self, track: u64, at: Time, name: &str) {
+        self.event(track, at, TYPE_INSTANT, Some(name));
+    }
+
+    /// A complete `[begin, end]` slice.
+    pub fn slice(&mut self, track: u64, begin: Time, end: Time, name: &str) {
+        self.slice_begin(track, begin, name);
+        self.slice_end(track, end);
+    }
+
+    /// The finished trace file bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// The track uuid of a message.
+pub fn msg_track(m: MsgId) -> u64 {
+    MSG_TRACK_BASE + m.0 as u64
+}
+
+/// The track uuid of a channel.
+pub fn channel_track(c: ChannelId) -> u64 {
+    CH_TRACK_BASE + c.0 as u64
+}
+
+fn emit_message(w: &mut PerfettoWriter, topo: &Topology, spans: &MessageSpans) {
+    let track = msg_track(spans.msg);
+    if let Some(ready) = spans.source_ready {
+        w.slice(track, spans.gen_time, ready, "startup");
+        // The critical chain to the last delivery, when reconstructable,
+        // renders as consecutive slices; otherwise only instants appear.
+        if let Some((dest, _)) = spans.deliveries.iter().max_by_key(|(_, at)| *at) {
+            if let Some(chain) = spans.path_to(topo, *dest) {
+                if let Some(a0) = chain[0].acquired {
+                    w.slice(track, ready, a0, "inject wait");
+                }
+                for pair in chain.windows(2) {
+                    let (cur, next) = (&pair[0], &pair[1]);
+                    let (Some(a), Some(v)) = (cur.acquired, cur.header_arrived) else {
+                        continue;
+                    };
+                    w.slice(track, a, v, &format!("wire ch{}", cur.channel.0));
+                    if let (Some(r), Some(an)) = (next.requested, next.acquired) {
+                        let router = topo.channel(cur.channel).dst;
+                        w.slice(track, v, r, &format!("route @s{}", router.0));
+                        w.slice(track, r, an, &format!("ocrq @s{}", router.0));
+                    }
+                }
+                if let (Some(a_last), Some((_, done))) = (
+                    chain.last().and_then(|h| h.acquired),
+                    spans.deliveries.iter().max_by_key(|(_, at)| *at),
+                ) {
+                    w.slice(track, a_last, *done, "drain");
+                }
+            }
+        }
+    }
+    for &(dest, at) in &spans.deliveries {
+        w.instant(track, at, &format!("tail @p{}", dest.0));
+    }
+    for &(ch, at) in &spans.bubbles {
+        w.instant(track, at, &format!("bubble ch{}", ch.0));
+    }
+    if let Some((ch, at)) = spans.torn_down {
+        w.instant(track, at, &format!("torn down ch{}", ch.0));
+    }
+}
+
+/// Exports a traced run as a Perfetto trace file. Tracks are declared for
+/// the network, every message, and every channel any worm touched; the
+/// result loads directly in `ui.perfetto.dev`.
+pub fn export(topo: &Topology, out: &SimOutcome) -> Vec<u8> {
+    let spans = SpanSet::derive(out);
+    let mut w = PerfettoWriter::new();
+    w.track(NETWORK_TRACK, "network", None);
+
+    for m in &spans.messages {
+        let spec = &out.messages[m.msg.index()].spec;
+        let kind = if spec.dests.len() == 1 {
+            "uni"
+        } else {
+            "multi"
+        };
+        w.track(
+            msg_track(m.msg),
+            &format!(
+                "m{} {} p{}→{}d",
+                m.msg.0,
+                kind,
+                spec.src.0,
+                spec.dests.len()
+            ),
+            None,
+        );
+    }
+
+    // Channel tracks, in channel-id order for determinism.
+    let mut touched: Vec<ChannelId> = spans
+        .messages
+        .iter()
+        .flat_map(|m| m.hops.iter().map(|h| h.channel))
+        .collect();
+    touched.sort_by_key(|c| c.0);
+    touched.dedup();
+    for &c in &touched {
+        let ch = topo.channel(c);
+        w.track(
+            channel_track(c),
+            &format!("ch{} {}→{}", c.0, ch.src.0, ch.dst.0),
+            None,
+        );
+    }
+
+    for m in &spans.messages {
+        emit_message(&mut w, topo, m);
+        // Occupancy slices: a channel has one owner at a time, so these
+        // never overlap on a track. A missing release (teardown or an
+        // unfinished run) closes at the teardown instant or run end.
+        for h in &m.hops {
+            if let Some(acq) = h.acquired {
+                let rel = h
+                    .released
+                    .or(m.torn_down.map(|(_, at)| at))
+                    .unwrap_or(out.end_time);
+                w.slice(channel_track(h.channel), acq, rel, &format!("m{}", m.msg.0));
+            }
+        }
+    }
+
+    for &(c, at) in &spans.link_downs {
+        w.instant(NETWORK_TRACK, at, &format!("link down ch{}", c.0));
+    }
+    for (i, &t) in out.fault_times.iter().enumerate() {
+        w.instant(NETWORK_TRACK, t, &format!("epoch {}", i + 1));
+    }
+    w.into_bytes()
+}

@@ -669,7 +669,9 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             self.counters.coverage.note_ocrq_depth(depth);
         }
         if self.trace.is_some() {
-            let channels = self.segs.get(sid).expect("just inserted").outputs.to_vec();
+            let channels = crate::trace::ChannelList::from_slice(
+                &self.segs.get(sid).expect("just inserted").outputs,
+            );
             self.emit(|| TraceEvent::Requested {
                 msg,
                 node,
@@ -696,6 +698,13 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             let c = &mut self.chans[ch.index()];
             c.in_buf.push_back(flit);
             c.crossings += 1;
+            if flit.kind == FlitKind::Header {
+                self.emit(|| TraceEvent::HeaderArrived {
+                    msg: flit.msg,
+                    channel: ch,
+                    at: now,
+                });
+            }
         }
         self.counters.wire_transfers += 1;
         if self.dead[ch.index()] {
@@ -943,7 +952,9 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             SegInput::Channel(ic) => self.topo.channel(ic).dst,
         };
         if self.trace.is_some() {
-            let channels = self.segs.get(sid).expect("checked live").outputs.to_vec();
+            let channels = crate::trace::ChannelList::from_slice(
+                &self.segs.get(sid).expect("checked live").outputs,
+            );
             self.emit(|| TraceEvent::Acquired {
                 msg,
                 node,
@@ -1174,7 +1185,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             SegInput::Channel(ic) => self.topo.channel(ic).dst,
         };
         if self.trace.is_some() {
-            let channels = seg.outputs.to_vec();
+            let channels = crate::trace::ChannelList::from_slice(&seg.outputs);
             self.emit(|| TraceEvent::Released {
                 msg,
                 node,

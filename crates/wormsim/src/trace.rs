@@ -9,6 +9,12 @@
 use crate::flit::MsgId;
 use desim::Time;
 use netgraph::{ChannelId, NodeId};
+use spam_collections::InlineVec;
+
+/// Channel set carried by a trace event. Requests and acquisitions list
+/// one channel per branch; fanout past the inline capacity spills to the
+/// heap, so enabled tracing stays allocation-free for the common degrees.
+pub type ChannelList = InlineVec<ChannelId, 4>;
 
 /// One protocol-level action.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,7 +35,7 @@ pub enum TraceEvent {
         /// The router.
         node: NodeId,
         /// Channels requested (OCRQ enqueue order).
-        channels: Vec<ChannelId>,
+        channels: ChannelList,
         /// When.
         at: Time,
     },
@@ -40,7 +46,18 @@ pub enum TraceEvent {
         /// The router (or source processor).
         node: NodeId,
         /// Channels now owned.
-        channels: Vec<ChannelId>,
+        channels: ChannelList,
+        /// When.
+        at: Time,
+    },
+    /// A worm's header flit finished crossing a channel's wire and entered
+    /// the input buffer at the downstream node — the span boundary between
+    /// wire transit on one hop and router setup at the next.
+    HeaderArrived {
+        /// Message.
+        msg: MsgId,
+        /// The channel whose wire the header just crossed.
+        channel: ChannelId,
         /// When.
         at: Time,
     },
@@ -63,7 +80,7 @@ pub enum TraceEvent {
         /// The router.
         node: NodeId,
         /// Channels released.
-        channels: Vec<ChannelId>,
+        channels: ChannelList,
         /// When.
         at: Time,
     },
@@ -103,6 +120,7 @@ impl TraceEvent {
             TraceEvent::SourceReady { msg, .. }
             | TraceEvent::Requested { msg, .. }
             | TraceEvent::Acquired { msg, .. }
+            | TraceEvent::HeaderArrived { msg, .. }
             | TraceEvent::Bubble { msg, .. }
             | TraceEvent::Released { msg, .. }
             | TraceEvent::TornDown { msg, .. }
@@ -117,6 +135,7 @@ impl TraceEvent {
             TraceEvent::SourceReady { at, .. }
             | TraceEvent::Requested { at, .. }
             | TraceEvent::Acquired { at, .. }
+            | TraceEvent::HeaderArrived { at, .. }
             | TraceEvent::Bubble { at, .. }
             | TraceEvent::Released { at, .. }
             | TraceEvent::DeliveredTail { at, .. }
@@ -155,7 +174,7 @@ impl Trace {
         self.of_msg(msg).find_map(|e| match e {
             TraceEvent::Requested {
                 node: n, channels, ..
-            } if *n == node => Some(channels.clone()),
+            } if *n == node => Some(channels.to_vec()),
             _ => None,
         })
     }
@@ -194,13 +213,13 @@ mod tests {
                 TraceEvent::Requested {
                     msg: MsgId(0),
                     node: NodeId(1),
-                    channels: vec![ChannelId(4)],
+                    channels: ChannelList::from_slice(&[ChannelId(4)]),
                     at: Time::from_ns(10_050),
                 },
                 TraceEvent::Requested {
                     msg: MsgId(0),
                     node: NodeId(3),
-                    channels: vec![ChannelId(8), ChannelId(10)],
+                    channels: ChannelList::from_slice(&[ChannelId(8), ChannelId(10)]),
                     at: Time::from_ns(10_100),
                 },
                 TraceEvent::Bubble {
@@ -217,7 +236,7 @@ mod tests {
                 TraceEvent::Requested {
                     msg: MsgId(1),
                     node: NodeId(1),
-                    channels: vec![ChannelId(2)],
+                    channels: ChannelList::from_slice(&[ChannelId(2)]),
                     at: Time::from_ns(10_060),
                 },
             ],

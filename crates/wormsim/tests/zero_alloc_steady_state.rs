@@ -70,6 +70,10 @@ fn chain(k: usize) -> (Topology, Vec<NodeId>, NodeId, NodeId, NodeId) {
 }
 
 fn run_unicast(len: u32) -> (SimOutcome, u64) {
+    run_unicast_cfg(len, false)
+}
+
+fn run_unicast_cfg(len: u32, traced: bool) -> (SimOutcome, u64) {
     let (topo, switches, src, dst, _) = chain(6);
     let mut oracle = OracleRouting::new(&topo);
     let mut path = vec![src];
@@ -77,6 +81,9 @@ fn run_unicast(len: u32) -> (SimOutcome, u64) {
     path.push(dst);
     oracle.add_unicast_path(0, &path).unwrap();
     let mut sim = NetworkSim::new(&topo, oracle, cfg());
+    if traced {
+        sim.enable_trace();
+    }
     sim.submit(MessageSpec::unicast(src, dst, len).tag(0))
         .unwrap();
     let before = ALLOCS.load(Ordering::Relaxed);
@@ -87,6 +94,10 @@ fn run_unicast(len: u32) -> (SimOutcome, u64) {
 }
 
 fn run_branching(len: u32) -> (SimOutcome, u64) {
+    run_branching_cfg(len, false)
+}
+
+fn run_branching_cfg(len: u32, traced: bool) -> (SimOutcome, u64) {
     let (topo, switches, src, dst, side) = chain(6);
     let mid = switches[3];
     let mut oracle = OracleRouting::new(&topo);
@@ -104,6 +115,9 @@ fn run_branching(len: u32) -> (SimOutcome, u64) {
     edges.push((switches[5], dst));
     oracle.add_tree_edges(1, edges).unwrap();
     let mut sim = NetworkSim::new(&topo, oracle, cfg());
+    if traced {
+        sim.enable_trace();
+    }
     sim.submit(MessageSpec::multicast(src, vec![dst, side], len).tag(1))
         .unwrap();
     let before = ALLOCS.load(Ordering::Relaxed);
@@ -165,6 +179,48 @@ fn branch_replication_allocates_nothing_per_flit() {
     );
 }
 
+fn disabled_tracing_allocates_nothing_per_flit() {
+    // The tracing layer is always compiled in; its disabled path must be
+    // as free as not having it. Same long/short differencing as the base
+    // pin — any per-flit (or per-header-crossing) cost in the `emit`
+    // guard would show up here as a nonzero delta.
+    let _ = run_unicast_cfg(16, false);
+    let (short_out, short_allocs) = run_unicast_cfg(4096, false);
+    let (long_out, long_allocs) = run_unicast_cfg(12288, false);
+    let extra = long_out.counters.flits_delivered - short_out.counters.flits_delivered;
+    assert_eq!(
+        long_allocs, short_allocs,
+        "disabled tracing allocated over {extra} extra flits"
+    );
+}
+
+fn enabled_tracing_allocates_nothing_per_flit() {
+    // Enabled tracing records per protocol *action* (request, acquire,
+    // header arrival, delivery, release) — never per body flit. Long and
+    // short runs share the exact same action sequence, so the recorded
+    // events (and the InlineVec channel lists inside them, which stay
+    // inline up to 4-way fanout) must cost identical allocation counts.
+    let _ = run_unicast_cfg(16, true);
+    let (short_out, short_allocs) = run_unicast_cfg(4096, true);
+    let (long_out, long_allocs) = run_unicast_cfg(12288, true);
+    assert!(!long_out.trace.events.is_empty(), "tracing was on");
+    let extra = long_out.counters.flits_delivered - short_out.counters.flits_delivered;
+    assert_eq!(
+        long_allocs, short_allocs,
+        "enabled tracing allocated per flit: over {extra} extra flits"
+    );
+
+    // Same property through a replication fork: the branching emit sites
+    // build 2-wide channel lists, which InlineVec keeps off the heap.
+    let _ = run_branching_cfg(16, true);
+    let (_, short_b) = run_branching_cfg(4096, true);
+    let (_, long_b) = run_branching_cfg(12288, true);
+    assert_eq!(
+        long_b, short_b,
+        "traced branch replication allocated per flit"
+    );
+}
+
 fn seg_lookups_are_counted() {
     // The arena refactor's accounting hook: every event-path state lookup
     // (a hash probe before, an array index now) is counted.
@@ -181,7 +237,7 @@ fn seg_lookups_are_counted() {
 }
 
 fn main() {
-    let checks: [(&str, fn()); 4] = [
+    let checks: [(&str, fn()); 6] = [
         ("body_flits_allocate_nothing", body_flits_allocate_nothing),
         (
             "repeated_runs_have_identical_alloc_counts",
@@ -190,6 +246,14 @@ fn main() {
         (
             "branch_replication_allocates_nothing_per_flit",
             branch_replication_allocates_nothing_per_flit,
+        ),
+        (
+            "disabled_tracing_allocates_nothing_per_flit",
+            disabled_tracing_allocates_nothing_per_flit,
+        ),
+        (
+            "enabled_tracing_allocates_nothing_per_flit",
+            enabled_tracing_allocates_nothing_per_flit,
         ),
         ("seg_lookups_are_counted", seg_lookups_are_counted),
     ];

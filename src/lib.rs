@@ -21,6 +21,9 @@
 //!   `*.scenario.json` files,
 //! * [`fuzz`] — coverage-guided scenario fuzzing: typed spec mutation,
 //!   engine-novelty signals, correctness oracles, greedy minimization,
+//! * [`trace`] — observability: per-message spans, an exact latency-phase
+//!   decomposition (startup/blocking/route-setup/wire/stall), and
+//!   Perfetto track-event export for `ui.perfetto.dev`,
 //! * [`simstats`] — statistics and CI-driven replication control.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
@@ -34,6 +37,7 @@ pub use spam_faults as faults;
 pub use spam_fuzz as fuzz;
 pub use spam_reconfig as reconfig;
 pub use spam_scenario as scenario;
+pub use spam_trace as trace;
 pub use traffic;
 pub use updown;
 pub use wormsim;
@@ -53,6 +57,7 @@ pub mod prelude {
         run_once as run_scenario_once, run_spec as run_scenario, FaultsSpec, RoutingSpec,
         ScenarioReport, ScenarioSpec, SpecError as ScenarioError, TrafficSpec,
     };
+    pub use spam_trace::{decompose_run, export as export_perfetto, MessageAnatomy, SpanSet};
     pub use traffic::{
         ArrivalKind, BroadcastStormConfig, ClosedLoopConfig, ClosedLoopInjector,
         DestinationSampler, HotspotConfig, IncastConfig, MixedTrafficConfig, PermutationConfig,
