@@ -264,6 +264,7 @@ mod tests {
             channel_crossings: Vec::new(),
             fault_times: Vec::new(),
             trace: Default::default(),
+            metrics: None,
         };
         assert!(um.makespan(&empty).is_none());
         assert_eq!(um.total_sends(), 2);

@@ -1,0 +1,71 @@
+//! Congestion-profile report: runs the `(workload, arm, regime)` grid
+//! with telemetry enabled, folds every run's per-channel accumulators
+//! onto the lattice, and reports where each routing arm heats the
+//! fabric.
+//!
+//! Outputs:
+//! * `results/congestion_profile.csv` — per-cell totals + concentration;
+//! * `results/congestion_heatmaps.json` — every cell's full heatmap;
+//! * `results/BENCH_congestion_profile.json` (+ root copy) — machine
+//!   record;
+//! * terminal — the summary table and the two headline heatmaps.
+//!
+//! Usage: `congestion_profile [--quick]`
+
+use spam_bench::congestion::{
+    congestion_bench_json, congestion_table, run_congestion_profile, write_congestion_csv,
+    write_heatmaps_json,
+};
+use spam_metrics::HeatKey;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    eprintln!(
+        "congestion profile: heat-mapping the (workload, arm, regime) grid ({})...",
+        if quick { "quick" } else { "full" }
+    );
+    let cells = run_congestion_profile(quick);
+
+    println!("Congestion profile (fabric heat per workload, arm, and fault regime):");
+    println!("{}", congestion_table(&cells));
+
+    // The two headline renderings: where a hotspot workload and an
+    // incast workload park their OCRQ waiting, under SPAM.
+    for workload in ["hotspot", "incast"] {
+        if let Some(c) = cells
+            .iter()
+            .find(|c| c.workload == workload && c.arm == "spam" && c.regime == "fault_free")
+        {
+            println!("{workload} @ spam @ fault_free:");
+            println!("{}", c.heatmap.ascii(HeatKey::OcrqWaitNs));
+        }
+    }
+
+    let results = Path::new("results");
+    let csv = results.join("congestion_profile.csv");
+    if let Err(e) = write_congestion_csv(&csv, &cells) {
+        eprintln!("error: writing {}: {e}", csv.display());
+        return ExitCode::from(1);
+    }
+    eprintln!("wrote {}", csv.display());
+
+    let heat = results.join("congestion_heatmaps.json");
+    if let Err(e) = write_heatmaps_json(&heat, &cells) {
+        eprintln!("error: writing {}: {e}", heat.display());
+        return ExitCode::from(1);
+    }
+    eprintln!("wrote {}", heat.display());
+
+    let bench = congestion_bench_json(&cells, quick);
+    match spam_bench::report::write_bench_json(results, &bench) {
+        Ok(p) => eprintln!("wrote {} (+ committed root copy)", p.display()),
+        Err(e) => {
+            eprintln!("error: writing bench json: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

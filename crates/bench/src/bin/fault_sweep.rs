@@ -102,7 +102,6 @@ fn main() {
     let json_path = report::write_bench_json(Path::new("results"), &bench).expect("write json");
     // Root-level copy: the machine-readable perf-trajectory record lives
     // next to CHANGES.md so run-over-run diffs don't dig through results/.
-    std::fs::copy(&json_path, "BENCH_fault_sweep.json").expect("copy json to repo root");
     println!("-> {}", csv_path.display());
     println!("-> {} (+ ./BENCH_fault_sweep.json)", json_path.display());
 }

@@ -204,7 +204,6 @@ fn main() {
     };
     let json_path =
         report::write_bench_json(Path::new("results"), &bench).expect("write bench json");
-    std::fs::copy(&json_path, "BENCH_fuzz_coverage.json").expect("copy json to repo root");
     println!("-> {}", csv_path.display());
     println!("-> {} (+ ./BENCH_fuzz_coverage.json)", json_path.display());
 

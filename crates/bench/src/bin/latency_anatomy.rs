@@ -59,11 +59,7 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    eprintln!("wrote {}", json_path.display());
-    if let Err(e) = std::fs::copy(&json_path, "BENCH_latency_anatomy.json") {
-        eprintln!("error: copying bench json to repo root: {e}");
-        return ExitCode::from(1);
-    }
+    eprintln!("wrote {} (+ committed root copy)", json_path.display());
 
     match export_golden_trace(results) {
         Ok(p) => eprintln!("wrote {} (open in ui.perfetto.dev)", p.display()),

@@ -78,7 +78,6 @@ fn main() {
         report::write_bench_json(Path::new("results"), &bench).expect("write bench json");
     // Root-level copy: the machine-readable record lives next to
     // CHANGES.md, like every other bench binary's.
-    std::fs::copy(&json_path, "BENCH_scenario_corpus.json").expect("copy json to repo root");
     println!("-> results/scenarios/*.csv");
     println!("-> results/scenario_corpus.csv");
     println!(

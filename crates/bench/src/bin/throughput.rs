@@ -244,7 +244,6 @@ fn main() {
         series,
     };
     let json_path = report::write_bench_json(Path::new("results"), &bench).expect("write json");
-    std::fs::copy(&json_path, "BENCH_throughput.json").expect("copy json to repo root");
     println!("-> {}", csv_path.display());
     println!("-> {} (+ ./BENCH_throughput.json)", json_path.display());
 }

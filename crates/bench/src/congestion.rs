@@ -1,0 +1,423 @@
+//! The congestion-profile report: *where* each routing arm heats the
+//! fabric, per workload and fault regime.
+//!
+//! Each cell of the `(workload, arm, regime)` grid runs with telemetry
+//! enabled, folds the per-channel accumulators (wire-busy ns, all-or-
+//! nothing acquisitions, exact OCRQ-depth time integrals, header stalls)
+//! onto the generator's lattice layout, and reports the resulting
+//! [`CongestionHeatmap`] — both as totals (SPAM vs software multicast
+//! aggregate heat) and as spatial concentration (the share of heat the
+//! hottest cells carry, the localization headline).
+//!
+//! Workloads:
+//! * `hotspot` — unicasts converging on 2 hot processors;
+//! * `incast` — every client streaming at 2 servers;
+//! * `storm` — a broadcast storm (every processor multicasts to all).
+//!
+//! Regimes mirror the latency-anatomy grid:
+//! * `fault_free` — the pristine fabric;
+//! * `links20` — 20 % of links statically dead;
+//! * `storm20` — a live mid-run storm killing 20 % of links (SPAM only:
+//!   live reconfiguration is the hardware arm's regime by construction).
+
+use crate::report::BenchJson;
+use crate::PointSummary;
+use spam_metrics::{CongestionHeatmap, HeatKey};
+use spam_scenario::{
+    ArrivalSpec, EngineSpec, FaultModelSpec, FaultsSpec, PolicySpec, RoutingSpec, ScenarioSpec,
+    StrategySpec, TopologySpec, TrafficSpec,
+};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Workload names, in report order.
+pub const WORKLOADS: [&str; 3] = ["hotspot", "incast", "storm"];
+
+/// Regime names; also the `x` axis of the machine-readable record.
+pub const REGIMES: [&str; 3] = ["fault_free", "links20", "storm20"];
+
+/// Telemetry cadence used by every cell, ns.
+pub const SAMPLE_EVERY_NS: u64 = 1_000;
+
+/// How many hottest lattice cells the concentration headline counts.
+pub const TOP_K: usize = 4;
+
+/// One `(workload, arm, regime)` cell of the report.
+#[derive(Debug, Clone)]
+pub struct CongestionCell {
+    /// Workload: `hotspot`, `incast`, or `storm`.
+    pub workload: &'static str,
+    /// Routing arm: `spam` or `software`.
+    pub arm: &'static str,
+    /// Fault regime: `fault_free`, `links20`, or `storm20`.
+    pub regime: &'static str,
+    /// Delivered engine messages over every replication.
+    pub messages: u64,
+    /// Gauge samples recorded (ring-capped) over every replication.
+    pub samples: u64,
+    /// Accumulators folded onto the lattice.
+    pub heatmap: CongestionHeatmap,
+}
+
+impl CongestionCell {
+    /// The fraction of `key`'s grand total carried by the [`TOP_K`]
+    /// hottest lattice cells.
+    pub fn concentration(&self, key: HeatKey) -> f64 {
+        self.heatmap.top_share(TOP_K, key)
+    }
+}
+
+fn arm_routing(arm: &str) -> RoutingSpec {
+    match arm {
+        "spam" => RoutingSpec::Spam {
+            policy: PolicySpec::MinResidualDistance,
+        },
+        "software" => RoutingSpec::SoftwareMulticast,
+        other => unreachable!("unknown arm {other}"),
+    }
+}
+
+fn regime_faults(regime: &str, seed: u64) -> FaultsSpec {
+    match regime {
+        "fault_free" => FaultsSpec::None,
+        "links20" => FaultsSpec::Static {
+            model: FaultModelSpec::IidLinks { rate: 0.20 },
+            seed,
+        },
+        "storm20" => FaultsSpec::Storm {
+            model: FaultModelSpec::IidLinks { rate: 0.20 },
+            seed,
+            window_start_us: 20,
+            window_end_us: 120,
+            bursts: 3,
+        },
+        other => unreachable!("unknown regime {other}"),
+    }
+}
+
+fn workload_traffic(workload: &str, messages: usize) -> TrafficSpec {
+    match workload {
+        "hotspot" => TrafficSpec::Hotspot {
+            hot_nodes: 2,
+            hot_fraction: 0.7,
+            rate_per_node_per_us: 0.02,
+            len: 64,
+            messages,
+            arrival: ArrivalSpec::Poisson,
+        },
+        "incast" => TrafficSpec::Incast {
+            servers: 2,
+            rate_per_client_per_us: 0.02,
+            len: 64,
+            messages,
+            arrival: ArrivalSpec::Poisson,
+        },
+        "storm" => TrafficSpec::BroadcastStorm {
+            len: 32,
+            stagger_ns: 200,
+        },
+        other => unreachable!("unknown workload {other}"),
+    }
+}
+
+fn spec_for(
+    workload: &str,
+    arm: &str,
+    regime: &str,
+    switches: usize,
+    messages: usize,
+) -> ScenarioSpec {
+    ScenarioSpec {
+        name: format!("congestion-{workload}-{arm}-{regime}"),
+        description: "congestion-profile workload (telemetry enabled)".to_string(),
+        topology: TopologySpec {
+            switches,
+            seed: 9,
+            side: None,
+            strategy: StrategySpec::ConnectedGrowth,
+            ports: 8,
+        },
+        routing: arm_routing(arm),
+        traffic: workload_traffic(workload, messages),
+        faults: regime_faults(regime, 0x5071),
+        engine: EngineSpec {
+            metrics_every_ns: Some(SAMPLE_EVERY_NS),
+            ..EngineSpec::default()
+        },
+        seed: 23,
+        replications: 1,
+        horizon_us: None,
+    }
+}
+
+/// The `(arm, regime)` half-grid each workload runs: both arms on
+/// `fault_free` and `links20`, SPAM alone on the live `storm20`.
+pub const ARMS: [(&str, &str); 5] = [
+    ("spam", "fault_free"),
+    ("software", "fault_free"),
+    ("spam", "links20"),
+    ("software", "links20"),
+    ("spam", "storm20"),
+];
+
+/// Runs the full grid ([`WORKLOADS`] × [`ARMS`]). `quick` shrinks the
+/// network and message count for CI. Each cell is a single deterministic
+/// replication — a heatmap is a *spatial* profile of one fabric, and
+/// replications regenerate the topology (`rep_seed`), so cross-rep
+/// folding would smear unrelated lattices together. Panics on any
+/// scenario error — every cell is a composition the spec validator
+/// accepts, so a failure is a bug, not a figure.
+pub fn run_congestion_profile(quick: bool) -> Vec<CongestionCell> {
+    let (switches, messages) = if quick { (32, 120) } else { (64, 400) };
+    let mut cells = Vec::new();
+    for workload in WORKLOADS {
+        for (arm, regime) in ARMS {
+            let spec = spec_for(workload, arm, regime, switches, messages);
+            let (out, topo, layout) = spam_scenario::run_once_full(&spec, 0, None)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", spec.name));
+            let m = out.metrics.as_ref().expect("telemetry enabled");
+            cells.push(CongestionCell {
+                workload,
+                arm,
+                regime,
+                messages: out.messages.iter().filter(|msg| msg.is_complete()).count() as u64,
+                samples: m.series.len() as u64,
+                heatmap: CongestionHeatmap::build(&topo, &layout, &m.channels),
+            });
+        }
+    }
+    cells
+}
+
+/// Writes the per-cell summary as CSV:
+/// `workload,arm,regime,messages,samples,busy_ns,acquisitions,ocrq_wait_ns,header_stalls,top4_busy_share,top4_ocrq_share`.
+pub fn write_congestion_csv(path: &Path, cells: &[CongestionCell]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut body = String::from(
+        "workload,arm,regime,messages,samples,busy_ns,acquisitions,\
+         ocrq_wait_ns,header_stalls,top4_busy_share,top4_ocrq_share\n",
+    );
+    for c in cells {
+        let t = c.heatmap.totals();
+        writeln!(
+            body,
+            "{},{},{},{},{},{},{},{},{},{:.4},{:.4}",
+            c.workload,
+            c.arm,
+            c.regime,
+            c.messages,
+            c.samples,
+            t.busy_ns,
+            t.acquisitions,
+            t.ocrq_wait_ns,
+            t.header_stalls,
+            c.concentration(HeatKey::BusyNs),
+            c.concentration(HeatKey::OcrqWaitNs),
+        )
+        .expect("string write");
+    }
+    std::fs::write(path, body)
+}
+
+/// Writes every cell's full heatmap as one JSON document:
+/// `{"schema": 1, "cells": [{workload, arm, regime, heatmap: {...}}]}`.
+pub fn write_heatmaps_json(path: &Path, cells: &[CongestionCell]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut body = String::from("{\n  \"schema\": 1,\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        writeln!(
+            body,
+            "    {{\"workload\": \"{}\", \"arm\": \"{}\", \"regime\": \"{}\",\n     \"heatmap\": {}}}{comma}",
+            c.workload,
+            c.arm,
+            c.regime,
+            c.heatmap.to_json().trim_end()
+        )
+        .expect("string write");
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body)
+}
+
+/// The machine-readable record: per `(workload, arm)`, one series of
+/// OCRQ-wait concentration and one of total wire-busy µs, `x` = regime
+/// index in [`REGIMES`] order, `reps` = delivered messages.
+pub fn congestion_bench_json(cells: &[CongestionCell], quick: bool) -> BenchJson {
+    let regime_x = |regime: &str| REGIMES.iter().position(|r| *r == regime).unwrap() as f64;
+    let mut series: Vec<(String, Vec<PointSummary>)> = Vec::new();
+    for workload in WORKLOADS {
+        for arm in ["spam", "software"] {
+            let mine: Vec<&CongestionCell> = cells
+                .iter()
+                .filter(|c| c.workload == workload && c.arm == arm)
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let point = |c: &CongestionCell, mean: f64| PointSummary {
+                x: regime_x(c.regime),
+                mean,
+                ci_half_width: 0.0,
+                reps: c.messages,
+                target_met: true,
+            };
+            series.push((
+                format!("{workload}@{arm}:top4_ocrq_share"),
+                mine.iter()
+                    .map(|c| point(c, c.concentration(HeatKey::OcrqWaitNs)))
+                    .collect(),
+            ));
+            series.push((
+                format!("{workload}@{arm}:busy_us_total"),
+                mine.iter()
+                    .map(|c| point(c, c.heatmap.totals().busy_ns as f64 / 1_000.0))
+                    .collect(),
+            ));
+        }
+    }
+    BenchJson {
+        name: "congestion_profile".to_string(),
+        params: vec![
+            ("quick".to_string(), quick.to_string()),
+            ("workloads".to_string(), WORKLOADS.join(",")),
+            ("regimes".to_string(), REGIMES.join(",")),
+            ("sample_every_ns".to_string(), SAMPLE_EVERY_NS.to_string()),
+            ("top_k".to_string(), TOP_K.to_string()),
+        ],
+        series,
+    }
+}
+
+/// Renders the summary table for the terminal.
+pub fn congestion_table(cells: &[CongestionCell]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "  {:<8} {:<10} {:<11} {:>6} | {:>12} {:>12} {:>8} | {:>9} {:>9}",
+        "workload",
+        "arm",
+        "regime",
+        "msgs",
+        "busy µs",
+        "ocrq-wait µs",
+        "stalls",
+        "top4 busy",
+        "top4 ocrq"
+    )
+    .unwrap();
+    for c in cells {
+        let t = c.heatmap.totals();
+        writeln!(
+            out,
+            "  {:<8} {:<10} {:<11} {:>6} | {:>12.1} {:>12.1} {:>8} | {:>8.1}% {:>8.1}%",
+            c.workload,
+            c.arm,
+            c.regime,
+            c.messages,
+            t.busy_ns as f64 / 1_000.0,
+            t.ocrq_wait_ns as f64 / 1_000.0,
+            t.header_stalls,
+            c.concentration(HeatKey::BusyNs) * 100.0,
+            c.concentration(HeatKey::OcrqWaitNs) * 100.0,
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_localizes_and_renders() {
+        let cells = run_congestion_profile(true);
+        assert_eq!(cells.len(), WORKLOADS.len() * ARMS.len());
+        for c in &cells {
+            let t = c.heatmap.totals();
+            assert!(
+                t.busy_ns > 0,
+                "{}/{}/{}: no wire traffic",
+                c.workload,
+                c.arm,
+                c.regime
+            );
+            assert!(t.acquisitions > 0);
+            assert!(
+                c.messages > 0,
+                "{}/{}/{}: nothing delivered",
+                c.workload,
+                c.arm,
+                c.regime
+            );
+            assert!(
+                c.samples > 0,
+                "{}/{}/{}: sampler never fired",
+                c.workload,
+                c.arm,
+                c.regime
+            );
+            let share = c.concentration(HeatKey::BusyNs);
+            assert!(share > 0.0 && share <= 1.0);
+        }
+        let cell = |w: &str, a: &str, r: &str| {
+            cells
+                .iter()
+                .find(|c| c.workload == w && c.arm == a && c.regime == r)
+                .unwrap()
+        };
+
+        // The comparison the bench exists to make: on the all-multicast
+        // broadcast storm, software multicast expands every multicast
+        // into a unicast cascade that re-crosses the fabric once per
+        // forwarding stage — strictly more wire-busy time than SPAM's
+        // single replicated worms.
+        let spam = cell("storm", "spam", "fault_free").heatmap.totals();
+        let soft = cell("storm", "software", "fault_free").heatmap.totals();
+        assert!(
+            soft.busy_ns > spam.busy_ns,
+            "software storm heat ({}) should exceed SPAM's ({})",
+            soft.busy_ns,
+            spam.busy_ns
+        );
+
+        // Localization: hotspot/incast traffic converges on 2 hot
+        // processors, so the hottest TOP_K lattice cells must carry a
+        // visibly outsized share of the contention integral (a uniform
+        // spread over ~32 occupied cells would give TOP_K/32 ≈ 12 %).
+        for w in ["hotspot", "incast"] {
+            let c = cell(w, "spam", "fault_free");
+            let share = c.concentration(HeatKey::OcrqWaitNs);
+            assert!(
+                share > 0.25,
+                "{w}: top-{TOP_K} cells carry only {:.1}% of OCRQ wait",
+                share * 100.0
+            );
+        }
+
+        // Renders.
+        let csv_dir = std::env::temp_dir().join("spam_congestion_test");
+        let csv = csv_dir.join("congestion_profile.csv");
+        write_congestion_csv(&csv, &cells).unwrap();
+        let body = std::fs::read_to_string(&csv).unwrap();
+        assert!(body.starts_with("workload,arm,regime,"));
+        assert_eq!(body.lines().count(), 1 + cells.len());
+        let heat = csv_dir.join("congestion_heatmaps.json");
+        write_heatmaps_json(&heat, &cells).unwrap();
+        let hbody = std::fs::read_to_string(&heat).unwrap();
+        assert_eq!(hbody.matches("\"workload\":").count(), cells.len());
+        assert_eq!(hbody.matches('{').count(), hbody.matches('}').count());
+        assert_eq!(hbody.matches('[').count(), hbody.matches(']').count());
+        let bench = congestion_bench_json(&cells, true);
+        assert_eq!(bench.series.len(), WORKLOADS.len() * 2 * 2);
+        let table = congestion_table(&cells);
+        assert!(table.contains("hotspot"));
+        assert!(table.contains("storm20"));
+        std::fs::remove_dir_all(&csv_dir).ok();
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod ablations;
 pub mod broadcast;
+pub mod congestion;
 pub mod fault_sweep;
 pub mod fig2;
 pub mod fig3;

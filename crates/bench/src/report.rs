@@ -67,11 +67,18 @@ fn json_num(x: f64) -> String {
 
 /// Writes `dir/BENCH_<name>.json`, returning the path.
 ///
+/// Also drops an identical `BENCH_<name>.json` in the current directory
+/// (the repo root, when run via `cargo run`): the records under
+/// `results/` are gitignored working artifacts, while the root copies
+/// are committed as the perf-trajectory record — every binary used to
+/// hand-copy (or forget to), so the dual write lives here instead.
+///
 /// The workspace's `serde` is a no-op offline shim, so the JSON is
 /// hand-rolled here — one schema for every benchmark binary.
 pub fn write_bench_json(dir: &Path, bench: &BenchJson) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("BENCH_{}.json", bench.name));
+    let file = format!("BENCH_{}.json", bench.name);
+    let path = dir.join(&file);
     let mut body = String::new();
     writeln!(body, "{{").unwrap();
     writeln!(body, "  \"schema\": 1,").unwrap();
@@ -113,7 +120,10 @@ pub fn write_bench_json(dir: &Path, bench: &BenchJson) -> std::io::Result<PathBu
     }
     writeln!(body, "  ]").unwrap();
     writeln!(body, "}}").unwrap();
-    std::fs::write(&path, body)?;
+    std::fs::write(&path, &body)?;
+    if path.as_path() != Path::new(&file) {
+        std::fs::write(&file, &body)?;
+    }
     Ok(path)
 }
 
@@ -251,7 +261,12 @@ mod tests {
         };
         let path = write_bench_json(&dir, &bench).unwrap();
         assert!(path.ends_with("BENCH_unit_test.json"));
+        // The committed-record copy lands in the current directory too.
+        let root_copy = Path::new("BENCH_unit_test.json");
+        assert!(root_copy.exists(), "root copy missing");
         let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, std::fs::read_to_string(root_copy).unwrap());
+        std::fs::remove_file(root_copy).ok();
         assert!(body.contains("\"schema\": 1"));
         assert!(body.contains("\"switches\": \"64\""));
         assert!(body.contains("has \\\"quotes\\\""));

@@ -41,6 +41,20 @@
 
 use crate::time::Time;
 
+/// A constant-time snapshot of where a [`BucketQueue`]'s pending events
+/// sit: occupied slots per wheel level, overflow-list length, and the
+/// total pending count. Heap-backed queues report the total only (their
+/// levels are all zero) — see [`crate::EventQueue::occupancy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueOccupancy {
+    /// Occupied (non-empty) slots per wheel level, finest first.
+    pub levels: [u32; WHEEL_LEVELS],
+    /// Events parked beyond the wheels' span.
+    pub overflow: usize,
+    /// Total pending events.
+    pub len: usize,
+}
+
 /// Number of wheel levels.
 const LEVELS: usize = 6;
 /// log2(slots per level).
@@ -52,6 +66,9 @@ const BITS: u32 = 6;
 /// overflow-targeting tests) can reason about the boundary without
 /// duplicating the wheel geometry.
 pub const WHEEL_SPAN_NS: u64 = 1 << (LEVELS as u32 * BITS);
+/// Number of wheel levels, exported for occupancy-snapshot consumers
+/// (telemetry wants one gauge per level without guessing the geometry).
+pub const WHEEL_LEVELS: usize = LEVELS;
 /// Slots per level.
 const SLOTS: usize = 1 << BITS;
 /// Slot-index mask.
@@ -387,6 +404,21 @@ impl<E> BucketQueue<E> {
         self.next_seq
     }
 
+    /// Occupancy snapshot: the number of *occupied slots* per wheel level
+    /// plus the overflow-list length. Constant time (one `count_ones` per
+    /// level, no chain walks), so telemetry can sample it densely.
+    pub fn occupancy(&self) -> QueueOccupancy {
+        let mut levels = [0u32; LEVELS];
+        for (k, level) in self.levels.iter().enumerate() {
+            levels[k] = level.occupied.count_ones();
+        }
+        QueueOccupancy {
+            levels,
+            overflow: self.overflow.len(),
+            len: self.len,
+        }
+    }
+
     /// Drops all pending events (the sequence counter and the clock floor
     /// keep advancing so determinism is preserved across a clear).
     pub fn clear(&mut self) {
@@ -528,6 +560,26 @@ mod tests {
         }
         // 8 outstanding at a time -> the pool never grew past 8 cells.
         assert!(q.pool.len() <= 8, "pool grew to {}", q.pool.len());
+    }
+
+    #[test]
+    fn occupancy_tracks_levels_and_overflow() {
+        let mut q = BucketQueue::new();
+        assert_eq!(q.occupancy(), QueueOccupancy::default());
+        q.schedule(Time::from_ns(1), 'a'); // level 0
+        q.schedule(Time::from_ns(2), 'b'); // level 0, distinct slot
+        q.schedule(Time::from_ns(5000), 'c'); // coarser level
+        q.schedule(Time::from_ns(1 << 40), 'd'); // beyond the span
+        let occ = q.occupancy();
+        assert_eq!(occ.len, 4);
+        assert_eq!(occ.levels[0], 2);
+        assert_eq!(occ.levels.iter().sum::<u32>(), 3);
+        assert_eq!(occ.overflow, 1);
+        while q.pop().is_some() {}
+        let drained = q.occupancy();
+        assert_eq!(drained.len, 0);
+        assert_eq!(drained.overflow, 0);
+        assert_eq!(drained.levels, [0; WHEEL_LEVELS]);
     }
 
     #[test]

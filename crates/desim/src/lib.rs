@@ -29,10 +29,12 @@
 
 pub mod bucket;
 pub mod queue;
+pub mod tick;
 pub mod time;
 
-pub use bucket::{BucketQueue, WHEEL_SPAN_NS};
+pub use bucket::{BucketQueue, QueueOccupancy, WHEEL_LEVELS, WHEEL_SPAN_NS};
 pub use queue::{EventQueue, QueueKind, ScheduledEvent};
+pub use tick::Ticker;
 pub use time::{Duration, Time};
 
 /// A façade bundling the current simulation time with the future-event list.
@@ -141,6 +143,12 @@ impl<E> Schedule<E> {
     /// progress/watchdog diagnostics).
     pub fn scheduled_count(&self) -> u64 {
         self.queue.scheduled_count()
+    }
+
+    /// Constant-time occupancy snapshot of the backing queue (see
+    /// [`EventQueue::occupancy`]).
+    pub fn queue_occupancy(&self) -> bucket::QueueOccupancy {
+        self.queue.occupancy()
     }
 }
 

@@ -23,7 +23,7 @@
 //! can express — property-tested in `tests/queue_properties.rs` and pinned
 //! end-to-end by the workspace golden-regression suite.
 
-use crate::bucket::BucketQueue;
+use crate::bucket::{BucketQueue, QueueOccupancy};
 use crate::time::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -208,6 +208,19 @@ impl<E> EventQueue<E> {
         match &self.imp {
             Imp::Heap(q) => q.next_seq,
             Imp::Bucket(q) => q.scheduled_count(),
+        }
+    }
+
+    /// Constant-time occupancy snapshot for telemetry. A bucket queue
+    /// reports occupied slots per wheel level plus its overflow list; a
+    /// heap queue has no levels, so only `len` is populated.
+    pub fn occupancy(&self) -> QueueOccupancy {
+        match &self.imp {
+            Imp::Heap(q) => QueueOccupancy {
+                len: q.heap.len(),
+                ..QueueOccupancy::default()
+            },
+            Imp::Bucket(q) => q.occupancy(),
         }
     }
 

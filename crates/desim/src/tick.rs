@@ -1,0 +1,121 @@
+//! Periodic sampling cadence for sim-time telemetry.
+//!
+//! A [`Ticker`] is the event-kind-free way to drive periodic work (gauge
+//! sampling, watermark snapshots) from a discrete-event loop. Scheduling
+//! real queue events for sampling would perturb everything an observer
+//! must not touch: the popped-event count, the end-of-run clock, watchdog
+//! arithmetic, and same-instant FIFO interleaving. A `Ticker` instead
+//! lives *beside* the queue: the simulation loop asks "which tick
+//! instants are due strictly before the event I am about to fire?" and
+//! drains them synchronously, so the event stream — and therefore every
+//! simulated outcome — is byte-identical with sampling on or off.
+//!
+//! ```
+//! use desim::{Duration, Ticker, Time};
+//!
+//! let mut t = Ticker::every(Duration::from_ns(100));
+//! assert_eq!(t.next_at(), Time::from_ns(100));
+//! let mut fired = Vec::new();
+//! t.drain_through(Time::from_ns(350), |at| fired.push(at.as_ns()));
+//! assert_eq!(fired, vec![100, 200, 300]);
+//! assert_eq!(t.next_at(), Time::from_ns(400));
+//! ```
+
+use crate::time::{Duration, Time};
+
+/// A fixed-period cadence over simulation time. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticker {
+    period: u64,
+    next: u64,
+}
+
+impl Ticker {
+    /// A cadence firing at `period`, `2*period`, `3*period`, ... (the
+    /// instant 0 is skipped: a sample there would observe nothing but
+    /// initial state).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero period — that cadence never advances.
+    pub fn every(period: Duration) -> Self {
+        assert!(period.as_ns() > 0, "a Ticker needs a non-zero period");
+        Ticker {
+            period: period.as_ns(),
+            next: period.as_ns(),
+        }
+    }
+
+    /// The configured period.
+    #[inline]
+    pub fn period(&self) -> Duration {
+        Duration::from_ns(self.period)
+    }
+
+    /// The next instant this cadence fires at.
+    #[inline]
+    pub fn next_at(&self) -> Time {
+        Time::from_ns(self.next)
+    }
+
+    /// Consumes the pending tick, advancing to the following one.
+    /// Saturates at the far end of simulated time rather than wrapping.
+    #[inline]
+    pub fn advance(&mut self) {
+        self.next = self.next.saturating_add(self.period);
+    }
+
+    /// Fires `f` once per due tick, in order, for every tick instant
+    /// `<= t`. Call with the timestamp of the event about to be handled
+    /// (ticks are conceptually processed *before* the instant's events).
+    #[inline]
+    pub fn drain_through(&mut self, t: Time, mut f: impl FnMut(Time)) {
+        while self.next <= t.as_ns() {
+            f(Time::from_ns(self.next));
+            self.advance();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_periodic_and_skip_zero() {
+        let mut t = Ticker::every(Duration::from_ns(50));
+        assert_eq!(t.period(), Duration::from_ns(50));
+        assert_eq!(t.next_at(), Time::from_ns(50));
+        t.advance();
+        assert_eq!(t.next_at(), Time::from_ns(100));
+    }
+
+    #[test]
+    fn drain_fires_every_due_instant_once() {
+        let mut t = Ticker::every(Duration::from_ns(10));
+        let mut fired = Vec::new();
+        t.drain_through(Time::from_ns(35), |at| fired.push(at.as_ns()));
+        assert_eq!(fired, vec![10, 20, 30]);
+        // Nothing new due until 40.
+        t.drain_through(Time::from_ns(39), |at| fired.push(at.as_ns()));
+        assert_eq!(fired, vec![10, 20, 30]);
+        // An exactly-due boundary fires (ticks precede the instant's events).
+        t.drain_through(Time::from_ns(40), |at| fired.push(at.as_ns()));
+        assert_eq!(fired, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn advance_saturates_instead_of_wrapping() {
+        let mut t = Ticker::every(Duration::from_ns(u64::MAX / 2));
+        t.advance();
+        t.advance();
+        t.advance();
+        assert_eq!(t.next_at(), Time::from_ns(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero period")]
+    fn zero_period_panics() {
+        Ticker::every(Duration::from_ns(0));
+    }
+}

@@ -822,6 +822,7 @@ fn decode_engine(v: &Json) -> Result<EngineSpec, SpecError> {
             "output_buffer_flits",
             "extra_header_flits",
             "trace",
+            "metrics_every_ns",
         ],
     )?;
     let d = EngineSpec::default();
@@ -855,6 +856,10 @@ fn decode_engine(v: &Json) -> Result<EngineSpec, SpecError> {
             Some(v) => bool_of(v, "scenario.engine.trace")?,
             None => d.trace,
         },
+        metrics_every_ns: match get(f, "metrics_every_ns") {
+            Some(Json::Null) | None => None,
+            Some(v) => Some(u64_of(v, "scenario.engine.metrics_every_ns")?),
+        },
     })
 }
 
@@ -872,5 +877,12 @@ fn encode_engine(e: &EngineSpec) -> Json {
         ("output_buffer_flits", uz(e.output_buffer_flits)),
         ("extra_header_flits", u(e.extra_header_flits as u64)),
         ("trace", Json::Bool(e.trace)),
+        (
+            "metrics_every_ns",
+            match e.metrics_every_ns {
+                None => Json::Null,
+                Some(n) => u(n),
+            },
+        ),
     ])
 }

@@ -415,12 +415,21 @@ fn perturb_engine(
         spec.engine.input_buffer_flits = 0;
         return ("engine.buffers", Some("BadBuffers"));
     }
+    if rng.gen_bool(0.1) {
+        spec.engine.metrics_every_ns = Some(0);
+        return ("engine.metrics", Some("ZeroSampleCadence"));
+    }
     spec.engine = EngineSpec {
         queue: spec.engine.queue,
         input_buffer_flits: rng.gen_range(1..5usize),
         output_buffer_flits: rng.gen_range(1..5usize),
         extra_header_flits: rng.gen_range(0..3u32),
         trace: spec.engine.trace,
+        metrics_every_ns: match rng.gen_range(0..3u32) {
+            0 => None,
+            1 => Some(1_000),
+            _ => Some(*pick(&[100, 5_000, 250_000], rng)),
+        },
     };
     ("engine.buffers", None)
 }

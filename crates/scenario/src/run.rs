@@ -19,8 +19,40 @@ use std::collections::HashMap;
 use traffic::{BroadcastStormConfig, ClosedLoopInjector, DestinationSampler};
 use updown::{RootSelection, UpDownLabeling};
 use wormsim::{
-    CompletionHook, MessageSpec, MsgId, NetworkSim, RoutingAlgorithm, SimConfig, SimOutcome,
+    CompletionHook, MessageSpec, MetricsConfig, MsgId, NetworkSim, RoutingAlgorithm, SimConfig,
+    SimOutcome,
 };
+
+/// The pure observers a spec asks for (trace, telemetry), resolved once
+/// per run and installed on each simulator the runner constructs.
+#[derive(Debug, Clone, Copy)]
+struct Observers {
+    trace: bool,
+    metrics: Option<MetricsConfig>,
+}
+
+impl Observers {
+    fn from_spec(spec: &ScenarioSpec) -> Self {
+        Observers {
+            trace: spec.engine.trace,
+            // A declared horizon sizes the sample ring to keep the whole
+            // run; without one the default capacity rings over.
+            metrics: spec.engine.metrics_every_ns.map(|n| match spec.horizon_us {
+                Some(h) => MetricsConfig::for_horizon(n, h.saturating_mul(1_000)),
+                None => MetricsConfig::every_ns(n),
+            }),
+        }
+    }
+
+    fn install<R: RoutingAlgorithm>(&self, sim: &mut NetworkSim<'_, R>) {
+        if self.trace {
+            sim.enable_trace();
+        }
+        if let Some(cfg) = self.metrics {
+            sim.enable_metrics(cfg);
+        }
+    }
+}
 
 /// Splits a u64 seed stream deterministically (SplitMix64; the same
 /// mixer `spam-bench` uses).
@@ -166,6 +198,18 @@ pub fn run_once_with_topology(
     rep: u32,
     queue: Option<QueueKind>,
 ) -> Result<(SimOutcome, Topology), SpecError> {
+    run_once_full(spec, rep, queue).map(|(out, topo, _)| (out, topo))
+}
+
+/// Like [`run_once_with_topology`], but additionally returns the lattice
+/// layout the topology was generated on. Telemetry consumers need it to
+/// fold per-channel congestion onto the grid (node ids stay valid across
+/// static-fault degradation — dead nodes are isolated, not renumbered).
+pub fn run_once_full(
+    spec: &ScenarioSpec,
+    rep: u32,
+    queue: Option<QueueKind>,
+) -> Result<(SimOutcome, Topology, LatticeLayout), SpecError> {
     spec.validate()?;
     let tspec = &spec.topology;
     let default_side = IrregularConfig::with_switches(tspec.switches).side;
@@ -230,9 +274,7 @@ pub fn run_once_with_topology(
             let procs: Vec<NodeId> = topo.processors().collect();
             let stream = open_stream(spec, &topo, &layout, &procs, traffic_seed)?;
             let mut sim = NetworkSim::new(&topo, routing, cfg);
-            if spec.engine.trace {
-                sim.enable_trace();
-            }
+            Observers::from_spec(spec).install(&mut sim);
             schedule.install(&mut sim);
             submit_all(&mut sim, stream)?;
             let mut out = sim.run();
@@ -251,13 +293,13 @@ pub fn run_once_with_topology(
                 }
                 cov.max_reattached_nodes = cov.max_reattached_nodes.max(r.reattached_nodes as u32);
             }
-            Ok((out, topo))
+            Ok((out, topo, layout))
         }
         FaultsSpec::None => {
             let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
             let procs: Vec<NodeId> = topo.processors().collect();
             let out = dispatch(spec, &topo, &layout, &ud, &procs, cfg, traffic_seed)?;
-            Ok((out, topo))
+            Ok((out, topo, layout))
         }
         FaultsSpec::Static { model, seed } => {
             // Damage strikes before the run: reconfigure and confine the
@@ -280,7 +322,7 @@ pub fn run_once_with_topology(
                 cfg,
                 traffic_seed,
             )?;
-            Ok((out, net.topo))
+            Ok((out, net.topo, layout))
         }
     }
 }
@@ -297,32 +339,32 @@ fn dispatch(
     traffic_seed: u64,
 ) -> Result<SimOutcome, SpecError> {
     let closed_loop = spec.closed_loop_config();
-    let trace = spec.engine.trace;
+    let obs = Observers::from_spec(spec);
     match spec.routing {
         RoutingSpec::Spam { policy } => {
             let routing = SpamRouting::new(topo, ud).with_policy(to_policy(policy));
             match closed_loop {
-                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed, trace),
+                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed, obs),
                 None => {
                     let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
-                    run_open(topo, routing, cfg, stream, trace)
+                    run_open(topo, routing, cfg, stream, obs)
                 }
             }
         }
         RoutingSpec::UpDownUnicast => {
             let routing = UpDownUnicastRouting::new(topo, ud);
             match closed_loop {
-                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed, trace),
+                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed, obs),
                 None => {
                     let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
-                    run_open(topo, routing, cfg, stream, trace)
+                    run_open(topo, routing, cfg, stream, obs)
                 }
             }
         }
         RoutingSpec::SoftwareMulticast => {
             let routing = UpDownUnicastRouting::new(topo, ud);
             let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
-            run_software(topo, routing, cfg, stream, trace)
+            run_software(topo, routing, cfg, stream, obs)
         }
     }
 }
@@ -399,12 +441,10 @@ fn run_open<R: RoutingAlgorithm>(
     routing: R,
     cfg: SimConfig,
     stream: Vec<MessageSpec>,
-    trace: bool,
+    obs: Observers,
 ) -> Result<SimOutcome, SpecError> {
     let mut sim = NetworkSim::new(topo, routing, cfg);
-    if trace {
-        sim.enable_trace();
-    }
+    obs.install(&mut sim);
     submit_all(&mut sim, stream)?;
     Ok(sim.run())
 }
@@ -416,14 +456,12 @@ fn run_closed_loop<R: RoutingAlgorithm>(
     cl: traffic::ClosedLoopConfig,
     procs: &[NodeId],
     seed: u64,
-    trace: bool,
+    obs: Observers,
 ) -> Result<SimOutcome, SpecError> {
     let mut inj = ClosedLoopInjector::new_within(cl, procs, seed)?;
     let initial = inj.initial_sends();
     let mut sim = NetworkSim::new(topo, routing, cfg);
-    if trace {
-        sim.enable_trace();
-    }
+    obs.install(&mut sim);
     submit_all(&mut sim, initial)?;
     Ok(sim.run_with_hook(&mut inj))
 }
@@ -448,13 +486,11 @@ fn run_software(
     routing: UpDownUnicastRouting<'_>,
     cfg: SimConfig,
     stream: Vec<MessageSpec>,
-    trace: bool,
+    obs: Observers,
 ) -> Result<SimOutcome, SpecError> {
     let mut fleet = MulticastFleet::default();
     let mut sim = NetworkSim::new(topo, routing, cfg);
-    if trace {
-        sim.enable_trace();
-    }
+    obs.install(&mut sim);
     for spec in stream {
         if spec.is_unicast() {
             sim.submit(spec).map_err(to_msg_err)?;

@@ -298,6 +298,12 @@ pub struct EngineSpec {
     /// default; omitted in documents means off, so older corpus files
     /// keep parsing unchanged.
     pub trace: bool,
+    /// Fabric-telemetry sampling cadence in ns; `Some(n)` enables the
+    /// gauge sampler and congestion accumulators (another pure observer —
+    /// outcomes are byte-identical with it on or off). `None` (the
+    /// default, and what an omitted field decodes to) disables telemetry,
+    /// so older corpus files keep parsing unchanged.
+    pub metrics_every_ns: Option<u64>,
 }
 
 impl Default for EngineSpec {
@@ -308,6 +314,7 @@ impl Default for EngineSpec {
             output_buffer_flits: 1,
             extra_header_flits: 0,
             trace: false,
+            metrics_every_ns: None,
         }
     }
 }
@@ -380,6 +387,9 @@ pub enum SpecError {
         /// Configured output depth.
         output: usize,
     },
+    /// A telemetry sampling cadence of zero — that sampler never fires;
+    /// disable telemetry with `null` instead.
+    ZeroSampleCadence,
     /// The workload cannot be realized on this topology (oversized
     /// destination sets, bad fractions, bad rates, ...).
     Traffic(TrafficError),
@@ -453,6 +463,12 @@ impl fmt::Display for SpecError {
             SpecError::BadBuffers { input, output } => {
                 write!(f, "buffers must hold >= 1 flit (got {input}/{output})")
             }
+            SpecError::ZeroSampleCadence => {
+                write!(
+                    f,
+                    "metrics_every_ns must be > 0 (use null to disable telemetry)"
+                )
+            }
             SpecError::Traffic(e) => write!(f, "traffic: {e}"),
             SpecError::BadFaultRate { rate } => {
                 write!(f, "fault rate {rate} is not a probability in [0, 1]")
@@ -507,6 +523,7 @@ impl SpecError {
             SpecError::BadPorts { .. } => "BadPorts",
             SpecError::ZeroReplications => "ZeroReplications",
             SpecError::BadBuffers { .. } => "BadBuffers",
+            SpecError::ZeroSampleCadence => "ZeroSampleCadence",
             SpecError::Traffic(t) => match t {
                 TrafficError::NotEnoughProcessors { .. } => "Traffic.NotEnoughProcessors",
                 TrafficError::NoDestinations => "Traffic.NoDestinations",
@@ -601,6 +618,9 @@ impl ScenarioSpec {
                 input: e.input_buffer_flits,
                 output: e.output_buffer_flits,
             });
+        }
+        if e.metrics_every_ns == Some(0) {
+            return Err(SpecError::ZeroSampleCadence);
         }
         self.validate_traffic()?;
         self.validate_faults()?;

@@ -97,6 +97,10 @@ fn validation_errors_cover_every_variant() {
     table.push(("BadBuffers", s));
 
     let mut s = base();
+    s.engine.metrics_every_ns = Some(0);
+    table.push(("ZeroSampleCadence", s));
+
+    let mut s = base();
     s.traffic = TrafficSpec::SingleMulticast { dests: 0, len: 32 };
     table.push(("Traffic.NoDestinations", s));
 

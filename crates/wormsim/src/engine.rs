@@ -43,9 +43,23 @@ use crate::outcome::{
 };
 use crate::routing::{CompletionHook, NoHook, RouteDecision, RoutingAlgorithm};
 use crate::trace::{Trace, TraceEvent};
-use desim::{Schedule, Time};
+use desim::{Schedule, Ticker, Time};
 use netgraph::{ChannelId, NodeId, Topology};
 use spam_collections::{InlineVec, Slab, SlotId};
+use spam_metrics::{ChannelScoreboard, GaugeSample, GaugeSeries, MetricsConfig, RunMetrics};
+
+/// Telemetry recording state (see [`NetworkSim::enable_metrics`]). The
+/// ticker lives *beside* the event queue — sampling never schedules a
+/// queue event, so the event stream (and every digest-pinned outcome
+/// field) is byte-identical with metrics on or off. Everything here is
+/// allocated once at enable time; the per-event hooks and the sampler
+/// only index and store.
+struct MetricsState {
+    ticker: Ticker,
+    sample_every_ns: u64,
+    series: GaugeSeries,
+    channels: ChannelScoreboard,
+}
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -139,6 +153,8 @@ pub struct NetworkSim<'a, R: RoutingAlgorithm> {
     pending_completions: Vec<MsgId>,
     /// Protocol-level trace; `None` unless enabled (zero hot-loop cost).
     trace: Option<Trace>,
+    /// Fabric telemetry; `None` unless enabled (zero hot-loop cost).
+    metrics: Option<MetricsState>,
     /// Branch segments that found a sibling output blocked during this
     /// simulated instant. Bubble insertion is deferred to the end of the
     /// instant: hardware replicates at cycle boundaries where all buffers
@@ -178,6 +194,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             active: 0,
             pending_completions: Vec::new(),
             trace: None,
+            metrics: None,
             bubble_candidates: Vec::new(),
             dead: vec![false; topo.num_channels()],
             fault_times: Vec::new(),
@@ -231,11 +248,99 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         self.trace = Some(Trace::default());
     }
 
+    /// Enables fabric telemetry for this run (see [`spam_metrics`]): a
+    /// periodic gauge sampler plus per-channel congestion accumulators,
+    /// reported on [`SimOutcome::metrics`]. Telemetry is a pure observer
+    /// — the simulated outcome is byte-identical with it on or off — and
+    /// all recording state is preallocated here, so steady-state
+    /// recording never allocates.
+    pub fn enable_metrics(&mut self, cfg: MetricsConfig) {
+        self.metrics = Some(MetricsState {
+            ticker: Ticker::every(cfg.sample_every),
+            sample_every_ns: cfg.sample_every.as_ns(),
+            series: GaugeSeries::with_capacity(cfg.capacity),
+            channels: ChannelScoreboard::new(self.topo.num_channels()),
+        });
+    }
+
     #[inline]
     fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
         if let Some(t) = self.trace.as_mut() {
             t.events.push(f());
         }
+    }
+
+    /// Carries channel `ch`'s OCRQ-depth time-integral up to `now`.
+    /// Must run *before* any push/pop/removal on that channel's OCRQ so
+    /// the piecewise-constant integral bills the old depth for the
+    /// elapsed interval (see [`ChannelScoreboard::ocrq_carry`]).
+    #[inline]
+    fn metrics_ocrq_carry(&mut self, ch: ChannelId, now: Time) {
+        if let Some(m) = self.metrics.as_mut() {
+            m.channels
+                .ocrq_carry(ch.index(), self.chans[ch.index()].ocrq.len(), now.as_ns());
+        }
+    }
+
+    /// Snapshots the engine gauges as they stand right now, stamped with
+    /// `at`. Reads only — the sampler's single observation point.
+    fn gauge_at(&self, at: Time) -> GaugeSample {
+        let mut ocrq_total = 0u32;
+        let mut ocrq_max = 0u32;
+        for c in &self.chans {
+            let d = c.ocrq.len() as u32;
+            ocrq_total += d;
+            ocrq_max = ocrq_max.max(d);
+        }
+        GaugeSample {
+            at_ns: at.as_ns(),
+            queue: self.sched.queue_occupancy(),
+            live_worms: self.active as u32,
+            live_segments: self.segs.len() as u32,
+            ocrq_total,
+            ocrq_max,
+            epoch: self.fault_times.partition_point(|&ft| ft <= at) as u32,
+            delivered: self.counters.messages_completed,
+            torn_down: self.counters.messages_torn_down,
+            unreachable: self.counters.messages_unreachable,
+        }
+    }
+
+    /// Fires every due sampler tick `<= upto` (the timestamp of the event
+    /// about to be handled): each tick snapshots the engine gauges as of
+    /// the state *before* that instant's events. Pure observation — reads
+    /// engine state, writes only into the preallocated ring.
+    fn sample_through(&mut self, upto: Time) {
+        let Some(mut m) = self.metrics.take() else {
+            return;
+        };
+        if m.ticker.next_at() <= upto {
+            // Gauges only change at events, so every tick in this drain
+            // window sees the same fabric state; compute it once and
+            // re-stamp the time (and the time-dependent epoch) per tick.
+            let base = self.gauge_at(Time::ZERO);
+            let fault_times = &self.fault_times;
+            m.ticker.drain_through(upto, |at| {
+                let mut g = base;
+                g.at_ns = at.as_ns();
+                g.epoch = fault_times.partition_point(|&ft| ft <= at) as u32;
+                m.series.push(g);
+            });
+        }
+        self.metrics = Some(m);
+    }
+
+    /// Records the closing telemetry sample: the fabric as the run
+    /// finished, stamped with the final clock. Cadence ticks observe
+    /// start-of-instant state, so this is the one sample that reflects
+    /// the very last events.
+    fn sample_final(&mut self, end: Time) {
+        let Some(mut m) = self.metrics.take() else {
+            return;
+        };
+        let g = self.gauge_at(end);
+        m.series.push(g);
+        self.metrics = Some(m);
     }
 
     /// Current simulation time.
@@ -314,6 +419,12 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 deadlock = Some(self.deadlock_info(next_time, false));
                 break;
             }
+            // Telemetry ticks due at or before this instant fire now,
+            // observing the fabric as it stood *before* the instant's
+            // events. The sampler never fires past the last event.
+            if self.metrics.is_some() {
+                self.sample_through(next_time);
+            }
             let (t, ev) = self.sched.next().expect("peeked event exists");
             self.counters.events += 1;
             self.handle(t, ev);
@@ -370,6 +481,16 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         }
         let epochs = (self.fault_times.len() + 1) as u32;
         self.counters.coverage.epochs = self.counters.coverage.epochs.max(epochs);
+        // Close out telemetry: carry every OCRQ integral to the final
+        // clock, then record one last sample at the end time so the
+        // series' tail reflects the finished run.
+        if self.metrics.is_some() {
+            let end = self.sched.now();
+            for i in 0..self.chans.len() {
+                self.metrics_ocrq_carry(ChannelId(i as u32), end);
+            }
+            self.sample_final(end);
+        }
         let quiescent = deadlock.is_none()
             && self.error.is_none()
             && self.chans.iter().all(|c| c.is_quiescent())
@@ -395,6 +516,11 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             channel_crossings: self.chans.iter().map(|c| c.crossings).collect(),
             fault_times: std::mem::take(&mut self.fault_times),
             trace: self.trace.take().unwrap_or_default(),
+            metrics: self.metrics.take().map(|m| RunMetrics {
+                sample_every_ns: m.sample_every_ns,
+                series: m.series,
+                channels: m.channels.into_accums(),
+            }),
         }
     }
 
@@ -506,6 +632,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             acquired: false,
         });
         self.msgs[msg.index()].live_segs.push(sid);
+        self.metrics_ocrq_carry(inj, now);
         self.chans[inj.index()].ocrq.push_back((msg, sid));
         let depth = self.chans[inj.index()].ocrq.len() as u32;
         self.counters.coverage.note_ocrq_depth(depth);
@@ -664,6 +791,7 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             );
             // Atomic enqueue: the whole request set lands in this one event
             // before any other message can enqueue at this router (§3.2).
+            self.metrics_ocrq_carry(ch, now);
             self.chans[ch.index()].ocrq.push_back((msg, sid));
             let depth = self.chans[ch.index()].ocrq.len() as u32;
             self.counters.coverage.note_ocrq_depth(depth);
@@ -707,6 +835,14 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             }
         }
         self.counters.wire_transfers += 1;
+        if let Some(m) = self.metrics.as_mut() {
+            // Every transfer — including a flit dropped on a dying link —
+            // held this wire for one propagation delay; billing all of
+            // them keeps `sum(busy_ns) == wire_transfers * t_channel`
+            // exact.
+            m.channels
+                .wire_busy(ch.index(), self.cfg.latency.channel_prop.as_ns());
+        }
         if self.dead[ch.index()] {
             // Dead wire: nothing refills it and nobody may acquire it.
             return;
@@ -836,6 +972,9 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
                 self.chans[ic.index()].seg = None;
             }
             for &o in &seg.outputs {
+                // Carry at the pre-removal depth: a flushed waiter's
+                // parked time up to this instant still counts.
+                self.metrics_ocrq_carry(o, now);
                 let c = &mut self.chans[o.index()];
                 if c.owner.map(|(om, _)| om) == Some(m) {
                     c.owner = None;
@@ -940,6 +1079,16 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             c.ocrq.front().map(|&(_, s)| s) == Some(sid) && c.free_for_acquisition()
         });
         if !ready {
+            if let Some(m) = self.metrics.as_mut() {
+                // Bill each output that blocked this all-or-nothing
+                // attempt (observation only; the attempt already failed).
+                for &o in seg.outputs.iter() {
+                    let c = &self.chans[o.index()];
+                    if c.ocrq.front().map(|&(_, s)| s) != Some(sid) || !c.free_for_acquisition() {
+                        m.channels.header_stall(o.index());
+                    }
+                }
+            }
             return;
         }
         let input = seg.input;
@@ -966,6 +1115,12 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         // path must not allocate.
         for i in 0..nout {
             let o = self.seg_output(sid, i);
+            // Carry the OCRQ integral at the pre-pop depth, then bill the
+            // acquisition, before the queue shrinks.
+            self.metrics_ocrq_carry(o, now);
+            if let Some(m) = self.metrics.as_mut() {
+                m.channels.acquired(o.index());
+            }
             let c = &mut self.chans[o.index()];
             let popped = c.ocrq.pop_front();
             debug_assert_eq!(popped, Some((msg, sid)));

@@ -87,4 +87,5 @@ pub use outcome::{
     SimOutcome,
 };
 pub use routing::{CompletionHook, NoHook, RouteDecision, RouteError, RoutingAlgorithm};
+pub use spam_metrics::{MetricsConfig, RunMetrics};
 pub use trace::{Trace, TraceEvent};

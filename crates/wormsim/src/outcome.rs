@@ -246,6 +246,12 @@ pub struct SimOutcome {
     pub fault_times: Vec<Time>,
     /// Protocol-level trace (empty unless tracing was enabled).
     pub trace: crate::trace::Trace,
+    /// Fabric telemetry — gauge time-series plus per-channel congestion
+    /// accumulators (`None` unless
+    /// [`NetworkSim::enable_metrics`](crate::NetworkSim::enable_metrics)
+    /// was called). A pure observer: every other field of this outcome is
+    /// byte-identical with metrics on or off.
+    pub metrics: Option<spam_metrics::RunMetrics>,
 }
 
 /// Per-epoch accounting of a live-reconfiguration run: epoch `e` covers
@@ -417,6 +423,7 @@ mod tests {
             channel_crossings: vec![5, 9, 1],
             fault_times: Vec::new(),
             trace: Default::default(),
+            metrics: None,
         };
         assert!(!out.all_delivered(), "one message incomplete");
         assert_eq!(out.mean_latency_us(|_| true), Some(15.0));
@@ -460,6 +467,7 @@ mod tests {
             channel_crossings: vec![],
             fault_times: vec![Time::from_us(13)],
             trace: Default::default(),
+            metrics: None,
         };
         assert_eq!(out.num_epochs(), 2);
         assert_eq!(out.epoch_of(Time::from_us(12)), 0);

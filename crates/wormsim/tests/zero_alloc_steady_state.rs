@@ -20,7 +20,7 @@ use netgraph::{NodeId, Topology};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use wormsim::routing::OracleRouting;
-use wormsim::{MessageSpec, NetworkSim, QueueKind, SimConfig, SimOutcome};
+use wormsim::{MessageSpec, MetricsConfig, NetworkSim, QueueKind, SimConfig, SimOutcome};
 
 /// The zero-alloc discipline is a property of the bucket wheel's pooled
 /// slot chains; the reference heap grows its backing storage on its own
@@ -221,6 +221,109 @@ fn enabled_tracing_allocates_nothing_per_flit() {
     );
 }
 
+/// A deliberately tiny ring: both measured runs record far more samples
+/// than 64, so the series *wraps* in both — proving the ring recycles
+/// slots instead of growing. Any reallocation would show up as a
+/// long-vs-short delta.
+fn metrics_cfg() -> MetricsConfig {
+    MetricsConfig::every_ns(100).with_capacity(64)
+}
+
+fn run_unicast_metered(len: u32, metered: bool) -> (SimOutcome, u64) {
+    let (topo, switches, src, dst, _) = chain(6);
+    let mut oracle = OracleRouting::new(&topo);
+    let mut path = vec![src];
+    path.extend(&switches);
+    path.push(dst);
+    oracle.add_unicast_path(0, &path).unwrap();
+    let mut sim = NetworkSim::new(&topo, oracle, cfg());
+    if metered {
+        sim.enable_metrics(metrics_cfg());
+    }
+    sim.submit(MessageSpec::unicast(src, dst, len).tag(0))
+        .unwrap();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = sim.run();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(out.all_delivered(), "{:?} {:?}", out.error, out.deadlock);
+    (out, after - before)
+}
+
+fn run_branching_metered(len: u32) -> (SimOutcome, u64) {
+    let (topo, switches, src, dst, side) = chain(6);
+    let mid = switches[3];
+    let mut oracle = OracleRouting::new(&topo);
+    let mut edges = vec![
+        (switches[0], switches[1]),
+        (switches[1], switches[2]),
+        (switches[2], mid),
+    ];
+    edges.push((mid, switches[4]));
+    edges.push((mid, side));
+    edges.push((switches[4], switches[5]));
+    edges.push((switches[5], dst));
+    oracle.add_tree_edges(1, edges).unwrap();
+    let mut sim = NetworkSim::new(&topo, oracle, cfg());
+    sim.enable_metrics(metrics_cfg());
+    sim.submit(MessageSpec::multicast(src, vec![dst, side], len).tag(1))
+        .unwrap();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = sim.run();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(out.all_delivered(), "{:?} {:?}", out.error, out.deadlock);
+    (out, after - before)
+}
+
+fn disabled_metrics_allocates_nothing_per_flit() {
+    // The telemetry hooks are always compiled into the engine; with
+    // metrics off, every one is an `Option` check that must cost nothing
+    // — no allocation, per flit or otherwise.
+    let _ = run_unicast_metered(16, false);
+    let (short_out, short_allocs) = run_unicast_metered(4096, false);
+    let (long_out, long_allocs) = run_unicast_metered(12288, false);
+    let extra = long_out.counters.flits_delivered - short_out.counters.flits_delivered;
+    assert!(long_out.metrics.is_none(), "metrics were off");
+    assert_eq!(
+        long_allocs, short_allocs,
+        "disabled telemetry allocated over {extra} extra flits"
+    );
+}
+
+fn enabled_metrics_allocates_nothing_per_flit() {
+    // Enabled telemetry preallocates everything at `enable_metrics`:
+    // the gauge ring (which *wraps*, never grows — the 64-slot ring is
+    // far smaller than the hundreds of samples each run records) and one
+    // accumulator per channel. The long run samples ~3x as often and
+    // moves ~3x the flits through the wire-busy / acquisition /
+    // OCRQ-integral hooks; if any of that touched the heap, the counts
+    // would differ.
+    let _ = run_unicast_metered(16, true);
+    let (short_out, short_allocs) = run_unicast_metered(4096, true);
+    let (long_out, long_allocs) = run_unicast_metered(12288, true);
+    let m = long_out.metrics.as_ref().expect("telemetry was on");
+    assert_eq!(
+        m.series.len(),
+        metrics_cfg().capacity,
+        "the ring should have wrapped (long run records 100s of samples)"
+    );
+    assert!(m.channels.iter().any(|a| a.busy_ns > 0));
+    let extra = long_out.counters.flits_delivered - short_out.counters.flits_delivered;
+    assert_eq!(
+        long_allocs, short_allocs,
+        "enabled telemetry allocated per flit/sample: over {extra} extra flits"
+    );
+
+    // Same property through a replication fork: per-flit wire billing on
+    // two outputs at once, multi-channel acquisitions, OCRQ integrals.
+    let _ = run_branching_metered(16);
+    let (_, short_b) = run_branching_metered(4096);
+    let (_, long_b) = run_branching_metered(12288);
+    assert_eq!(
+        long_b, short_b,
+        "metered branch replication allocated per flit"
+    );
+}
+
 fn seg_lookups_are_counted() {
     // The arena refactor's accounting hook: every event-path state lookup
     // (a hash probe before, an array index now) is counted.
@@ -237,7 +340,7 @@ fn seg_lookups_are_counted() {
 }
 
 fn main() {
-    let checks: [(&str, fn()); 6] = [
+    let checks: [(&str, fn()); 8] = [
         ("body_flits_allocate_nothing", body_flits_allocate_nothing),
         (
             "repeated_runs_have_identical_alloc_counts",
@@ -254,6 +357,14 @@ fn main() {
         (
             "enabled_tracing_allocates_nothing_per_flit",
             enabled_tracing_allocates_nothing_per_flit,
+        ),
+        (
+            "disabled_metrics_allocates_nothing_per_flit",
+            disabled_metrics_allocates_nothing_per_flit,
+        ),
+        (
+            "enabled_metrics_allocates_nothing_per_flit",
+            enabled_metrics_allocates_nothing_per_flit,
         ),
         ("seg_lookups_are_counted", seg_lookups_are_counted),
     ];

@@ -24,6 +24,9 @@
 //! * [`trace`] — observability: per-message spans, an exact latency-phase
 //!   decomposition (startup/blocking/route-setup/wire/stall), and
 //!   Perfetto track-event export for `ui.perfetto.dev`,
+//! * [`metrics`] — fabric telemetry: a deterministic sim-time gauge
+//!   sampler, per-channel congestion accumulators, lattice heatmaps
+//!   (CSV/JSON/terminal), and one-screen run reports,
 //! * [`simstats`] — statistics and CI-driven replication control.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
@@ -35,6 +38,7 @@ pub use simstats;
 pub use spam_core as spam;
 pub use spam_faults as faults;
 pub use spam_fuzz as fuzz;
+pub use spam_metrics as metrics;
 pub use spam_reconfig as reconfig;
 pub use spam_scenario as scenario;
 pub use spam_trace as trace;
@@ -52,6 +56,7 @@ pub mod prelude {
     pub use simstats::{ConfidenceInterval, RunningStats};
     pub use spam_core::{SelectionPolicy, SpamRouting};
     pub use spam_faults::{DegradedNetwork, FaultModel, FaultPlan};
+    pub use spam_metrics::{CongestionHeatmap, HeatKey, MetricsConfig, RunMetrics, RunReport};
     pub use spam_reconfig::{EpochRouting, FaultEvent, FaultKind, FaultSchedule, ReconfigScenario};
     pub use spam_scenario::{
         run_once as run_scenario_once, run_spec as run_scenario, FaultsSpec, RoutingSpec,
