@@ -15,7 +15,9 @@ use netgraph::{ChannelId, NodeId, Topology};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use updown::{BitMatrix, ChannelClass, UpDownLabeling};
-use wormsim::{MessageSpec, RouteDecision, RouteError, RoutingAlgorithm};
+use wormsim::{
+    MessageSpec, RouteDecision, RouteError, RoutingAlgorithm, SnapReader, SnapWriter, SnapshotError,
+};
 
 /// Routing phase: up channels first, then down channels only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +180,30 @@ impl RoutingAlgorithm for UpDownUnicastRouting<'_> {
         Ok(UdHeader {
             target,
             phase: UdPhase::Up,
+        })
+    }
+
+    fn snapshot_name(&self) -> &'static str {
+        "updown-unicast"
+    }
+
+    fn encode_header(&self, h: &UdHeader, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        w.put_u32(h.target.0);
+        w.put_u8(match h.phase {
+            UdPhase::Up => 0,
+            UdPhase::Down => 1,
+        });
+        Ok(())
+    }
+
+    fn decode_header(&self, r: &mut SnapReader) -> Result<UdHeader, SnapshotError> {
+        Ok(UdHeader {
+            target: NodeId(r.get_u32()?),
+            phase: match r.get_u8()? {
+                0 => UdPhase::Up,
+                1 => UdPhase::Down,
+                _ => return Err(SnapshotError::Corrupt("unknown up*/down* phase")),
+            },
         })
     }
 

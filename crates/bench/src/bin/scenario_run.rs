@@ -6,22 +6,30 @@
 //! cargo run -p spam-bench --bin scenario_run --release
 //! cargo run -p spam-bench --bin scenario_run --release -- --quick
 //! cargo run -p spam-bench --bin scenario_run --release -- --dir my_scenarios
+//! cargo run -p spam-bench --bin scenario_run --release -- --resume
 //! ```
 //!
+//! The sweep is crash-safe: one scenario's typed failure is recorded as
+//! an `error` status row and the rest still run, and `--resume` keeps a
+//! journal (`results/scenarios/.journal`) so an interrupted sweep picks
+//! up where it died instead of rerunning finished scenarios.
+//!
 //! Writes one `results/scenarios/<name>.csv` per scenario, a combined
-//! `results/scenario_corpus.csv`, `results/BENCH_scenario_corpus.json`,
-//! and a root-level `BENCH_scenario_corpus.json` copy, and prints a
-//! per-scenario summary table.
+//! `results/scenario_corpus.csv` (with per-scenario status rows), a
+//! `results/BENCH_scenario_corpus.json`, and a root-level
+//! `BENCH_scenario_corpus.json` copy, and prints a per-scenario summary
+//! table.
 
 use spam_bench::report;
 use spam_bench::scenario_corpus::{
-    corpus_bench_json, run_corpus, write_corpus_csv, write_scenario_csv,
+    corpus_bench_json, run_corpus_journaled, write_corpus_csv, write_scenario_csv, CorpusStatus,
 };
 use std::path::{Path, PathBuf};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let resume = args.iter().any(|a| a == "--resume");
     let dir: PathBuf = match args.iter().position(|a| a == "--dir") {
         Some(i) => match args.get(i + 1) {
             Some(d) => PathBuf::from(d),
@@ -33,9 +41,19 @@ fn main() {
         None => PathBuf::from("scenarios"),
     };
 
-    eprintln!("scenario_run: corpus {} (quick: {quick})", dir.display());
+    let out_dir = Path::new("results/scenarios");
+    let journal = out_dir.join(".journal");
+    if !resume {
+        // A fresh (non-resume) sweep invalidates any previous journal.
+        std::fs::remove_file(&journal).ok();
+    }
+
+    eprintln!(
+        "scenario_run: corpus {} (quick: {quick}, resume: {resume})",
+        dir.display()
+    );
     let t0 = std::time::Instant::now();
-    let results = match run_corpus(&dir, quick) {
+    let results = match run_corpus_journaled(&dir, quick, Some(&journal)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("scenario_run: {e}");
@@ -48,28 +66,53 @@ fn main() {
         t0.elapsed()
     );
 
-    let out_dir = Path::new("results/scenarios");
     println!(
-        "  {:<28} {:>4} {:>9} {:>9} {:>6} {:>8} {:>11} {:>6}",
-        "scenario", "reps", "messages", "delivered", "torn", "unreach", "mean (µs)", "clean"
+        "  {:<28} {:>7} {:>4} {:>9} {:>9} {:>6} {:>8} {:>11} {:>6}",
+        "scenario",
+        "status",
+        "reps",
+        "messages",
+        "delivered",
+        "torn",
+        "unreach",
+        "mean (µs)",
+        "clean"
     );
     for r in &results {
-        write_scenario_csv(out_dir, &r.report).expect("write scenario csv");
-        let (d, t, u) = r.report.totals();
-        let submitted: u64 = r.report.reps.iter().map(|x| x.submitted).sum();
-        println!(
-            "  {:<28} {:>4} {:>9} {:>9} {:>6} {:>8} {:>11} {:>6}",
-            r.report.name,
-            r.report.reps.len(),
-            submitted,
-            d,
-            t,
-            u,
-            r.report
-                .mean_latency_us()
-                .map_or("-".to_string(), |x| format!("{x:.3}")),
-            r.report.all_clean()
-        );
+        match &r.status {
+            CorpusStatus::Ok(report) => {
+                write_scenario_csv(out_dir, report).expect("write scenario csv");
+                let (d, t, u) = report.totals();
+                let submitted: u64 = report.reps.iter().map(|x| x.submitted).sum();
+                println!(
+                    "  {:<28} {:>7} {:>4} {:>9} {:>9} {:>6} {:>8} {:>11} {:>6}",
+                    report.name,
+                    "ok",
+                    report.reps.len(),
+                    submitted,
+                    d,
+                    t,
+                    u,
+                    report
+                        .mean_latency_us()
+                        .map_or("-".to_string(), |x| format!("{x:.3}")),
+                    report.all_clean()
+                );
+            }
+            CorpusStatus::Failed(e) => {
+                println!(
+                    "  {:<28} {:>7} {:>4} {:>9} {:>9} {:>6} {:>8} {:>11} {:>6}",
+                    r.spec.name, "error", "-", "-", "-", "-", "-", "-", "-"
+                );
+                eprintln!("scenario_run: {}: {e}", r.path.display());
+            }
+            CorpusStatus::Skipped => {
+                println!(
+                    "  {:<28} {:>7} {:>4} {:>9} {:>9} {:>6} {:>8} {:>11} {:>6}",
+                    r.spec.name, "skipped", "-", "-", "-", "-", "-", "-", "-"
+                );
+            }
+        }
     }
 
     write_corpus_csv(Path::new("results/scenario_corpus.csv"), &results).expect("write corpus csv");
@@ -85,8 +128,18 @@ fn main() {
         json_path.display()
     );
 
-    if results.iter().any(|r| !r.report.all_clean()) {
-        eprintln!("scenario_run: some replications did not end cleanly");
+    let failed = results
+        .iter()
+        .any(|r| matches!(r.status, CorpusStatus::Failed(_)));
+    let unclean = results
+        .iter()
+        .filter_map(|r| r.status.report())
+        .any(|rep| !rep.all_clean());
+    if failed || unclean {
+        eprintln!("scenario_run: some scenarios failed or did not end cleanly");
         std::process::exit(2);
     }
+    // A completed sweep retires its journal: the next plain run starts
+    // fresh, and the next --resume run has nothing to skip.
+    std::fs::remove_file(&journal).ok();
 }

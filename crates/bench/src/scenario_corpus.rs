@@ -5,9 +5,41 @@
 
 use crate::report::BenchJson;
 use crate::PointSummary;
-use spam_scenario::{run_spec, CorpusError, ScenarioReport, ScenarioSpec};
+use spam_scenario::{run_spec, CorpusError, ScenarioReport, ScenarioSpec, SpecError};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+/// How one corpus entry ended. A sweep is crash-safe: one scenario's
+/// typed failure never aborts the rest, and a resume journal lets an
+/// interrupted sweep skip what already finished.
+#[derive(Debug, Clone)]
+pub enum CorpusStatus {
+    /// The scenario executed; here is its report.
+    Ok(ScenarioReport),
+    /// The scenario failed with a typed error (recorded, not fatal).
+    Failed(SpecError),
+    /// The resume journal says this scenario already completed.
+    Skipped,
+}
+
+impl CorpusStatus {
+    /// Short status word for CSV/status columns.
+    pub fn word(&self) -> &'static str {
+        match self {
+            CorpusStatus::Ok(_) => "ok",
+            CorpusStatus::Failed(_) => "error",
+            CorpusStatus::Skipped => "skipped",
+        }
+    }
+
+    /// The report, when the scenario ran.
+    pub fn report(&self) -> Option<&ScenarioReport> {
+        match self {
+            CorpusStatus::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+}
 
 /// One executed corpus entry.
 #[derive(Debug, Clone)]
@@ -16,52 +48,98 @@ pub struct CorpusResult {
     pub path: PathBuf,
     /// The (possibly quickened) spec that ran.
     pub spec: ScenarioSpec,
-    /// The execution report.
-    pub report: ScenarioReport,
+    /// How the run ended.
+    pub status: CorpusStatus,
 }
 
-/// Why a corpus run failed.
+/// Why a corpus run failed outright (only the directory load can; a
+/// single scenario's failure is a per-entry [`CorpusStatus::Failed`]).
 #[derive(Debug)]
 pub enum CorpusRunError {
     /// The directory failed to load.
     Load(CorpusError),
-    /// One scenario failed to execute.
-    Run {
-        /// The offending file.
-        path: PathBuf,
-        /// The typed reason.
-        error: spam_scenario::SpecError,
-    },
 }
 
 impl std::fmt::Display for CorpusRunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CorpusRunError::Load(e) => write!(f, "{e}"),
-            CorpusRunError::Run { path, error } => write!(f, "{}: {error}", path.display()),
         }
     }
 }
 
 impl std::error::Error for CorpusRunError {}
 
+/// Names already recorded in a resume journal (one scenario name per
+/// line). A missing journal is an empty set.
+fn journal_names(path: &Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .map(|s| s.lines().map(str::to_string).collect())
+        .unwrap_or_default()
+}
+
+/// Appends one completed scenario to the journal, flushing immediately
+/// so a crash between scenarios loses at most the one in flight.
+fn journal_append(path: &Path, name: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{name}")?;
+    f.sync_all()
+}
+
 /// Loads and executes every scenario under `dir`, in filename order.
 /// `quick` caps message counts and replications
-/// ([`ScenarioSpec::quicken`]).
-pub fn run_corpus(dir: &Path, quick: bool) -> Result<Vec<CorpusResult>, CorpusRunError> {
+/// ([`ScenarioSpec::quicken`]). A scenario that fails is recorded as
+/// [`CorpusStatus::Failed`] and the sweep continues. With a `journal`
+/// path, scenarios named in the journal are skipped and each completed
+/// scenario is appended as it finishes — rerunning the same command
+/// after a crash resumes where the sweep died.
+pub fn run_corpus_journaled(
+    dir: &Path,
+    quick: bool,
+    journal: Option<&Path>,
+) -> Result<Vec<CorpusResult>, CorpusRunError> {
     let corpus = spam_scenario::load_dir(dir).map_err(CorpusRunError::Load)?;
+    let done = journal.map(journal_names).unwrap_or_default();
     let mut out = Vec::with_capacity(corpus.len());
     for (path, mut spec) in corpus {
         if quick {
             spec.quicken();
         }
-        let report = run_spec(&spec).map_err(|error| CorpusRunError::Run {
-            path: path.clone(),
-            error,
-        })?;
-        out.push(CorpusResult { path, spec, report });
+        if done.contains(&spec.name) {
+            out.push(CorpusResult {
+                path,
+                spec,
+                status: CorpusStatus::Skipped,
+            });
+            continue;
+        }
+        let status = match run_spec(&spec) {
+            Ok(report) => {
+                if let Some(j) = journal {
+                    // Journal I/O failure must not invalidate the run;
+                    // it only costs resumability.
+                    if let Err(e) = journal_append(j, &report.name) {
+                        eprintln!("corpus journal {}: {e}", j.display());
+                    }
+                }
+                CorpusStatus::Ok(report)
+            }
+            Err(error) => CorpusStatus::Failed(error),
+        };
+        out.push(CorpusResult { path, spec, status });
     }
     Ok(out)
+}
+
+/// [`run_corpus_journaled`] without a resume journal.
+pub fn run_corpus(dir: &Path, quick: bool) -> Result<Vec<CorpusResult>, CorpusRunError> {
+    run_corpus_journaled(dir, quick, None)
 }
 
 /// Writes one scenario's per-replication CSV
@@ -96,7 +174,9 @@ pub fn write_scenario_csv(out_dir: &Path, report: &ScenarioReport) -> std::io::R
     Ok(path)
 }
 
-/// Writes the combined corpus summary CSV, one row per scenario.
+/// Writes the combined corpus summary CSV, one row per scenario —
+/// including a status row for scenarios that failed or were skipped, so
+/// a partial sweep still leaves a complete, honest record.
 pub fn write_corpus_csv(path: &Path, results: &[CorpusResult]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
@@ -104,21 +184,35 @@ pub fn write_corpus_csv(path: &Path, results: &[CorpusResult]) -> std::io::Resul
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
-        "scenario,reps,submitted,delivered,torn_down,unreachable,mean_latency_us,all_clean"
+        "scenario,status,reps,submitted,delivered,torn_down,unreachable,\
+         mean_latency_us,all_clean,detail"
     )?;
     for r in results {
-        let (d, t, u) = r.report.totals();
-        let submitted: u64 = r.report.reps.iter().map(|x| x.submitted).sum();
-        writeln!(
-            f,
-            "{},{},{submitted},{d},{t},{u},{},{}",
-            r.report.name,
-            r.report.reps.len(),
-            r.report
-                .mean_latency_us()
-                .map_or(String::new(), |x| format!("{x:.4}")),
-            r.report.all_clean()
-        )?;
+        match &r.status {
+            CorpusStatus::Ok(report) => {
+                let (d, t, u) = report.totals();
+                let submitted: u64 = report.reps.iter().map(|x| x.submitted).sum();
+                writeln!(
+                    f,
+                    "{},ok,{},{submitted},{d},{t},{u},{},{},",
+                    report.name,
+                    report.reps.len(),
+                    report
+                        .mean_latency_us()
+                        .map_or(String::new(), |x| format!("{x:.4}")),
+                    report.all_clean()
+                )?;
+            }
+            CorpusStatus::Failed(e) => {
+                // Typed failure detail, commas stripped to keep the row
+                // one CSV record.
+                let detail = e.to_string().replace(',', ";");
+                writeln!(f, "{},error,,,,,,,,{detail}", r.spec.name)?;
+            }
+            CorpusStatus::Skipped => {
+                writeln!(f, "{},skipped,,,,,,,,resume journal", r.spec.name)?;
+            }
+        }
     }
     Ok(())
 }
@@ -129,9 +223,9 @@ pub fn write_corpus_csv(path: &Path, results: &[CorpusResult]) -> std::io::Resul
 pub fn corpus_bench_json(results: &[CorpusResult], quick: bool) -> BenchJson {
     let series = results
         .iter()
-        .map(|r| {
-            let points = r
-                .report
+        .filter_map(|r| {
+            let report = r.status.report()?;
+            let points = report
                 .reps
                 .iter()
                 .map(|rep| PointSummary {
@@ -142,13 +236,23 @@ pub fn corpus_bench_json(results: &[CorpusResult], quick: bool) -> BenchJson {
                     target_met: rep.clean,
                 })
                 .collect();
-            (r.report.name.clone(), points)
+            Some((report.name.clone(), points))
         })
         .collect();
+    let count = |s: &str| {
+        results
+            .iter()
+            .filter(|r| r.status.word() == s)
+            .count()
+            .to_string()
+    };
     BenchJson {
         name: "scenario_corpus".to_string(),
         params: vec![
             ("scenarios".to_string(), results.len().to_string()),
+            ("ok".to_string(), count("ok")),
+            ("failed".to_string(), count("error")),
+            ("skipped".to_string(), count("skipped")),
             ("quick".to_string(), quick.to_string()),
         ],
         series,
@@ -175,7 +279,7 @@ mod tests {
         tiny_corpus(&dir);
         let results = run_corpus(&dir, true).unwrap();
         assert_eq!(results.len(), 1);
-        let report = &results[0].report;
+        let report = results[0].status.report().expect("scenario ran");
         assert!(report.all_clean());
         assert!(report.mean_latency_us().unwrap() > 10.0, "startup floor");
 
@@ -188,7 +292,7 @@ mod tests {
         let combined = out.join("scenario_corpus.csv");
         write_corpus_csv(&combined, &results).unwrap();
         let body = std::fs::read_to_string(&combined).unwrap();
-        assert!(body.contains("tiny-fig2"));
+        assert!(body.contains("tiny-fig2,ok,"));
 
         let bench = corpus_bench_json(&results, true);
         assert_eq!(bench.series.len(), 1);
@@ -206,6 +310,61 @@ mod tests {
             run_corpus(&dir, false),
             Err(CorpusRunError::Load(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn one_failing_scenario_does_not_abort_the_sweep() {
+        let dir = std::env::temp_dir().join("spam_bench_corpus_partial_test");
+        tiny_corpus(&dir);
+        // A spec that validates but fails at run time: static damage so
+        // severe no component survives.
+        let mut doomed = ScenarioSpec::example("aaa-doomed");
+        doomed.topology.switches = 8;
+        doomed.traffic = spam_scenario::TrafficSpec::SingleMulticast { dests: 2, len: 32 };
+        doomed.faults = spam_scenario::FaultsSpec::Static {
+            model: spam_scenario::FaultModelSpec::IidSwitches { rate: 1.0 },
+            seed: 1,
+        };
+        std::fs::write(dir.join("doomed.scenario.json"), doomed.to_json_string()).unwrap();
+
+        let results = run_corpus(&dir, true).unwrap();
+        assert_eq!(results.len(), 2);
+        let by_name = |n: &str| {
+            results
+                .iter()
+                .find(|r| r.spec.name == n)
+                .unwrap_or_else(|| panic!("{n} missing"))
+        };
+        assert!(matches!(
+            by_name("aaa-doomed").status,
+            CorpusStatus::Failed(_)
+        ));
+        assert!(matches!(by_name("tiny-fig2").status, CorpusStatus::Ok(_)));
+
+        // The combined CSV records both, with a status per row.
+        let combined = dir.join("out/scenario_corpus.csv");
+        write_corpus_csv(&combined, &results).unwrap();
+        let body = std::fs::read_to_string(&combined).unwrap();
+        assert!(body.contains("aaa-doomed,error,"), "{body}");
+        assert!(body.contains("tiny-fig2,ok,"), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_journal_skips_completed_scenarios() {
+        let dir = std::env::temp_dir().join("spam_bench_corpus_resume_test");
+        tiny_corpus(&dir);
+        let journal = dir.join("out/.journal");
+
+        let first = run_corpus_journaled(&dir, true, Some(&journal)).unwrap();
+        assert!(matches!(first[0].status, CorpusStatus::Ok(_)));
+        let recorded = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(recorded.trim(), "tiny-fig2");
+
+        // Second sweep with the same journal: nothing reruns.
+        let second = run_corpus_journaled(&dir, true, Some(&journal)).unwrap();
+        assert!(matches!(second[0].status, CorpusStatus::Skipped));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -23,6 +23,21 @@ impl SlotId {
     pub fn index(self) -> usize {
         self.idx as usize
     }
+
+    /// The generation the slot had when this id was issued.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        self.gen
+    }
+
+    /// Rebuilds a handle from its raw `(index, generation)` pair, as
+    /// produced by [`SlotId::index`]/[`SlotId::generation`]. Intended for
+    /// snapshot restore: a raw pair pointing at a slot whose generation
+    /// has moved on simply yields a stale (harmless) handle.
+    #[inline]
+    pub fn from_raw(idx: u32, gen: u32) -> Self {
+        SlotId { idx, gen }
+    }
 }
 
 impl fmt::Display for SlotId {
@@ -170,6 +185,65 @@ impl<T> Slab<T> {
         }
         self.len = 0;
     }
+
+    /// Total physical slots (live + vacant).
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The vacant-slot free list in its exact LIFO order. Future inserts
+    /// pop from the *end*, so this order is observable through the ids
+    /// they return and must survive a snapshot round-trip byte-exactly.
+    #[inline]
+    pub fn free_list(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Visits every physical slot in index order — vacant ones included —
+    /// yielding its generation counter and its value, if live. Together
+    /// with [`Slab::free_list`] this is the complete observable state.
+    pub fn snapshot_slots(&self, mut f: impl FnMut(u32, Option<&T>)) {
+        for slot in &self.slots {
+            f(slot.gen, slot.val.as_ref());
+        }
+    }
+
+    /// Rebuilds a slab from raw parts captured by [`Slab::snapshot_slots`]
+    /// and [`Slab::free_list`]. Validates the structural invariants — the
+    /// free list must index each vacant slot exactly once and no live one
+    /// — and reports a violation as a typed error instead of panicking, so
+    /// corrupted snapshot input cannot construct an inconsistent arena.
+    pub fn from_raw_parts(
+        slots: Vec<(u32, Option<T>)>,
+        free: Vec<u32>,
+    ) -> Result<Self, &'static str> {
+        let live = slots.iter().filter(|(_, v)| v.is_some()).count();
+        if free.len() != slots.len() - live {
+            return Err("slab free list length disagrees with vacant slot count");
+        }
+        let mut seen = vec![false; slots.len()];
+        for &idx in &free {
+            let Some(slot) = slots.get(idx as usize) else {
+                return Err("slab free list indexes past the slot array");
+            };
+            if slot.1.is_some() {
+                return Err("slab free list indexes a live slot");
+            }
+            if seen[idx as usize] {
+                return Err("slab free list repeats a slot");
+            }
+            seen[idx as usize] = true;
+        }
+        Ok(Slab {
+            slots: slots
+                .into_iter()
+                .map(|(gen, val)| Slot { gen, val })
+                .collect(),
+            free,
+            len: live,
+        })
+    }
 }
 
 impl<T> Default for Slab<T> {
@@ -253,6 +327,59 @@ mod tests {
         let c = s.insert(3);
         assert_eq!(s.get(c), Some(&3));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_preserves_everything_observable() {
+        let mut s = Slab::new();
+        let ids: Vec<SlotId> = (0..6).map(|i| s.insert(i * 7)).collect();
+        s.remove(ids[1]);
+        s.remove(ids[4]);
+        s.remove(ids[2]);
+
+        let mut slots = Vec::new();
+        s.snapshot_slots(|gen, v| slots.push((gen, v.copied())));
+        let rebuilt = Slab::from_raw_parts(slots, s.free_list().to_vec()).unwrap();
+
+        assert_eq!(rebuilt.len(), s.len());
+        assert_eq!(rebuilt.num_slots(), s.num_slots());
+        for &id in &[ids[0], ids[3], ids[5]] {
+            assert_eq!(rebuilt.get(id), s.get(id));
+        }
+        for &stale in &[ids[1], ids[2], ids[4]] {
+            assert_eq!(rebuilt.get(stale), None);
+        }
+        // LIFO reuse order is part of the observable state: the next two
+        // inserts must hand out the same slots in both slabs.
+        let (mut a, mut b) = (s, rebuilt);
+        for _ in 0..3 {
+            assert_eq!(a.insert(99), b.insert(99));
+        }
+    }
+
+    #[test]
+    fn raw_parts_rejects_inconsistent_free_lists() {
+        // Free list pointing at a live slot.
+        assert!(Slab::from_raw_parts(vec![(0, Some(1u32))], vec![0]).is_err());
+        // Free list shorter than the vacant count.
+        assert!(Slab::<u32>::from_raw_parts(vec![(1, None)], vec![]).is_err());
+        // Free list indexing out of bounds.
+        assert!(Slab::<u32>::from_raw_parts(vec![(1, None)], vec![5]).is_err());
+        // Duplicate free entries.
+        assert!(Slab::<u32>::from_raw_parts(vec![(1, None), (1, None)], vec![0, 0]).is_err());
+        // A consistent vacant-only slab is fine.
+        let ok = Slab::<u32>::from_raw_parts(vec![(3, None), (0, Some(9))], vec![0]).unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok.get(SlotId::from_raw(1, 0)), Some(&9));
+        assert_eq!(ok.get(SlotId::from_raw(0, 2)), None, "stale raw id");
+    }
+
+    #[test]
+    fn slot_id_raw_round_trip() {
+        let id = SlotId::from_raw(7, 3);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.generation(), 3);
+        assert_eq!(SlotId::from_raw(7, 3), id);
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub fn root_transit_probability(
         let mut dests: Vec<NodeId> = procs.iter().copied().filter(|&p| p != src).collect();
         dests.shuffle(&mut rng);
         dests.truncate(k);
-        let lca = ud.lca_of(&dests).expect("non-empty");
+        let Some(lca) = ud.lca_of(&dests) else {
+            // k == 0: no destinations, no transit — skip the sample.
+            continue;
+        };
         if lca == ud.root() {
             lca_root += 1;
             cross_root += 1;
@@ -90,6 +93,9 @@ fn greedy_walk_visits(
             return true;
         }
         let legal = spam.legal_moves(node, phase, target);
+        // SPAM totality (the paper's liveness theorem): on a labeled
+        // fault-free component the legal set is never empty.
+        #[allow(clippy::expect_used)]
         let (ch, next) = legal
             .into_iter()
             .min_by_key(|&(c, ph)| {

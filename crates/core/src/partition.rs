@@ -46,12 +46,18 @@ pub fn partition_destinations(
     match strategy {
         PartitionStrategy::SubtreesUnderLca { max_groups } => {
             assert!(max_groups >= 1);
+            // The empty set returned early above; every destination is
+            // labeled, so the LCA exists.
+            #[allow(clippy::expect_used)]
             let lca = ud.lca_of(dests).expect("non-empty destination set");
             // Bucket per child-of-LCA subtree; destinations attached at
             // the LCA itself (its own processor child) land in their own
             // buckets too, since processors are tree children.
             let mut groups: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
             for &d in dests {
+                // By LCA definition every destination sits in some
+                // child subtree of it.
+                #[allow(clippy::expect_used)]
                 let child = ud
                     .child_towards(lca, d)
                     .expect("LCA covers all destinations");
@@ -64,7 +70,11 @@ pub fn partition_destinations(
             // Merge smallest pairs until the budget is met.
             while groups.len() > max_groups {
                 groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+                // Loop guard: len > max_groups >= 1, so two pops' worth
+                // of groups exist.
+                #[allow(clippy::expect_used)]
                 let small = groups.pop().expect("len > max_groups >= 1");
+                #[allow(clippy::expect_used)]
                 let last = groups.last_mut().expect("len >= 1");
                 last.extend(small);
             }

@@ -5,7 +5,9 @@ use netgraph::{ChannelId, NodeId, Topology};
 use spam_collections::InlineVec;
 use std::sync::Arc;
 use updown::{ChannelClass, UpDownLabeling};
-use wormsim::{MessageSpec, RouteDecision, RouteError, RoutingAlgorithm};
+use wormsim::{
+    MessageSpec, RouteDecision, RouteError, RoutingAlgorithm, SnapReader, SnapWriter, SnapshotError,
+};
 
 /// Reusable working memory for SPAM's per-hop decision: the legal-move
 /// candidate set of the unicast stage. Owned by the simulation engine and
@@ -181,6 +183,11 @@ impl<'a> SpamRouting<'a> {
     }
 
     /// Applies the selection policy to a non-empty legal set.
+    //
+    // Caller contract (checked at every call site): `legal` comes from
+    // `legal_moves` and was tested non-empty before dispatching here, so
+    // the `min_by_key` reductions below cannot see an empty iterator.
+    #[allow(clippy::expect_used)]
     fn select(
         &self,
         legal: &[(ChannelId, Phase)],
@@ -240,6 +247,9 @@ impl<'a> SpamRouting<'a> {
     ) {
         for &child in self.ud.tree_children(node) {
             if header.dests.iter().any(|&d| self.ud.is_ancestor(child, d)) {
+                // `tree_children` enumerates spanning-tree edges, and the
+                // spanning tree is a subgraph of the topology's links.
+                #[allow(clippy::expect_used)]
                 let ch = self
                     .topo
                     .channel_between(node, child)
@@ -280,6 +290,9 @@ impl RoutingAlgorithm for SpamRouting<'_> {
         if let Some(&dead) = spec.dests.iter().find(|&&d| !self.ud.is_labeled(d)) {
             return Err(RouteError::UnreachableDestination { dest: dead });
         }
+        // The engine rejects empty destination sets at submit, and the
+        // labeled-ness of every destination was just checked above.
+        #[allow(clippy::expect_used)]
         let lca = self
             .ud
             .lca_of(&spec.dests)
@@ -289,6 +302,40 @@ impl RoutingAlgorithm for SpamRouting<'_> {
             lca,
             phase: Phase::Up,
             in_tree: false,
+        })
+    }
+
+    fn snapshot_name(&self) -> &'static str {
+        "spam"
+    }
+
+    fn encode_header(&self, h: &SpamHeader, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        w.put_len(h.dests.len());
+        for d in h.dests.iter() {
+            w.put_u32(d.0);
+        }
+        w.put_u32(h.lca.0);
+        w.put_u8(h.phase as u8);
+        w.put_bool(h.in_tree);
+        Ok(())
+    }
+
+    fn decode_header(&self, r: &mut SnapReader) -> Result<SpamHeader, SnapshotError> {
+        let n = r.get_len()?;
+        let mut dests = Vec::with_capacity(n);
+        for _ in 0..n {
+            dests.push(NodeId(r.get_u32()?));
+        }
+        Ok(SpamHeader {
+            dests: dests.into(),
+            lca: NodeId(r.get_u32()?),
+            phase: match r.get_u8()? {
+                0 => Phase::Up,
+                1 => Phase::DownCross,
+                2 => Phase::DownTree,
+                _ => return Err(SnapshotError::Corrupt("unknown SPAM routing phase")),
+            },
+            in_tree: r.get_bool()?,
         })
     }
 

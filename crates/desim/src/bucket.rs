@@ -419,6 +419,45 @@ impl<E> BucketQueue<E> {
         }
     }
 
+    /// Visits every pending event with its `(when, seq)` key, in pool
+    /// order (arbitrary). Non-destructive: used by the snapshot layer,
+    /// which re-sorts by `seq` — pop order is a pure function of
+    /// `(time, seq)`, so the wheel's internal arrangement need not be
+    /// serialized.
+    pub fn snapshot_each(&self, mut f: impl FnMut(u64, u64, &E)) {
+        for cell in &self.pool {
+            if let Some(v) = &cell.val {
+                f(cell.when, cell.seq, v);
+            }
+        }
+    }
+
+    /// The monotone floor (last popped timestamp).
+    pub fn floor_ns(&self) -> u64 {
+        self.floor
+    }
+
+    /// An empty queue whose floor and sequence counter are pre-set, ready
+    /// to receive [`BucketQueue::insert_restored`] events.
+    pub fn restore_empty(floor: u64, next_seq: u64) -> Self {
+        let mut q = Self::new();
+        q.floor = floor;
+        q.next_seq = next_seq;
+        q
+    }
+
+    /// Re-files an event captured by [`BucketQueue::snapshot_each`] under
+    /// its original sequence number. Level-0 slots are marked dirty so the
+    /// lazy seq-sort restores exact FIFO order regardless of insertion
+    /// order; coarser slots and the overflow list are order-insensitive.
+    pub fn insert_restored(&mut self, when: u64, seq: u64, event: E) {
+        debug_assert!(when >= self.floor, "restored event below the floor");
+        debug_assert!(seq < self.next_seq, "restored seq beyond the counter");
+        self.len += 1;
+        let idx = self.alloc_cell(when, seq, event);
+        self.link(idx, true);
+    }
+
     /// Drops all pending events (the sequence counter and the clock floor
     /// keep advancing so determinism is preserved across a clear).
     pub fn clear(&mut self) {

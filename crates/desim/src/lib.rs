@@ -150,6 +150,37 @@ impl<E> Schedule<E> {
     pub fn queue_occupancy(&self) -> bucket::QueueOccupancy {
         self.queue.occupancy()
     }
+
+    /// Which queue implementation backs this schedule.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// Visits every pending event with its `(time, seq)` key (arbitrary
+    /// order; see [`EventQueue::snapshot_each`]). Together with
+    /// [`Schedule::now`] and [`Schedule::scheduled_count`] this is the
+    /// schedule's complete observable state.
+    pub fn snapshot_each(&self, f: impl FnMut(Time, u64, &E)) {
+        self.queue.snapshot_each(f);
+    }
+
+    /// An empty schedule primed for restore: clock at `now`, sequence
+    /// counter at `next_seq`, queue of the chosen kind ready for
+    /// [`Schedule::insert_restored`]. Pending events always fire at or
+    /// after the last popped instant, so `now` is a valid queue floor.
+    pub fn restore_empty(kind: QueueKind, now: Time, next_seq: u64) -> Self {
+        Self {
+            now,
+            queue: EventQueue::restore_empty(kind, now, next_seq),
+        }
+    }
+
+    /// Re-files an event captured by [`Schedule::snapshot_each`] under its
+    /// original sequence number, preserving exact pop order.
+    pub fn insert_restored(&mut self, at: Time, seq: u64, event: E) {
+        debug_assert!(at >= self.now, "restored event in the past");
+        self.queue.insert_restored(at, seq, event);
+    }
 }
 
 #[cfg(test)]

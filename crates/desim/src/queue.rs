@@ -232,6 +232,50 @@ impl<E> EventQueue<E> {
             Imp::Bucket(q) => q.clear(),
         }
     }
+
+    /// Visits every pending event with its `(time, seq)` key, in an
+    /// arbitrary order. Pop order is a pure function of `(time, seq)`, so
+    /// this plus [`EventQueue::scheduled_count`] is the queue's complete
+    /// observable state — what the snapshot layer persists.
+    pub fn snapshot_each(&self, mut f: impl FnMut(Time, u64, &E)) {
+        match &self.imp {
+            Imp::Heap(q) => {
+                for s in q.heap.iter() {
+                    f(s.time, s.seq, &s.event);
+                }
+            }
+            Imp::Bucket(q) => q.snapshot_each(|when, seq, e| f(Time::from_ns(when), seq, e)),
+        }
+    }
+
+    /// An empty queue primed for restore: the chosen implementation with
+    /// its clock floor (bucket) and sequence counter pre-set, ready for
+    /// [`EventQueue::insert_restored`].
+    pub fn restore_empty(kind: QueueKind, floor: Time, next_seq: u64) -> Self {
+        let imp = match kind {
+            QueueKind::Heap => Imp::Heap(HeapQueue {
+                heap: BinaryHeap::new(),
+                next_seq,
+            }),
+            QueueKind::Bucket => Imp::Bucket(Box::new(BucketQueue::restore_empty(
+                floor.as_ns(),
+                next_seq,
+            ))),
+        };
+        EventQueue { imp }
+    }
+
+    /// Re-files an event captured by [`EventQueue::snapshot_each`] under
+    /// its original sequence number, preserving exact pop order.
+    pub fn insert_restored(&mut self, time: Time, seq: u64, event: E) {
+        match &mut self.imp {
+            Imp::Heap(q) => {
+                debug_assert!(seq < q.next_seq, "restored seq beyond the counter");
+                q.heap.push(ScheduledEvent { time, seq, event });
+            }
+            Imp::Bucket(q) => q.insert_restored(time.as_ns(), seq, event),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +352,47 @@ mod tests {
             assert_eq!(q.scheduled_count(), 2);
             q.schedule(Time::ZERO, 2);
             assert_eq!(q.scheduled_count(), 3);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_pop_order_mid_stream() {
+        for kind in [QueueKind::Heap, QueueKind::Bucket] {
+            // Build a queue with a mix of near, same-instant, cascaded and
+            // overflow events, pop a few, then snapshot/restore and check
+            // the remaining pop sequence is identical.
+            let mut q = EventQueue::with_kind(kind);
+            for i in 0..20u32 {
+                q.schedule(Time::from_ns(40), i); // same-instant burst
+            }
+            q.schedule(Time::from_ns(10), 100);
+            q.schedule(Time::from_ns(5000), 101); // coarser wheel level
+            q.schedule(Time::from_ns(1 << 40), 102); // overflow
+            for _ in 0..5 {
+                q.pop().unwrap();
+            }
+            q.schedule(Time::from_ns(40), 103); // joins the burst late
+
+            let mut reference = q.clone();
+            let floor = q.peek_time().unwrap();
+            let mut restored = EventQueue::restore_empty(kind, floor, q.scheduled_count());
+            let mut pending = Vec::new();
+            q.snapshot_each(|t, seq, &e| pending.push((t, seq, e)));
+            // Deliberately insert in a scrambled order: restore must not
+            // depend on insertion order.
+            pending.reverse();
+            for (t, seq, e) in pending {
+                restored.insert_restored(t, seq, e);
+            }
+            assert_eq!(restored.len(), reference.len());
+            assert_eq!(restored.scheduled_count(), reference.scheduled_count());
+            loop {
+                let (a, b) = (reference.pop(), restored.pop());
+                assert_eq!(a, b, "kind {kind:?} diverged");
+                if a.is_none() {
+                    break;
+                }
+            }
         }
     }
 

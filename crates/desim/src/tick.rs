@@ -75,6 +75,25 @@ impl Ticker {
             self.advance();
         }
     }
+
+    /// The cadence's raw `(period_ns, next_ns)` state, for snapshots.
+    #[inline]
+    pub fn parts(&self) -> (u64, u64) {
+        (self.period, self.next)
+    }
+
+    /// Rebuilds a cadence from [`Ticker::parts`]. Returns `None` for a
+    /// zero period (that cadence never advances), so corrupted snapshot
+    /// input surfaces as a typed error instead of an infinite loop.
+    pub fn from_parts(period_ns: u64, next_ns: u64) -> Option<Self> {
+        if period_ns == 0 {
+            return None;
+        }
+        Some(Ticker {
+            period: period_ns,
+            next: next_ns,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -15,13 +15,16 @@
 //! 4. **Quiescence** — at the end of an accounted run the network has
 //!    drained: no live channels, no segment-table entries, no parked
 //!    headers ([`SimOutcome::quiescent`]).
+//! 5. **Checkpoint/resume** — checkpointing the run is a pure observer
+//!    (the checkpointed run matches the canonical digest), and resuming
+//!    from a mid-run snapshot reproduces the canonical digest exactly.
 //!
 //! The checks are ordered; [`OracleReport::violation`] names the first
 //! one that failed, which is also the name the minimizer preserves while
 //! shrinking.
 
 use crate::digest::outcome_digest;
-use spam_scenario::{run_once, ScenarioSpec, SpecError};
+use spam_scenario::{resume_once, run_once, run_once_checkpointed, ScenarioSpec, SpecError};
 use wormsim::{CoverageSet, QueueKind};
 
 /// Names of the oracles, in the order they are checked.
@@ -30,6 +33,7 @@ pub const ORACLE_NAMES: &[&str] = &[
     "queue_equivalence",
     "accounting",
     "quiescence",
+    "checkpoint_resume",
 ];
 
 /// Outcome of running the oracle battery on one spec.
@@ -93,6 +97,26 @@ pub fn check_spec(spec: &ScenarioSpec) -> Result<OracleReport, SpecError> {
         });
     }
 
+    // Checkpoint at roughly quarter-run cadence, then resume from a
+    // mid-run snapshot; both the observed run and the resumed run must
+    // reproduce the canonical digest byte-for-byte. Runs too short to
+    // produce a checkpoint pass vacuously.
+    let every_ns = (bucket.end_time.as_ns() / 4).max(1);
+    let golden = run_once_checkpointed(spec, 0, Some(QueueKind::Bucket), every_ns)?;
+    let mut ok = outcome_digest(&golden.outcome) == digest;
+    if ok {
+        if let Some((_, bytes)) = golden.checkpoints.get(golden.checkpoints.len() / 2) {
+            ok = outcome_digest(&resume_once(spec, 0, Some(QueueKind::Bucket), bytes)?) == digest;
+        }
+    }
+    if !ok {
+        return Ok(OracleReport {
+            coverage,
+            digest,
+            violation: Some("checkpoint_resume"),
+        });
+    }
+
     Ok(OracleReport {
         coverage,
         digest,
@@ -124,7 +148,8 @@ mod tests {
                 "determinism",
                 "queue_equivalence",
                 "accounting",
-                "quiescence"
+                "quiescence",
+                "checkpoint_resume"
             ]
         );
     }

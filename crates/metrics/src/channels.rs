@@ -114,6 +114,29 @@ impl ChannelScoreboard {
     pub fn into_accums(self) -> Vec<ChannelAccum> {
         self.accums
     }
+
+    /// The scoreboard's complete raw state — per-channel accumulators plus
+    /// the last OCRQ integration instant per channel — for snapshots. Pair
+    /// with [`ChannelScoreboard::from_raw_parts`].
+    pub fn raw_parts(&self) -> (&[ChannelAccum], &[u64]) {
+        (&self.accums, &self.ocrq_last_ns)
+    }
+
+    /// Rebuilds a scoreboard from [`ChannelScoreboard::raw_parts`] state.
+    /// Errors when the two halves disagree on the channel count, so
+    /// corrupted snapshot input surfaces as a typed error.
+    pub fn from_raw_parts(
+        accums: Vec<ChannelAccum>,
+        ocrq_last_ns: Vec<u64>,
+    ) -> Result<Self, &'static str> {
+        if accums.len() != ocrq_last_ns.len() {
+            return Err("scoreboard halves disagree on channel count");
+        }
+        Ok(ChannelScoreboard {
+            accums,
+            ocrq_last_ns,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +193,20 @@ mod tests {
         );
         assert!(!a.is_zero());
         assert!(ChannelAccum::default().is_zero());
+    }
+
+    #[test]
+    fn raw_parts_round_trip_resumes_integration() {
+        let mut sb = ChannelScoreboard::new(2);
+        sb.ocrq_carry(0, 2, 100);
+        sb.wire_busy(1, 30);
+        let (accums, last) = sb.raw_parts();
+        let mut restored =
+            ChannelScoreboard::from_raw_parts(accums.to_vec(), last.to_vec()).unwrap();
+        // Integrating further from the restored state matches the original.
+        sb.ocrq_carry(0, 1, 150);
+        restored.ocrq_carry(0, 1, 150);
+        assert_eq!(restored.accums(), sb.accums());
+        assert!(ChannelScoreboard::from_raw_parts(vec![ChannelAccum::default()], vec![]).is_err());
     }
 }

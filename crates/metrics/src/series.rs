@@ -134,6 +134,48 @@ impl GaugeSeries {
     pub fn peak<K: Ord + Copy>(&self, key: impl Fn(&GaugeSample) -> K) -> Option<K> {
         self.iter().map(key).max()
     }
+
+    /// The ring's complete raw state — `(capacity, head, total, buffer in
+    /// physical order)` — for snapshots. Pair with
+    /// [`GaugeSeries::from_raw_parts`].
+    pub fn raw_parts(&self) -> (usize, usize, u64, &[GaugeSample]) {
+        (self.cap, self.head, self.total, &self.buf)
+    }
+
+    /// Rebuilds a ring from [`GaugeSeries::raw_parts`] state, restoring the
+    /// physical buffer layout (and therefore iteration order and the
+    /// overwrite cursor) exactly. Errors on states `push` could never have
+    /// produced, so corrupted snapshot input surfaces as a typed error.
+    pub fn from_raw_parts(
+        cap: usize,
+        head: usize,
+        total: u64,
+        buf: Vec<GaugeSample>,
+    ) -> Result<Self, &'static str> {
+        if cap == 0 {
+            return Err("gauge series capacity must be non-zero");
+        }
+        if buf.len() > cap {
+            return Err("gauge series buffer exceeds its capacity");
+        }
+        if buf.len() < cap && head != 0 {
+            return Err("gauge series head set before the ring wrapped");
+        }
+        if buf.len() == cap && head >= cap {
+            return Err("gauge series head out of bounds");
+        }
+        if total < buf.len() as u64 {
+            return Err("gauge series total below retained count");
+        }
+        let mut buf = buf;
+        buf.reserve_exact(cap - buf.len());
+        Ok(GaugeSeries {
+            buf,
+            cap,
+            head,
+            total,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -203,5 +245,30 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn zero_capacity_panics() {
         GaugeSeries::with_capacity(0);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_preserves_ring_exactly() {
+        let mut s = GaugeSeries::with_capacity(3);
+        for ns in 1..=5 {
+            s.push(at(ns * 10));
+        }
+        let (cap, head, total, buf) = s.raw_parts();
+        let mut r = GaugeSeries::from_raw_parts(cap, head, total, buf.to_vec()).unwrap();
+        assert_eq!(r, s);
+        // The restored ring keeps overwriting from the same cursor.
+        s.push(at(60));
+        r.push(at(60));
+        assert_eq!(r, s);
+        assert_eq!(r.buf.capacity(), cap, "restored ring is fully reserved");
+    }
+
+    #[test]
+    fn raw_parts_rejects_impossible_states() {
+        assert!(GaugeSeries::from_raw_parts(0, 0, 0, vec![]).is_err());
+        assert!(GaugeSeries::from_raw_parts(2, 0, 3, vec![at(1), at(2), at(3)]).is_err());
+        assert!(GaugeSeries::from_raw_parts(3, 1, 1, vec![at(1)]).is_err());
+        assert!(GaugeSeries::from_raw_parts(2, 2, 2, vec![at(1), at(2)]).is_err());
+        assert!(GaugeSeries::from_raw_parts(2, 0, 1, vec![at(1), at(2)]).is_err());
     }
 }

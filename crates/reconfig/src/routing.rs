@@ -14,7 +14,9 @@ use desim::Time;
 use netgraph::{ChannelId, NodeId};
 use spam_collections::InlineVec;
 use spam_core::{RouteScratch, SpamHeader, SpamRouting};
-use wormsim::{MessageSpec, RouteDecision, RouteError, RoutingAlgorithm};
+use wormsim::{
+    MessageSpec, RouteDecision, RouteError, RoutingAlgorithm, SnapReader, SnapWriter, SnapshotError,
+};
 
 /// Reusable working memory for the epoch dispatch: the wrapped SPAM
 /// router's scratch plus an inner decision buffer the epoch headers are
@@ -91,6 +93,27 @@ impl RoutingAlgorithm for EpochRouting<'_> {
         self.epochs[epoch]
             .initial_header(spec)
             .map(|inner| EpochHeader { epoch, inner })
+    }
+
+    fn snapshot_name(&self) -> &'static str {
+        "epoch-spam"
+    }
+
+    fn encode_header(&self, h: &EpochHeader, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        w.put_usize(h.epoch);
+        self.epochs[h.epoch].encode_header(&h.inner, w)
+    }
+
+    fn decode_header(&self, r: &mut SnapReader) -> Result<EpochHeader, SnapshotError> {
+        let epoch = r.get_usize()?;
+        let router = self
+            .epochs
+            .get(epoch)
+            .ok_or(SnapshotError::Corrupt("header epoch out of range"))?;
+        Ok(EpochHeader {
+            epoch,
+            inner: router.decode_header(r)?,
+        })
     }
 
     fn route(

@@ -36,6 +36,9 @@ impl ReconfigScenario {
     /// the whole fabric — no labeling can exist). Use [`Self::try_build`]
     /// when the storm is untrusted.
     pub fn build(base: &Topology, initial: &UpDownLabeling, schedule: &FaultSchedule) -> Self {
+        // The panic is this constructor's documented contract; fallible
+        // callers use `try_build`.
+        #[allow(clippy::expect_used)]
         Self::try_build(base, initial, schedule).expect("a switch survives the storm")
     }
 
@@ -59,6 +62,9 @@ impl ReconfigScenario {
         let mut reports = Vec::with_capacity(boundaries.len());
         for &t in &boundaries {
             let view = schedule.view_at(base, t);
+            // `labelings` is seeded with the initial labeling above and
+            // only ever grows.
+            #[allow(clippy::expect_used)]
             let prev = labelings.last().expect("epoch 0 exists");
             let (next, report) = prev.relabel_after(&view)?;
             masks.push(view.alive_channel_mask());

@@ -823,6 +823,7 @@ fn decode_engine(v: &Json) -> Result<EngineSpec, SpecError> {
             "extra_header_flits",
             "trace",
             "metrics_every_ns",
+            "checkpoint_every_ns",
         ],
     )?;
     let d = EngineSpec::default();
@@ -860,6 +861,10 @@ fn decode_engine(v: &Json) -> Result<EngineSpec, SpecError> {
             Some(Json::Null) | None => None,
             Some(v) => Some(u64_of(v, "scenario.engine.metrics_every_ns")?),
         },
+        checkpoint_every_ns: match get(f, "checkpoint_every_ns") {
+            Some(Json::Null) | None => None,
+            Some(v) => Some(u64_of(v, "scenario.engine.checkpoint_every_ns")?),
+        },
     })
 }
 
@@ -880,6 +885,13 @@ fn encode_engine(e: &EngineSpec) -> Json {
         (
             "metrics_every_ns",
             match e.metrics_every_ns {
+                None => Json::Null,
+                Some(n) => u(n),
+            },
+        ),
+        (
+            "checkpoint_every_ns",
+            match e.checkpoint_every_ns {
                 None => Json::Null,
                 Some(n) => u(n),
             },

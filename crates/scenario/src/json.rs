@@ -343,6 +343,9 @@ impl Parser<'_> {
                     let rest = &self.bytes[self.pos..];
                     let s_rest =
                         std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    // `peek` returned a byte, so the validated remainder
+                    // holds at least one scalar.
+                    #[allow(clippy::unwrap_used)]
                     let c = s_rest.chars().next().unwrap();
                     s.push(c);
                     self.pos += c.len_utf8();
@@ -377,6 +380,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
+        // Only ASCII digits, signs, dots, and exponents were consumed.
+        #[allow(clippy::unwrap_used)]
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         if !is_float {
             if let Ok(v) = text.parse::<u64>() {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! # spam-scenario — declarative experiment descriptions
 //!
@@ -40,14 +41,17 @@
 //! assert!(report.mean_latency_us().unwrap() > 10.0); // startup floor
 //! ```
 
+pub mod bisect;
 pub mod codec;
 pub mod corpus;
 pub mod json;
 pub mod minimize;
 pub mod mutate;
 pub mod run;
+pub mod snapshot;
 pub mod spec;
 
+pub use bisect::{bisect_divergence, DivergenceReport, EventDivergence};
 pub use corpus::{load_dir, CorpusError, SCENARIO_SUFFIX};
 pub use minimize::simplify_candidates;
 pub use mutate::{mutate_spec, Mutation, STAGGER_PALETTE, SWITCH_PALETTE};
@@ -55,6 +59,7 @@ pub use run::{
     run_once, run_once_full, run_once_with_topology, run_spec, split_seed, summarize, RepSummary,
     ScenarioReport,
 };
+pub use snapshot::{outcome_digest, resume_once, run_once_checkpointed, CheckpointedRun};
 pub use spec::{
     ArrivalSpec, EngineSpec, FaultModelSpec, FaultsSpec, PatternSpec, PolicySpec, QueueSpec,
     RoutingSpec, ScenarioSpec, SpecError, StrategySpec, TopologySpec, TrafficSpec,

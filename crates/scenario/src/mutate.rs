@@ -88,6 +88,9 @@ fn reshape_lattice(
     spec: &mut ScenarioSpec,
     rng: &mut StdRng,
 ) -> (&'static str, Option<&'static str>) {
+    // An unbounded search always finds a side whose square covers the
+    // switch count.
+    #[allow(clippy::unwrap_used)]
     let min_side = (1..).find(|s| s * s >= spec.topology.switches).unwrap();
     match rng.gen_range(0..4u32) {
         // Tight square, roomy square: both valid.
@@ -419,6 +422,10 @@ fn perturb_engine(
         spec.engine.metrics_every_ns = Some(0);
         return ("engine.metrics", Some("ZeroSampleCadence"));
     }
+    if rng.gen_bool(0.1) {
+        spec.engine.checkpoint_every_ns = Some(0);
+        return ("engine.checkpoint", Some("ZeroCheckpointCadence"));
+    }
     spec.engine = EngineSpec {
         queue: spec.engine.queue,
         input_buffer_flits: rng.gen_range(1..5usize),
@@ -429,6 +436,11 @@ fn perturb_engine(
             0 => None,
             1 => Some(1_000),
             _ => Some(*pick(&[100, 5_000, 250_000], rng)),
+        },
+        checkpoint_every_ns: match rng.gen_range(0..3u32) {
+            0 => None,
+            1 => Some(50_000),
+            _ => Some(*pick(&[10_000, 250_000, 1_000_000], rng)),
         },
     };
     ("engine.buffers", None)

@@ -19,9 +19,52 @@ use std::collections::HashMap;
 use traffic::{BroadcastStormConfig, ClosedLoopInjector, DestinationSampler};
 use updown::{RootSelection, UpDownLabeling};
 use wormsim::{
-    CompletionHook, MessageSpec, MetricsConfig, MsgId, NetworkSim, RoutingAlgorithm, SimConfig,
-    SimOutcome,
+    CheckpointSink, CompletionHook, MessageSpec, MetricsConfig, MsgId, NetworkSim,
+    RoutingAlgorithm, SimConfig, SimOutcome, SnapshotError,
 };
+
+/// How the runner drives the engine: a fresh run, a fresh run that also
+/// streams checkpoints into a sink, or a resume from serialized snapshot
+/// bytes. On resume the topology, routing arm, and completion hook are
+/// rebuilt from the spec exactly as a fresh run would build them — only
+/// the engine's dynamic state comes from the snapshot — so a resumed
+/// run finishes byte-identically to its uninterrupted twin.
+pub(crate) enum RunMode<'a> {
+    /// Plain execution (what [`run_once`] does).
+    Fresh,
+    /// Execute from the start, checkpointing every `every` of sim-time
+    /// into `sink`.
+    Checkpoint {
+        /// Checkpoint cadence.
+        every: Duration,
+        /// Where snapshots go.
+        sink: CheckpointSink,
+    },
+    /// Restore from a snapshot taken by an earlier run of the same spec
+    /// and replication, then run to completion.
+    Resume {
+        /// Sealed snapshot bytes.
+        bytes: &'a [u8],
+    },
+}
+
+impl RunMode<'_> {
+    /// Installs the checkpoint observer on a freshly built simulator.
+    /// Resume never reaches here: the engine reconstructs the snapshot's
+    /// own checkpoint ticker.
+    fn install<R: RoutingAlgorithm>(self, sim: &mut NetworkSim<'_, R>) {
+        if let RunMode::Checkpoint { every, sink } = self {
+            sim.enable_checkpoints(every, sink);
+        }
+    }
+}
+
+/// Every snapshot-layer failure surfaces as a typed spec error.
+fn to_snap_err(e: SnapshotError) -> SpecError {
+    SpecError::Snapshot {
+        detail: e.to_string(),
+    }
+}
 
 /// The pure observers a spec asks for (trace, telemetry), resolved once
 /// per run and installed on each simulator the runner constructs.
@@ -147,7 +190,7 @@ fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
 /// Digests one replication's outcome.
 pub fn summarize(rep: u32, out: &SimOutcome) -> RepSummary {
     let mut lat = out.latencies_us(|_| true);
-    lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    lat.sort_by(f64::total_cmp);
     RepSummary {
         rep,
         submitted: out.messages.len() as u64,
@@ -210,6 +253,19 @@ pub fn run_once_full(
     rep: u32,
     queue: Option<QueueKind>,
 ) -> Result<(SimOutcome, Topology, LatticeLayout), SpecError> {
+    run_once_mode(spec, rep, queue, RunMode::Fresh)
+}
+
+/// The single execution path behind every public runner: builds the
+/// environment a spec describes and then runs it fresh, checkpointed,
+/// or resumed per `mode` (see [`crate::snapshot`] for the public
+/// checkpoint/resume API).
+pub(crate) fn run_once_mode(
+    spec: &ScenarioSpec,
+    rep: u32,
+    queue: Option<QueueKind>,
+    mode: RunMode<'_>,
+) -> Result<(SimOutcome, Topology, LatticeLayout), SpecError> {
     spec.validate()?;
     let tspec = &spec.topology;
     let default_side = IrregularConfig::with_switches(tspec.switches).side;
@@ -241,6 +297,9 @@ pub fn run_once_full(
     if let Some(q) = queue {
         cfg = cfg.with_queue(q);
     }
+    if let Some(n) = spec.engine.checkpoint_every_ns {
+        cfg = cfg.with_checkpoint_every_ns(n);
+    }
 
     let traffic_seed = rep_seed(spec.seed, rep);
     match &spec.faults {
@@ -271,13 +330,25 @@ pub fn run_once_full(
             let scenario = ReconfigScenario::try_build(&topo, &ud, &schedule)
                 .ok_or(SpecError::NoSurvivingComponent)?;
             let routing = scenario.routing(&topo);
-            let procs: Vec<NodeId> = topo.processors().collect();
-            let stream = open_stream(spec, &topo, &layout, &procs, traffic_seed)?;
-            let mut sim = NetworkSim::new(&topo, routing, cfg);
-            Observers::from_spec(spec).install(&mut sim);
-            schedule.install(&mut sim);
-            submit_all(&mut sim, stream)?;
-            let mut out = sim.run();
+            let mut out = match mode {
+                RunMode::Resume { bytes } => {
+                    // The fault schedule's link-down events are *in* the
+                    // snapshot — reinstalling would fire each fault twice.
+                    NetworkSim::restore(&topo, routing, cfg, bytes)
+                        .map_err(to_snap_err)?
+                        .run()
+                }
+                mode => {
+                    let procs: Vec<NodeId> = topo.processors().collect();
+                    let stream = open_stream(spec, &topo, &layout, &procs, traffic_seed)?;
+                    let mut sim = NetworkSim::new(&topo, routing, cfg);
+                    Observers::from_spec(spec).install(&mut sim);
+                    mode.install(&mut sim);
+                    schedule.install(&mut sim);
+                    submit_all(&mut sim, stream)?;
+                    sim.run()
+                }
+            };
             // Scenario-level coverage: the shape of each post-fault
             // relabel (incremental reattach vs full rebuild) is decided
             // here, not in the engine, so merge it into the run's
@@ -298,7 +369,7 @@ pub fn run_once_full(
         FaultsSpec::None => {
             let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
             let procs: Vec<NodeId> = topo.processors().collect();
-            let out = dispatch(spec, &topo, &layout, &ud, &procs, cfg, traffic_seed)?;
+            let out = dispatch(spec, &topo, &layout, &ud, &procs, cfg, traffic_seed, mode)?;
             Ok((out, topo, layout))
         }
         FaultsSpec::Static { model, seed } => {
@@ -321,6 +392,7 @@ pub fn run_once_full(
                 &procs,
                 cfg,
                 traffic_seed,
+                mode,
             )?;
             Ok((out, net.topo, layout))
         }
@@ -329,6 +401,7 @@ pub fn run_once_full(
 
 /// Static-network execution: build the routing arm and drive the
 /// workload (open-loop stream or closed-loop hook).
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     spec: &ScenarioSpec,
     topo: &Topology,
@@ -337,6 +410,7 @@ fn dispatch(
     procs: &[NodeId],
     cfg: SimConfig,
     traffic_seed: u64,
+    mode: RunMode<'_>,
 ) -> Result<SimOutcome, SpecError> {
     let closed_loop = spec.closed_loop_config();
     let obs = Observers::from_spec(spec);
@@ -344,27 +418,27 @@ fn dispatch(
         RoutingSpec::Spam { policy } => {
             let routing = SpamRouting::new(topo, ud).with_policy(to_policy(policy));
             match closed_loop {
-                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed, obs),
+                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed, obs, mode),
                 None => {
                     let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
-                    run_open(topo, routing, cfg, stream, obs)
+                    run_open(topo, routing, cfg, stream, obs, mode)
                 }
             }
         }
         RoutingSpec::UpDownUnicast => {
             let routing = UpDownUnicastRouting::new(topo, ud);
             match closed_loop {
-                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed, obs),
+                Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed, obs, mode),
                 None => {
                     let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
-                    run_open(topo, routing, cfg, stream, obs)
+                    run_open(topo, routing, cfg, stream, obs, mode)
                 }
             }
         }
         RoutingSpec::SoftwareMulticast => {
             let routing = UpDownUnicastRouting::new(topo, ud);
             let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
-            run_software(topo, routing, cfg, stream, obs)
+            run_software(topo, routing, cfg, stream, obs, mode)
         }
     }
 }
@@ -378,6 +452,10 @@ fn to_policy(p: PolicySpec) -> SelectionPolicy {
 }
 
 /// Generates the open-loop stream a spec describes, confined to `procs`.
+// The `expect("variant checked")` calls are per-arm: each `*_config()`
+// accessor returns `Some` exactly for the variant its match arm just
+// destructured.
+#[allow(clippy::expect_used)]
 fn open_stream(
     spec: &ScenarioSpec,
     topo: &Topology,
@@ -442,13 +520,28 @@ fn run_open<R: RoutingAlgorithm>(
     cfg: SimConfig,
     stream: Vec<MessageSpec>,
     obs: Observers,
+    mode: RunMode<'_>,
 ) -> Result<SimOutcome, SpecError> {
-    let mut sim = NetworkSim::new(topo, routing, cfg);
-    obs.install(&mut sim);
-    submit_all(&mut sim, stream)?;
-    Ok(sim.run())
+    match mode {
+        RunMode::Resume { bytes } => {
+            // The pending stream (and the observers' state) lives in the
+            // snapshot; submitting again would double every message.
+            drop(stream);
+            Ok(NetworkSim::restore(topo, routing, cfg, bytes)
+                .map_err(to_snap_err)?
+                .run())
+        }
+        mode => {
+            let mut sim = NetworkSim::new(topo, routing, cfg);
+            obs.install(&mut sim);
+            mode.install(&mut sim);
+            submit_all(&mut sim, stream)?;
+            Ok(sim.run())
+        }
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_closed_loop<R: RoutingAlgorithm>(
     topo: &Topology,
     routing: R,
@@ -457,13 +550,28 @@ fn run_closed_loop<R: RoutingAlgorithm>(
     procs: &[NodeId],
     seed: u64,
     obs: Observers,
+    mode: RunMode<'_>,
 ) -> Result<SimOutcome, SpecError> {
+    // The injector's immutable shape (population, per-source quotas)
+    // rebuilds from the spec; on resume its mutable state — remaining
+    // quotas, RNG position, next tag — is decoded from the snapshot by
+    // `restore_with_hook` before the first event fires.
     let mut inj = ClosedLoopInjector::new_within(cl, procs, seed)?;
-    let initial = inj.initial_sends();
-    let mut sim = NetworkSim::new(topo, routing, cfg);
-    obs.install(&mut sim);
-    submit_all(&mut sim, initial)?;
-    Ok(sim.run_with_hook(&mut inj))
+    match mode {
+        RunMode::Resume { bytes } => {
+            let sim = NetworkSim::restore_with_hook(topo, routing, cfg, bytes, &mut inj)
+                .map_err(to_snap_err)?;
+            Ok(sim.run_with_hook(&mut inj))
+        }
+        mode => {
+            let initial = inj.initial_sends();
+            let mut sim = NetworkSim::new(topo, routing, cfg);
+            obs.install(&mut sim);
+            mode.install(&mut sim);
+            submit_all(&mut sim, initial)?;
+            Ok(sim.run_with_hook(&mut inj))
+        }
+    }
 }
 
 /// All the in-flight software multicasts of one run, dispatched by tag.
@@ -487,23 +595,47 @@ fn run_software(
     cfg: SimConfig,
     stream: Vec<MessageSpec>,
     obs: Observers,
+    mode: RunMode<'_>,
 ) -> Result<SimOutcome, SpecError> {
     let mut fleet = MulticastFleet::default();
-    let mut sim = NetworkSim::new(topo, routing, cfg);
-    obs.install(&mut sim);
-    for spec in stream {
-        if spec.is_unicast() {
-            sim.submit(spec).map_err(to_msg_err)?;
-        } else {
-            // One binomial forwarding tree per multicast; the original
-            // message's tag names the tree (tags are unique per stream).
-            let um = UnicastMulticast::new(spec.src, &spec.dests, spec.len, cfg.latency.startup)
-                .with_tag(spec.tag);
-            for s in um.initial_sends(spec.gen_time) {
-                sim.submit(s).map_err(to_msg_err)?;
+    match mode {
+        RunMode::Resume { bytes } => {
+            // The forwarding trees are pure functions of the regenerated
+            // stream (no mutable state), so rebuild the fleet without
+            // submitting — every in-flight unicast is in the snapshot.
+            for spec in stream {
+                if !spec.is_unicast() {
+                    let um =
+                        UnicastMulticast::new(spec.src, &spec.dests, spec.len, cfg.latency.startup)
+                            .with_tag(spec.tag);
+                    fleet.by_tag.insert(spec.tag, um);
+                }
             }
-            fleet.by_tag.insert(spec.tag, um);
+            let sim = NetworkSim::restore_with_hook(topo, routing, cfg, bytes, &mut fleet)
+                .map_err(to_snap_err)?;
+            Ok(sim.run_with_hook(&mut fleet))
+        }
+        mode => {
+            let mut sim = NetworkSim::new(topo, routing, cfg);
+            obs.install(&mut sim);
+            mode.install(&mut sim);
+            for spec in stream {
+                if spec.is_unicast() {
+                    sim.submit(spec).map_err(to_msg_err)?;
+                } else {
+                    // One binomial forwarding tree per multicast; the
+                    // original message's tag names the tree (tags are
+                    // unique per stream).
+                    let um =
+                        UnicastMulticast::new(spec.src, &spec.dests, spec.len, cfg.latency.startup)
+                            .with_tag(spec.tag);
+                    for s in um.initial_sends(spec.gen_time) {
+                        sim.submit(s).map_err(to_msg_err)?;
+                    }
+                    fleet.by_tag.insert(spec.tag, um);
+                }
+            }
+            Ok(sim.run_with_hook(&mut fleet))
         }
     }
-    Ok(sim.run_with_hook(&mut fleet))
 }

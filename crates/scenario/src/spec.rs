@@ -304,6 +304,13 @@ pub struct EngineSpec {
     /// default, and what an omitted field decodes to) disables telemetry,
     /// so older corpus files keep parsing unchanged.
     pub metrics_every_ns: Option<u64>,
+    /// Engine-checkpoint cadence in sim-time ns; `Some(n)` snapshots the
+    /// complete engine state every `n` ns into a digest ledger (a third
+    /// pure observer — outcomes are byte-identical with it on or off, and
+    /// the ledger lets crash-safe sweeps resume mid-run). `None` (the
+    /// default, and what an omitted field decodes to) disables
+    /// checkpointing, so older corpus files keep parsing unchanged.
+    pub checkpoint_every_ns: Option<u64>,
 }
 
 impl Default for EngineSpec {
@@ -315,6 +322,7 @@ impl Default for EngineSpec {
             extra_header_flits: 0,
             trace: false,
             metrics_every_ns: None,
+            checkpoint_every_ns: None,
         }
     }
 }
@@ -390,6 +398,9 @@ pub enum SpecError {
     /// A telemetry sampling cadence of zero — that sampler never fires;
     /// disable telemetry with `null` instead.
     ZeroSampleCadence,
+    /// An engine-checkpoint cadence of zero — that ticker never fires;
+    /// disable checkpointing with `null` instead.
+    ZeroCheckpointCadence,
     /// The workload cannot be realized on this topology (oversized
     /// destination sets, bad fractions, bad rates, ...).
     Traffic(TrafficError),
@@ -435,6 +446,13 @@ pub enum SpecError {
         /// The engine's description.
         detail: String,
     },
+    /// A checkpoint snapshot could not be restored (corrupt bytes, a
+    /// format-version skew, or a spec that does not match the run the
+    /// snapshot was taken from).
+    Snapshot {
+        /// The snapshot layer's description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -469,6 +487,12 @@ impl fmt::Display for SpecError {
                     "metrics_every_ns must be > 0 (use null to disable telemetry)"
                 )
             }
+            SpecError::ZeroCheckpointCadence => {
+                write!(
+                    f,
+                    "checkpoint_every_ns must be > 0 (use null to disable checkpointing)"
+                )
+            }
             SpecError::Traffic(e) => write!(f, "traffic: {e}"),
             SpecError::BadFaultRate { rate } => {
                 write!(f, "fault rate {rate} is not a probability in [0, 1]")
@@ -500,6 +524,7 @@ impl fmt::Display for SpecError {
                 write!(f, "no surviving component can host the workload")
             }
             SpecError::Message { detail } => write!(f, "generated message rejected: {detail}"),
+            SpecError::Snapshot { detail } => write!(f, "snapshot rejected: {detail}"),
         }
     }
 }
@@ -524,6 +549,7 @@ impl SpecError {
             SpecError::ZeroReplications => "ZeroReplications",
             SpecError::BadBuffers { .. } => "BadBuffers",
             SpecError::ZeroSampleCadence => "ZeroSampleCadence",
+            SpecError::ZeroCheckpointCadence => "ZeroCheckpointCadence",
             SpecError::Traffic(t) => match t {
                 TrafficError::NotEnoughProcessors { .. } => "Traffic.NotEnoughProcessors",
                 TrafficError::NoDestinations => "Traffic.NoDestinations",
@@ -543,6 +569,7 @@ impl SpecError {
             SpecError::UnsupportedCombination { .. } => "UnsupportedCombination",
             SpecError::NoSurvivingComponent => "NoSurvivingComponent",
             SpecError::Message { .. } => "Message",
+            SpecError::Snapshot { .. } => "Snapshot",
         }
     }
 }
@@ -622,6 +649,9 @@ impl ScenarioSpec {
         if e.metrics_every_ns == Some(0) {
             return Err(SpecError::ZeroSampleCadence);
         }
+        if e.checkpoint_every_ns == Some(0) {
+            return Err(SpecError::ZeroCheckpointCadence);
+        }
         self.validate_traffic()?;
         self.validate_faults()?;
         self.validate_combinations()
@@ -630,6 +660,10 @@ impl ScenarioSpec {
     /// Traffic-level checks against the pristine processor count (the
     /// runner re-checks against the surviving population when faults
     /// shrink it).
+    // The `expect("variant checked")` calls are per-arm: each
+    // `*_config()` accessor returns `Some` exactly for the variant its
+    // match arm just destructured.
+    #[allow(clippy::expect_used)]
     fn validate_traffic(&self) -> Result<(), SpecError> {
         let procs = self.topology.switches; // one processor per switch
         match &self.traffic {

@@ -101,6 +101,10 @@ fn validation_errors_cover_every_variant() {
     table.push(("ZeroSampleCadence", s));
 
     let mut s = base();
+    s.engine.checkpoint_every_ns = Some(0);
+    table.push(("ZeroCheckpointCadence", s));
+
+    let mut s = base();
     s.traffic = TrafficSpec::SingleMulticast { dests: 0, len: 32 };
     table.push(("Traffic.NoDestinations", s));
 

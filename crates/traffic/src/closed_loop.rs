@@ -9,7 +9,7 @@ use desim::{Duration, Time};
 use netgraph::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wormsim::{CompletionHook, MessageSpec, MsgId};
+use wormsim::{CompletionHook, MessageSpec, MsgId, SnapReader, SnapWriter, SnapshotError};
 
 /// Configuration of a closed-loop (bounded-outstanding) workload.
 #[derive(Debug, Clone, Copy)]
@@ -156,6 +156,32 @@ impl CompletionHook for ClosedLoopInjector {
                 .collect(),
             Err(_) => Vec::new(), // not one of ours (mixed scheme run)
         }
+    }
+
+    /// The injector's mutable state: per-source remaining counts, the
+    /// RNG word, and the tag counter. Config and population are rebuilt
+    /// from the scenario on restore, so they are not serialized.
+    fn encode_state(&self, w: &mut SnapWriter) {
+        w.put_len(self.remaining.len());
+        for &n in &self.remaining {
+            w.put_usize(n);
+        }
+        w.put_u64(self.rng.state());
+        w.put_u64(self.next_tag);
+    }
+
+    fn decode_state(&mut self, r: &mut SnapReader) -> Result<(), SnapshotError> {
+        if r.get_len()? != self.remaining.len() {
+            return Err(SnapshotError::ConfigMismatch(
+                "closed-loop source population differs from the snapshot's",
+            ));
+        }
+        for n in self.remaining.iter_mut() {
+            *n = r.get_usize()?;
+        }
+        self.rng = StdRng::seed_from_u64(r.get_u64()?);
+        self.next_tag = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -114,6 +114,10 @@ impl HotspotConfig {
                     }
                     unreachable!("k < n_other")
                 };
+                // Config validation rejected populations of fewer than
+                // two processors, so the all-processors fallback always
+                // has a non-`src` pick.
+                #[allow(clippy::expect_used)]
                 let dest = pick_excluding(candidates, rng)
                     .or_else(|| pick_excluding(&sorted, rng))
                     .expect("population has >= 2 processors");
@@ -207,7 +211,10 @@ impl PermutationConfig {
                 let s = topo.switch_of(p);
                 let (r, c) = layout.position(s);
                 let (tr, tc) = self.pattern.map(layout.side, r, c);
-                // Nearest occupied cell of the population.
+                // Nearest occupied cell of the population; `cells` maps
+                // the same processor list being iterated, so it is
+                // non-empty here.
+                #[allow(clippy::expect_used)]
                 let (_, _, best) = cells
                     .iter()
                     .copied()

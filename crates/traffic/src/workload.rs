@@ -193,6 +193,10 @@ pub(crate) fn rate_merged_stream(
 
     let mut specs = Vec::with_capacity(messages);
     while specs.len() < messages {
+        // One entry per source was pushed above and every pop below
+        // pushes the source's next arrival back; config validation
+        // guarantees at least one source.
+        #[allow(clippy::expect_used)]
         let Reverse((t, i)) = heap.pop().expect("heap refilled every pop");
         let src = sources[i];
         let dests = pick(specs.len(), i, src, rng)?;

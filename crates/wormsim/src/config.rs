@@ -72,6 +72,15 @@ pub struct SimConfig {
     /// without touching any call site; an explicit [`Self::with_queue`]
     /// always wins over the environment.
     pub queue: Option<QueueKind>,
+    /// Periodic checkpointing cadence in nanoseconds of simulation time
+    /// (`None` = off). When set, the engine serializes its complete
+    /// mid-run state once per period — a pure observer riding a
+    /// [`desim::Ticker`] beside the event queue, so every simulated
+    /// outcome is byte-identical with checkpointing on or off. Where the
+    /// snapshots go is chosen with
+    /// [`NetworkSim::enable_checkpoints`](crate::NetworkSim::enable_checkpoints);
+    /// with only this field set they feed a digest ledger.
+    pub checkpoint_every_ns: Option<u64>,
 }
 
 impl SimConfig {
@@ -85,6 +94,7 @@ impl SimConfig {
             max_events: u64::MAX,
             extra_header_flits: 0,
             queue: None,
+            checkpoint_every_ns: None,
         }
     }
 
@@ -128,6 +138,18 @@ impl SimConfig {
     pub fn resolved_queue(&self) -> QueueKind {
         self.queue.unwrap_or_else(QueueKind::from_env)
     }
+
+    /// Enables periodic engine checkpointing every `every_ns` nanoseconds
+    /// of simulation time (see [`Self::checkpoint_every_ns`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero cadence — that ticker never advances.
+    pub fn with_checkpoint_every_ns(mut self, every_ns: u64) -> Self {
+        assert!(every_ns > 0, "checkpoint cadence must be non-zero");
+        self.checkpoint_every_ns = Some(every_ns);
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -168,6 +190,19 @@ mod tests {
     #[should_panic(expected = "buffers must hold")]
     fn zero_buffers_rejected() {
         SimConfig::paper().with_buffers(0, 1);
+    }
+
+    #[test]
+    fn checkpoint_cadence_builder() {
+        assert_eq!(SimConfig::paper().checkpoint_every_ns, None);
+        let c = SimConfig::paper().with_checkpoint_every_ns(50_000);
+        assert_eq!(c.checkpoint_every_ns, Some(50_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_checkpoint_cadence_rejected() {
+        SimConfig::paper().with_checkpoint_every_ns(0);
     }
 
     #[test]

@@ -105,6 +105,9 @@ coverage_bits! {
     ROUTE_UNREACHABLE_DEST = 24, "route_unreachable_dest";
     /// [`RouteError::SourceDisconnected`] was seen.
     ROUTE_SOURCE_DISCONNECTED = 25, "route_source_disconnected";
+    /// [`SimError::HookSpec`] was recorded — a completion hook submitted
+    /// an invalid follow-up message.
+    ERR_HOOK_SPEC = 26, "err_hook_spec";
 }
 
 /// One named watermark extracted from a [`CoverageSet`].
@@ -186,6 +189,7 @@ impl CoverageSet {
             SimError::ForeignChannel { .. } => self.set(Self::ERR_FOREIGN_CHANNEL),
             SimError::DuplicateRequest { .. } => self.set(Self::ERR_DUPLICATE_REQUEST),
             SimError::TornDown { .. } => self.set(Self::ERR_TORN_DOWN),
+            SimError::HookSpec { .. } => self.set(Self::ERR_HOOK_SPEC),
         }
     }
 
@@ -279,7 +283,7 @@ mod tests {
 
     #[test]
     fn bit_table_matches_constants() {
-        assert_eq!(COVERAGE_BITS.len(), 26);
+        assert_eq!(COVERAGE_BITS.len(), 27);
         // Names are unique and each mask has exactly one bit.
         let mut union = 0u64;
         for b in COVERAGE_BITS {
@@ -290,7 +294,7 @@ mod tests {
         assert_eq!(union.count_ones() as usize, COVERAGE_BITS.len());
         assert_eq!(CoverageSet::TEARDOWN_DURING_BRANCH, COVERAGE_BITS[0].mask);
         assert_eq!(
-            CoverageSet::ROUTE_SOURCE_DISCONNECTED,
+            CoverageSet::ERR_HOOK_SPEC,
             COVERAGE_BITS[COVERAGE_BITS.len() - 1].mask
         );
     }

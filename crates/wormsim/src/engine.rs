@@ -43,7 +43,7 @@ use crate::outcome::{
 };
 use crate::routing::{CompletionHook, NoHook, RouteDecision, RoutingAlgorithm};
 use crate::trace::{Trace, TraceEvent};
-use desim::{Schedule, Ticker, Time};
+use desim::{Duration, Schedule, Ticker, Time};
 use netgraph::{ChannelId, NodeId, Topology};
 use spam_collections::{InlineVec, Slab, SlotId};
 use spam_metrics::{ChannelScoreboard, GaugeSample, GaugeSeries, MetricsConfig, RunMetrics};
@@ -172,12 +172,17 @@ pub struct NetworkSim<'a, R: RoutingAlgorithm> {
     /// live-reconfiguration run, which switches routing failures from
     /// run-aborting to per-message (teardown / unreachable).
     fault_times: Vec<Time>,
+    /// Periodic full-state checkpointing; `None` unless enabled (zero
+    /// hot-loop cost). Boxed: the writer buffer and sink live off the
+    /// engine's hot cache lines. Like metrics, a pure observer — every
+    /// simulated outcome is byte-identical with checkpointing on or off.
+    checkpoint: Option<Box<snapshot::CheckpointState>>,
 }
 
 impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
     /// Creates a simulator over `topo` driven by `routing`.
     pub fn new(topo: &'a Topology, routing: R, cfg: SimConfig) -> Self {
-        NetworkSim {
+        let mut sim = NetworkSim {
             topo,
             routing,
             sched: Schedule::with_kind(cfg.resolved_queue()),
@@ -198,7 +203,13 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             bubble_candidates: Vec::new(),
             dead: vec![false; topo.num_channels()],
             fault_times: Vec::new(),
+            checkpoint: None,
+        };
+        if let Some(every_ns) = sim.cfg.checkpoint_every_ns {
+            let (sink, _) = snapshot::CheckpointSink::digests();
+            sim.enable_checkpoints(Duration::from_ns(every_ns), sink);
         }
+        sim
     }
 
     /// Schedules the bidirectional link containing `link` to die at `at`
@@ -425,18 +436,35 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
             if self.metrics.is_some() {
                 self.sample_through(next_time);
             }
+            // Checkpoint ticks share the sampler's semantics: they
+            // serialize the engine as it stood before this instant's
+            // events, without touching the event stream.
+            if self.checkpoint.is_some() {
+                self.checkpoint_through(next_time, &*hook);
+            }
             let (t, ev) = self.sched.next().expect("peeked event exists");
             self.counters.events += 1;
             self.handle(t, ev);
             if self.error.is_some() {
                 break;
             }
-            // Completion hooks run between events; they may submit.
-            while let Some(m) = self.pending_completions.pop() {
+            // Completion hooks run between events; they may submit. A
+            // hook that breaks its contract (invalid spec, or a
+            // generation time before the completion instant) aborts the
+            // run with a typed error, never a panic.
+            'hooks: while let Some(m) = self.pending_completions.pop() {
                 let specs = hook.on_complete(m, &self.msgs[m.index()].spec, t);
                 for s in specs {
-                    self.submit(s).expect("hook submitted an invalid message");
+                    if s.gen_time < t || self.submit(s).is_err() {
+                        let e = SimError::HookSpec { msg: m };
+                        self.counters.coverage.note_sim_error(&e);
+                        self.error = Some(e);
+                        break 'hooks;
+                    }
                 }
+            }
+            if self.error.is_some() {
+                break;
             }
             // End of this simulated instant: resolve deferred bubbles.
             if self.sched.peek_time() != Some(t) {
@@ -1471,3 +1499,9 @@ impl<'a, R: RoutingAlgorithm> NetworkSim<'a, R> {
         }
     }
 }
+
+// Child module so the codec sees the engine's private state without
+// widening any field's visibility; the file lives beside engine.rs.
+#[path = "engine_snapshot.rs"]
+mod snapshot;
+pub use snapshot::CheckpointSink;

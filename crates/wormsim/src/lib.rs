@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! # wormsim — flit-level event-driven wormhole network simulator
 //!
@@ -69,6 +70,11 @@
 pub mod channel;
 pub mod config;
 pub mod coverage;
+// Engine-internal slab handles and queue peeks are checked invariants —
+// a failed lookup there is a simulator bug, never a runtime condition —
+// so the engine (and its snapshot child module) is exempt from the
+// crate-wide expect/unwrap lint gate below.
+#[allow(clippy::expect_used, clippy::unwrap_used)]
 pub mod engine;
 pub mod flit;
 pub mod message;
@@ -79,7 +85,7 @@ pub mod trace;
 pub use config::{LatencyParams, SimConfig};
 pub use coverage::{CoverageBit, CoverageSet, Watermark, COVERAGE_BITS};
 pub use desim::QueueKind;
-pub use engine::NetworkSim;
+pub use engine::{CheckpointSink, NetworkSim};
 pub use flit::{Flit, FlitKind, MsgId};
 pub use message::{MessageSpec, SpecError};
 pub use outcome::{
@@ -88,4 +94,5 @@ pub use outcome::{
 };
 pub use routing::{CompletionHook, NoHook, RouteDecision, RouteError, RoutingAlgorithm};
 pub use spam_metrics::{MetricsConfig, RunMetrics};
+pub use spam_snapshot::{fnv1a, SnapReader, SnapWriter, SnapshotError};
 pub use trace::{Trace, TraceEvent};

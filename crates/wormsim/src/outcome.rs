@@ -74,6 +74,14 @@ pub enum SimError {
         /// The dead channel that doomed it.
         channel: ChannelId,
     },
+    /// A completion hook submitted an invalid follow-up message (bad
+    /// spec, or a generation time before the completion instant). The
+    /// hook — not the engine or the routing algorithm — broke its
+    /// contract; the run aborts with this diagnosis instead of panicking.
+    HookSpec {
+        /// The completed message whose hook misbehaved.
+        msg: MsgId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -94,6 +102,9 @@ impl fmt::Display for SimError {
             }
             SimError::TornDown { msg, channel } => {
                 write!(f, "{msg} torn down: {channel} died mid-flight")
+            }
+            SimError::HookSpec { msg } => {
+                write!(f, "completion hook for {msg} submitted an invalid message")
             }
         }
     }
@@ -332,9 +343,9 @@ impl SimOutcome {
         for m in &self.messages {
             let e = self.epoch_of(m.spec.gen_time);
             stats[e].submitted += 1;
-            if m.is_complete() {
+            if let Some(l) = m.latency() {
                 stats[e].delivered += 1;
-                lat_sum[e] += m.latency().expect("complete message").as_us_f64();
+                lat_sum[e] += l.as_us_f64();
             } else if m.is_torn_down() {
                 stats[e].torn_down += 1;
             } else if m.is_unreachable() {

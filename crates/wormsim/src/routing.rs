@@ -16,6 +16,7 @@ use crate::flit::MsgId;
 use crate::message::MessageSpec;
 use desim::Time;
 use netgraph::{ChannelId, NodeId, Topology};
+use spam_snapshot::{SnapReader, SnapWriter, SnapshotError};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -185,6 +186,37 @@ pub trait RoutingAlgorithm {
         scratch: &mut Self::Scratch,
         out: &mut RouteDecision<Self::Header>,
     ) -> Result<(), RouteError>;
+
+    /// Stable identifier written into engine checkpoints and compared on
+    /// restore, so a snapshot taken under one algorithm cannot silently
+    /// resume under another ([`SnapshotError::ConfigMismatch`]).
+    /// Algorithms supporting the header codec below must override this
+    /// with a unique non-empty name.
+    fn snapshot_name(&self) -> &'static str {
+        ""
+    }
+
+    /// Serializes one in-flight header state into an engine checkpoint.
+    /// The default declines: an algorithm that does not opt into the
+    /// snapshot codec makes checkpointing fail with a typed
+    /// [`SnapshotError::UnsupportedRouting`] instead of producing a
+    /// snapshot that cannot be restored.
+    fn encode_header(
+        &self,
+        _header: &Self::Header,
+        _w: &mut SnapWriter,
+    ) -> Result<(), SnapshotError> {
+        Err(SnapshotError::UnsupportedRouting(
+            "routing algorithm has no header snapshot codec",
+        ))
+    }
+
+    /// Reconstructs one header state written by [`Self::encode_header`].
+    fn decode_header(&self, _r: &mut SnapReader) -> Result<Self::Header, SnapshotError> {
+        Err(SnapshotError::UnsupportedRouting(
+            "routing algorithm has no header snapshot codec",
+        ))
+    }
 }
 
 /// Observer invoked when a message has been fully delivered; may inject
@@ -200,6 +232,19 @@ pub trait CompletionHook {
         spec: &MessageSpec,
         completed_at: Time,
     ) -> Vec<MessageSpec>;
+
+    /// Serializes the hook's mutable state into an engine checkpoint.
+    /// Stateless hooks (the default) write nothing. Object-safe by
+    /// design: the engine only holds `&mut dyn CompletionHook`.
+    fn encode_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restores state written by [`Self::encode_state`] into this hook.
+    /// The engine verifies the hook consumes exactly the bytes its
+    /// encoder produced, so a hook/snapshot mismatch surfaces as a typed
+    /// [`SnapshotError`] rather than state corruption.
+    fn decode_state(&mut self, _r: &mut SnapReader) -> Result<(), SnapshotError> {
+        Ok(())
+    }
 }
 
 /// A [`CompletionHook`] that does nothing.
@@ -278,6 +323,18 @@ impl RoutingAlgorithm for OracleRouting {
     type Scratch = ();
 
     fn initial_header(&self, _spec: &MessageSpec) -> Result<Self::Header, RouteError> {
+        Ok(())
+    }
+
+    fn snapshot_name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn encode_header(&self, _header: &(), _w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        Ok(())
+    }
+
+    fn decode_header(&self, _r: &mut SnapReader) -> Result<(), SnapshotError> {
         Ok(())
     }
 

@@ -1,0 +1,319 @@
+//! Engine-level checkpoint/resume tests: checkpointing is a pure
+//! observer, a resumed run finishes byte-identically to an
+//! uninterrupted one from *every* checkpoint, digest ledgers align
+//! after the resume point, and corrupt or mismatched snapshots fail
+//! with typed errors instead of panics.
+
+use desim::{Duration, QueueKind, Time};
+use netgraph::{NodeId, Topology};
+use wormsim::routing::OracleRouting;
+use wormsim::{
+    CheckpointSink, MessageSpec, MetricsConfig, NetworkSim, SimConfig, SimOutcome, SnapshotError,
+};
+
+/// s0 - s1 - s2 chain with processors p0,p1 @ s0, p2 @ s1, p3 @ s2.
+/// Three overlapping messages (one branching multicast, two unicasts,
+/// one against the grain) keep worms, OCRQ entries, and in-flight flits
+/// live across checkpoint instants.
+fn build_topo() -> (Topology, [NodeId; 7]) {
+    let mut b = Topology::builder();
+    let s0 = b.add_switch();
+    let s1 = b.add_switch();
+    let s2 = b.add_switch();
+    let p0 = b.add_processor();
+    let p1 = b.add_processor();
+    let p2 = b.add_processor();
+    let p3 = b.add_processor();
+    b.link(s0, s1).unwrap();
+    b.link(s1, s2).unwrap();
+    b.link(p0, s0).unwrap();
+    b.link(p1, s0).unwrap();
+    b.link(p2, s1).unwrap();
+    b.link(p3, s2).unwrap();
+    (b.build(), [s0, s1, s2, p0, p1, p2, p3])
+}
+
+fn build_oracle(topo: &Topology, n: &[NodeId; 7]) -> OracleRouting {
+    let [s0, s1, s2, p0, p1, p3, ..] = *n;
+    let p3n = n[6];
+    let mut o = OracleRouting::new(topo);
+    // tag 0: multicast p0 -> {p2, p3}, branching at s1.
+    o.add_tree_edges(0, [(s0, s1), (s1, n[5]), (s1, s2), (s2, p3n)])
+        .unwrap();
+    // tag 1: unicast p1 -> p3, contending for s0->s1->s2.
+    o.add_unicast_path(1, &[p1, s0, s1, s2, p3n]).unwrap();
+    // tag 2: unicast p3 -> p0, against the grain.
+    o.add_unicast_path(2, &[p3n, s2, s1, s0, p0]).unwrap();
+    let _ = (p3, p0);
+    o
+}
+
+fn submit_workload(sim: &mut NetworkSim<OracleRouting>, n: &[NodeId; 7]) {
+    let [_, _, _, p0, p1, _, p3] = *n;
+    let p2 = n[5];
+    sim.submit(
+        MessageSpec::multicast(p0, vec![p2, p3], 96)
+            .tag(0)
+            .at(Time::ZERO),
+    )
+    .unwrap();
+    sim.submit(
+        MessageSpec::unicast(p1, p3, 64)
+            .tag(1)
+            .at(Time::from_ns(2_000)),
+    )
+    .unwrap();
+    sim.submit(
+        MessageSpec::unicast(p3, p0, 48)
+            .tag(2)
+            .at(Time::from_ns(5_000)),
+    )
+    .unwrap();
+}
+
+fn fresh_sim<'a>(
+    topo: &'a Topology,
+    n: &[NodeId; 7],
+    cfg: SimConfig,
+) -> NetworkSim<'a, OracleRouting> {
+    let mut sim = NetworkSim::new(topo, build_oracle(topo, n), cfg);
+    sim.enable_trace();
+    sim.enable_metrics(MetricsConfig {
+        sample_every: Duration::from_ns(700),
+        capacity: 64,
+    });
+    submit_workload(&mut sim, n);
+    sim
+}
+
+/// Full-outcome equality. `ignore_queue_shape` relaxes the one field
+/// that legitimately depends on the event-queue implementation: the
+/// gauge samples' queue-occupancy histogram (wheel levels/overflow) —
+/// everything the digest pins (events, latencies, counters, trace)
+/// must still match exactly across queue kinds.
+fn assert_same_outcome(a: &SimOutcome, b: &SimOutcome, ignore_queue_shape: bool) {
+    assert_eq!(a.end_time, b.end_time);
+    assert_eq!(a.quiescent, b.quiescent);
+    assert_eq!(a.deadlock, b.deadlock);
+    assert_eq!(a.error, b.error);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.channel_crossings, b.channel_crossings);
+    assert_eq!(a.fault_times, b.fault_times);
+    assert_eq!(a.trace.events, b.trace.events);
+    assert_eq!(a.messages.len(), b.messages.len());
+    for (x, y) in a.messages.iter().zip(&b.messages) {
+        assert_eq!(x.spec, y.spec);
+        assert_eq!(x.completed_at, y.completed_at);
+        assert_eq!(x.dest_done_at, y.dest_done_at);
+        assert_eq!(x.failure, y.failure);
+    }
+    let (ma, mb) = (a.metrics.as_ref().unwrap(), b.metrics.as_ref().unwrap());
+    assert_eq!(ma.sample_every_ns, mb.sample_every_ns);
+    assert_eq!(ma.channels, mb.channels);
+    if ignore_queue_shape {
+        let strip = |m: &wormsim::RunMetrics| -> Vec<spam_metrics::GaugeSample> {
+            m.series
+                .iter()
+                .map(|g| {
+                    let mut g = *g;
+                    g.queue.levels = [0; desim::WHEEL_LEVELS];
+                    g.queue.overflow = 0;
+                    g
+                })
+                .collect()
+        };
+        assert_eq!(strip(ma), strip(mb));
+    } else {
+        assert_eq!(ma.series, mb.series);
+    }
+}
+
+#[test]
+fn checkpointing_is_a_pure_observer() {
+    let (topo, n) = build_topo();
+    let baseline = fresh_sim(&topo, &n, SimConfig::paper()).run();
+    assert!(baseline.all_delivered(), "workload must deliver cleanly");
+
+    let cfg = SimConfig::paper().with_checkpoint_every_ns(500);
+    let mut sim = fresh_sim(&topo, &n, cfg);
+    let (sink, digests) = CheckpointSink::digests();
+    sim.set_checkpoint_sink(sink);
+    let out = sim.run();
+    assert_same_outcome(&baseline, &out, false);
+    let digests = digests.lock().unwrap();
+    // Ticks landing between two events collapse into one encode (state
+    // is constant there), so the count is bounded by event density, not
+    // wall cadence — but several distinct instants must still appear.
+    assert!(
+        digests.len() >= 5,
+        "a 500ns cadence over a >10us run must checkpoint repeatedly, got {}",
+        digests.len()
+    );
+    // Ledger times are strictly increasing multiples of the cadence.
+    for w in digests.windows(2) {
+        assert!(w[0].0 < w[1].0);
+    }
+}
+
+#[test]
+fn resume_from_every_checkpoint_matches_uninterrupted_run() {
+    let (topo, n) = build_topo();
+    let base_cfg = SimConfig::paper().with_queue(QueueKind::Bucket);
+    let baseline = fresh_sim(&topo, &n, base_cfg).run();
+
+    let mut sim = fresh_sim(&topo, &n, base_cfg);
+    let (sink, kept) = CheckpointSink::keep_all();
+    sim.enable_checkpoints(Duration::from_ns(1_000), sink);
+    assert_same_outcome(&baseline, &sim.run(), false);
+
+    let kept = kept.lock().unwrap();
+    assert!(
+        kept.len() >= 3,
+        "expected several checkpoints, got {}",
+        kept.len()
+    );
+    for (at_ns, bytes) in kept.iter() {
+        // Resume under both queue kinds: pop order is pinned by
+        // (time, seq) keys, so the queue implementation is free.
+        for kind in [QueueKind::Bucket, QueueKind::Heap] {
+            let cfg = SimConfig::paper().with_queue(kind);
+            let sim = NetworkSim::restore(&topo, build_oracle(&topo, &n), cfg, bytes)
+                .unwrap_or_else(|e| panic!("restore at {at_ns}ns failed: {e}"));
+            assert_same_outcome(&baseline, &sim.run(), kind != QueueKind::Bucket);
+        }
+    }
+}
+
+#[test]
+fn digest_ledgers_align_after_resume() {
+    let (topo, n) = build_topo();
+    let mut sim = fresh_sim(&topo, &n, SimConfig::paper());
+    let (sink, kept) = CheckpointSink::keep_all();
+    sim.enable_checkpoints(Duration::from_ns(1_000), sink);
+    sim.run();
+    let kept = kept.lock().unwrap();
+    let full_ledger: Vec<(u64, u64)> = kept
+        .iter()
+        .map(|(at, bytes)| (*at, spam_snapshot::fnv1a(bytes)))
+        .collect();
+
+    // Resume from a middle checkpoint; its own ledger must equal the
+    // original's suffix strictly after the resume instant.
+    let (mid_at, mid_bytes) = &kept[kept.len() / 2];
+    let mut resumed = NetworkSim::restore(
+        &topo,
+        build_oracle(&topo, &n),
+        SimConfig::paper(),
+        mid_bytes,
+    )
+    .unwrap();
+    let (sink, digests) = CheckpointSink::digests();
+    resumed.set_checkpoint_sink(sink);
+    resumed.run();
+    let suffix: Vec<(u64, u64)> = full_ledger
+        .iter()
+        .copied()
+        .filter(|(at, _)| at > mid_at)
+        .collect();
+    assert!(!suffix.is_empty());
+    assert_eq!(*digests.lock().unwrap(), suffix);
+}
+
+#[test]
+fn corrupt_snapshots_fail_typed_never_panic() {
+    let (topo, n) = build_topo();
+    let mut sim = fresh_sim(&topo, &n, SimConfig::paper());
+    let (sink, kept) = CheckpointSink::keep_all();
+    sim.enable_checkpoints(Duration::from_ns(2_000), sink);
+    sim.run();
+    let kept = kept.lock().unwrap();
+    let bytes = kept[kept.len() / 2].1.clone();
+
+    // Every truncation length fails typed.
+    for len in 0..bytes.len().min(64) {
+        assert!(
+            NetworkSim::restore(
+                &topo,
+                build_oracle(&topo, &n),
+                SimConfig::paper(),
+                &bytes[..len]
+            )
+            .is_err(),
+            "truncated snapshot (len {len}) must not restore"
+        );
+    }
+    assert!(NetworkSim::restore(
+        &topo,
+        build_oracle(&topo, &n),
+        SimConfig::paper(),
+        &bytes[..bytes.len() - 3],
+    )
+    .is_err());
+
+    // Single-bit flips across the whole snapshot fail typed (the
+    // checksum trailer catches payload flips; flips in the trailer
+    // itself surface as ChecksumMismatch).
+    for i in (0..bytes.len()).step_by(7) {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 1 << (i % 8);
+        assert!(
+            NetworkSim::restore(&topo, build_oracle(&topo, &n), SimConfig::paper(), &flipped)
+                .is_err(),
+            "bit flip at byte {i} must not restore"
+        );
+    }
+}
+
+#[test]
+fn restore_rejects_mismatched_config_and_topology() {
+    let (topo, n) = build_topo();
+    let mut sim = fresh_sim(&topo, &n, SimConfig::paper());
+    let (sink, kept) = CheckpointSink::keep_all();
+    sim.enable_checkpoints(Duration::from_ns(2_000), sink);
+    sim.run();
+    let kept = kept.lock().unwrap();
+    let bytes = &kept[0].1;
+
+    let skewed = SimConfig {
+        input_buffer_flits: 2,
+        ..SimConfig::paper()
+    };
+    assert!(matches!(
+        NetworkSim::restore(&topo, build_oracle(&topo, &n), skewed, bytes),
+        Err(SnapshotError::ConfigMismatch(_))
+    ));
+
+    let (other_topo, on) = {
+        let mut b = Topology::builder();
+        let s0 = b.add_switch();
+        let p0 = b.add_processor();
+        let p1 = b.add_processor();
+        b.link(p0, s0).unwrap();
+        b.link(p1, s0).unwrap();
+        (b.build(), [s0, s0, s0, p0, p0, p0, p1])
+    };
+    let _ = on;
+    assert!(matches!(
+        NetworkSim::restore(
+            &other_topo,
+            OracleRouting::new(&other_topo),
+            SimConfig::paper(),
+            bytes
+        ),
+        Err(SnapshotError::ConfigMismatch(_))
+    ));
+}
+
+#[test]
+fn config_cadence_auto_enables_checkpointing() {
+    // `SimConfig::checkpoint_every_ns` alone turns checkpointing on (the
+    // scenario axis path); the default sink is a digest ledger, reachable
+    // by swapping in one we hold.
+    let (topo, n) = build_topo();
+    let cfg = SimConfig::paper().with_checkpoint_every_ns(1_000);
+    let mut sim = fresh_sim(&topo, &n, cfg);
+    let (sink, digests) = CheckpointSink::digests();
+    sim.set_checkpoint_sink(sink);
+    sim.run();
+    assert!(!digests.lock().unwrap().is_empty());
+}

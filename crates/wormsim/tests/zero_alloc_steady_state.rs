@@ -16,11 +16,14 @@
 //! single-threaded and the allocator counter observes *only* the
 //! simulation, so every pin below is an exact equality.
 
+use desim::Duration;
 use netgraph::{NodeId, Topology};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use wormsim::routing::OracleRouting;
-use wormsim::{MessageSpec, MetricsConfig, NetworkSim, QueueKind, SimConfig, SimOutcome};
+use wormsim::{
+    CheckpointSink, MessageSpec, MetricsConfig, NetworkSim, QueueKind, SimConfig, SimOutcome,
+};
 
 /// The zero-alloc discipline is a property of the bucket wheel's pooled
 /// slot chains; the reference heap grows its backing storage on its own
@@ -324,6 +327,55 @@ fn enabled_metrics_allocates_nothing_per_flit() {
     );
 }
 
+fn run_unicast_checkpointed(len: u32) -> (SimOutcome, u64, usize) {
+    let (topo, switches, src, dst, _) = chain(6);
+    let mut oracle = OracleRouting::new(&topo);
+    let mut path = vec![src];
+    path.extend(&switches);
+    path.push(dst);
+    oracle.add_unicast_path(0, &path).unwrap();
+    let mut sim = NetworkSim::new(&topo, oracle, cfg());
+    let (sink, ledger) = CheckpointSink::digests();
+    sim.enable_checkpoints(Duration::from_ns(5_000), sink);
+    sim.submit(MessageSpec::unicast(src, dst, len).tag(0))
+        .unwrap();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = sim.run();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(out.all_delivered(), "{:?} {:?}", out.error, out.deadlock);
+    let checkpoints = ledger.lock().map(|v| v.len()).unwrap_or(0);
+    (out, after - before, checkpoints)
+}
+
+fn enabled_checkpointing_allocates_nothing_per_flit() {
+    // Digest checkpointing is built to be steady-state alloc-free: the
+    // `SnapWriter` buffer is preallocated and reused for every encode,
+    // and the `Digests` ledger preallocates its slots. The long run both
+    // moves ~3x the flits *and* fires ~3x the checkpoints — so this pin
+    // is stronger than the others: not just zero per flit, zero per
+    // checkpoint too.
+    let _ = run_unicast_checkpointed(16);
+    let (short_out, short_allocs, short_ckpts) = run_unicast_checkpointed(4096);
+    let (long_out, long_allocs, long_ckpts) = run_unicast_checkpointed(12288);
+    assert!(
+        short_ckpts >= 2,
+        "short run checkpointed {short_ckpts} times"
+    );
+    assert!(
+        long_ckpts > short_ckpts,
+        "long run should checkpoint more ({long_ckpts} vs {short_ckpts})"
+    );
+    let extra = long_out.counters.flits_delivered - short_out.counters.flits_delivered;
+    assert_eq!(
+        long_allocs,
+        short_allocs,
+        "digest checkpointing allocated: {} extra allocations over {} extra flits and {} extra checkpoints",
+        long_allocs as i64 - short_allocs as i64,
+        extra,
+        long_ckpts - short_ckpts
+    );
+}
+
 fn seg_lookups_are_counted() {
     // The arena refactor's accounting hook: every event-path state lookup
     // (a hash probe before, an array index now) is counted.
@@ -340,7 +392,7 @@ fn seg_lookups_are_counted() {
 }
 
 fn main() {
-    let checks: [(&str, fn()); 8] = [
+    let checks: [(&str, fn()); 9] = [
         ("body_flits_allocate_nothing", body_flits_allocate_nothing),
         (
             "repeated_runs_have_identical_alloc_counts",
@@ -365,6 +417,10 @@ fn main() {
         (
             "enabled_metrics_allocates_nothing_per_flit",
             enabled_metrics_allocates_nothing_per_flit,
+        ),
+        (
+            "enabled_checkpointing_allocates_nothing_per_flit",
+            enabled_checkpointing_allocates_nothing_per_flit,
         ),
         ("seg_lookups_are_counted", seg_lookups_are_counted),
     ];

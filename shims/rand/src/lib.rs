@@ -78,6 +78,18 @@ pub mod rngs {
         state: u64,
     }
 
+    impl StdRng {
+        /// The generator's current internal state word.
+        ///
+        /// Shim extension (upstream `StdRng` is opaque): the snapshot
+        /// layer persists this and reconstructs the exact stream with
+        /// [`SeedableRng::seed_from_u64`]`(state)` — SplitMix64's state
+        /// *is* its seed, advanced by one increment per draw.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {

@@ -59,8 +59,10 @@ pub mod prelude {
     pub use spam_metrics::{CongestionHeatmap, HeatKey, MetricsConfig, RunMetrics, RunReport};
     pub use spam_reconfig::{EpochRouting, FaultEvent, FaultKind, FaultSchedule, ReconfigScenario};
     pub use spam_scenario::{
-        run_once as run_scenario_once, run_spec as run_scenario, FaultsSpec, RoutingSpec,
-        ScenarioReport, ScenarioSpec, SpecError as ScenarioError, TrafficSpec,
+        bisect_divergence, outcome_digest, resume_once, run_once as run_scenario_once,
+        run_once_checkpointed, run_spec as run_scenario, CheckpointedRun, DivergenceReport,
+        FaultsSpec, RoutingSpec, ScenarioReport, ScenarioSpec, SpecError as ScenarioError,
+        TrafficSpec,
     };
     pub use spam_trace::{decompose_run, export as export_perfetto, MessageAnatomy, SpanSet};
     pub use traffic::{
@@ -70,7 +72,7 @@ pub mod prelude {
     };
     pub use updown::{RelabelReport, RootSelection, UpDownLabeling};
     pub use wormsim::{
-        EpochStats, FailureKind, LatencyParams, MessageFailure, MessageSpec, NetworkSim, QueueKind,
-        RouteError, SimConfig, SimError, SimOutcome,
+        CheckpointSink, EpochStats, FailureKind, LatencyParams, MessageFailure, MessageSpec,
+        NetworkSim, QueueKind, RouteError, SimConfig, SimError, SimOutcome, SnapshotError,
     };
 }

@@ -1,0 +1,122 @@
+//! Snapshot round-trip over the committed golden corpus: every
+//! `scenarios/*.scenario.json` file, checkpointed mid-run, resumes to a
+//! byte-identical outcome digest under **both** event-queue
+//! implementations — plus a kill-and-resume drill through the on-disk
+//! crash journal ([`CheckpointSink::File`]).
+
+use spam_net::prelude::*;
+use std::path::Path;
+
+#[test]
+fn every_committed_scenario_resumes_identically_under_both_queues() {
+    let corpus = spam_net::scenario::load_dir(Path::new("scenarios")).expect("corpus loads");
+    assert!(
+        corpus.len() >= 14,
+        "the committed corpus shrank to {} scenarios",
+        corpus.len()
+    );
+    for (path, mut spec) in corpus {
+        spec.quicken();
+        let name = path.display();
+        let baseline = run_scenario_once(&spec, 0, Some(QueueKind::Bucket))
+            .unwrap_or_else(|e| panic!("[{name}] baseline: {e}"));
+        let want = outcome_digest(&baseline);
+
+        // Quarter-run cadence: a handful of checkpoints per scenario.
+        let every_ns = (baseline.end_time.as_ns() / 4).max(1);
+        let golden = run_once_checkpointed(&spec, 0, Some(QueueKind::Bucket), every_ns)
+            .unwrap_or_else(|e| panic!("[{name}] checkpointed run: {e}"));
+        assert_eq!(
+            want,
+            outcome_digest(&golden.outcome),
+            "[{name}] checkpointing perturbed the run"
+        );
+        assert!(
+            !golden.checkpoints.is_empty(),
+            "[{name}] quarter-run cadence produced no checkpoints"
+        );
+        for (at_ns, bytes) in &golden.checkpoints {
+            for queue in [QueueKind::Bucket, QueueKind::Heap] {
+                let resumed = resume_once(&spec, 0, Some(queue), bytes)
+                    .unwrap_or_else(|e| panic!("[{name}] resume at {at_ns}ns ({queue:?}): {e}"));
+                assert_eq!(
+                    want,
+                    outcome_digest(&resumed),
+                    "[{name}] resume at {at_ns}ns under {queue:?} diverged"
+                );
+            }
+        }
+    }
+}
+
+/// A crash drill through the on-disk journal: a run checkpoints into a
+/// `CheckpointSink::File`; the process "dies" (we simply stop using the
+/// live simulator); a fresh process restores the journal file and runs
+/// to completion with the uninterrupted run's exact outcome. Also pins
+/// the atomicity contract — no stale `.tmp` sibling survives.
+#[test]
+fn kill_and_resume_from_the_disk_journal_matches_uninterrupted_run() {
+    let topo = IrregularConfig::with_switches(24).generate(5);
+    let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
+    let stream = MixedTrafficConfig::figure3(0.1, 4, 60)
+        .generate(&topo, 5)
+        .expect("workload fits");
+    let fresh = || {
+        let mut sim = NetworkSim::new(&topo, SpamRouting::new(&topo, &ud), SimConfig::paper());
+        for m in stream.iter().cloned() {
+            sim.submit(m).expect("generated for this topology");
+        }
+        sim
+    };
+
+    let uninterrupted = fresh().run();
+    assert!(uninterrupted.all_delivered());
+    let want = outcome_digest(&uninterrupted);
+
+    let dir = std::env::temp_dir().join("spam_net_kill_resume_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal = dir.join("crash.snap");
+
+    // The "doomed" process: checkpoints to disk, then is abandoned.
+    let mut doomed = fresh();
+    doomed.enable_checkpoints(
+        Duration::from_ns((uninterrupted.end_time.as_ns() / 3).max(1)),
+        CheckpointSink::File(journal.clone()),
+    );
+    doomed.run();
+
+    // The journal holds the last atomically renamed snapshot; its
+    // `.tmp` sibling must not survive a completed write.
+    let bytes = std::fs::read(&journal).expect("journal file exists after the crash");
+    assert!(
+        !journal.with_extension("snap.tmp").exists(),
+        "atomic rename left a .tmp sibling"
+    );
+
+    // The "recovery" process: restore from disk and finish the run.
+    let resumed = NetworkSim::restore(
+        &topo,
+        SpamRouting::new(&topo, &ud),
+        SimConfig::paper(),
+        &bytes,
+    )
+    .expect("journal restores")
+    .run();
+    assert_eq!(want, outcome_digest(&resumed), "recovered run diverged");
+
+    // Corrupting the journal on disk fails typed, never panics.
+    let mut broken = bytes.clone();
+    let mid = broken.len() / 2;
+    broken[mid] ^= 0x40;
+    assert!(matches!(
+        NetworkSim::restore(
+            &topo,
+            SpamRouting::new(&topo, &ud),
+            SimConfig::paper(),
+            &broken
+        ),
+        Err(SnapshotError::ChecksumMismatch { .. } | SnapshotError::Corrupt(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
