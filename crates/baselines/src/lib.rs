@@ -23,4 +23,4 @@ pub mod updown_unicast;
 
 pub use lower_bound::{software_multicast_lower_bound, software_multicast_phases};
 pub use ucast_multicast::UnicastMulticast;
-pub use updown_unicast::UpDownUnicastRouting;
+pub use updown_unicast::{UpDownPrecomp, UpDownUnicastRouting};

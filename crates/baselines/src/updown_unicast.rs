@@ -53,6 +53,26 @@ pub struct UpDownUnicastRouting<'a> {
 /// Sentinel for unreachable states.
 const UNREACHABLE: u16 = u16::MAX;
 
+/// The router's precomputed state (down-reachability closure and residual
+/// distances) detached from the topology borrow, so an artifact cache can
+/// keep it alive across runs and re-attach it with
+/// [`UpDownUnicastRouting::with_precomp`]. Cloning is two refcount bumps.
+#[derive(Debug, Clone)]
+pub struct UpDownPrecomp {
+    down_reach: Arc<BitMatrix>,
+    dist: Arc<Vec<Vec<u16>>>,
+}
+
+impl UpDownPrecomp {
+    /// Approximate heap footprint in bytes (distance rows dominate; the
+    /// bit matrix is `n²/8`).
+    pub fn approx_bytes(&self) -> usize {
+        let rows: usize = self.dist.iter().map(|r| r.len() * 2).sum();
+        let n = self.dist.len();
+        rows + n * n / 8
+    }
+}
+
 impl<'a> UpDownUnicastRouting<'a> {
     /// Builds the router, precomputing down-reachability and distances.
     pub fn new(topo: &'a Topology, ud: &'a UpDownLabeling) -> Self {
@@ -67,6 +87,38 @@ impl<'a> UpDownUnicastRouting<'a> {
             ud,
             down_reach,
             dist,
+        }
+    }
+
+    /// Builds the router from an *already computed* [`UpDownPrecomp`] —
+    /// the artifact-cache entry point. `precomp` must have been taken
+    /// (via [`Self::precomp`]) from a router built over exactly this
+    /// `(topo, ud)` pair; behavior is then identical to [`Self::new`]
+    /// while skipping the closure and per-target BFS work.
+    pub fn with_precomp(
+        topo: &'a Topology,
+        ud: &'a UpDownLabeling,
+        precomp: UpDownPrecomp,
+    ) -> Self {
+        assert_eq!(
+            precomp.dist.len(),
+            topo.num_nodes(),
+            "precomputed distances cover every node"
+        );
+        UpDownUnicastRouting {
+            topo,
+            ud,
+            down_reach: precomp.down_reach,
+            dist: precomp.dist,
+        }
+    }
+
+    /// The precomputed state, detached for caching (see
+    /// [`Self::with_precomp`]).
+    pub fn precomp(&self) -> UpDownPrecomp {
+        UpDownPrecomp {
+            down_reach: Arc::clone(&self.down_reach),
+            dist: Arc::clone(&self.dist),
         }
     }
 

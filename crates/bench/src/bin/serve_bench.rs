@@ -1,0 +1,54 @@
+//! Measures cold-vs-warm scenario-service latency over the committed
+//! corpus and writes `BENCH_serve.json` (plus a `results/` copy).
+//!
+//! Doubles as the CI `serve-smoke`: the run aborts unless the second
+//! pass is served from the artifact cache with byte-identical digests
+//! and the daemon drains and shuts down cleanly.
+//!
+//! ```text
+//! cargo run -p spam-bench --bin serve_bench --release
+//! cargo run -p spam-bench --bin serve_bench --release -- --quick
+//! ```
+
+use spam_bench::report;
+use spam_bench::serve_bench::{run, serve_bench_json};
+use std::path::Path;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let limit = if quick { Some(6) } else { None };
+
+    let t0 = std::time::Instant::now();
+    let out = run(Path::new("scenarios"), limit);
+    println!(
+        "  {:>32} {:>4} {:>12} {:>12} {:>8}",
+        "scenario", "reps", "cold µs", "warm µs", "speedup"
+    );
+    for c in &out.per_scenario {
+        println!(
+            "  {:>32} {:>4} {:>12.1} {:>12.1} {:>7.2}x",
+            c.name,
+            c.reps,
+            c.cold_us,
+            c.warm_us,
+            c.cold_us / c.warm_us.max(1.0)
+        );
+    }
+    println!(
+        "  total: cold {:.1} µs, warm {:.1} µs ({:.2}x); cache {} hit(s) / {} miss(es); {:.1?}",
+        out.total_cold_us(),
+        out.total_warm_us(),
+        out.total_cold_us() / out.total_warm_us().max(1.0),
+        out.hits,
+        out.misses,
+        t0.elapsed()
+    );
+    assert!(
+        out.total_warm_us() < out.total_cold_us(),
+        "warm pass was not faster than cold: the cache amortized nothing"
+    );
+
+    let bench = serve_bench_json(&out);
+    let path = report::write_bench_json(Path::new("results"), &bench).expect("write bench json");
+    println!("-> {} (+ ./BENCH_serve.json)", path.display());
+}

@@ -19,6 +19,7 @@ pub mod latency_anatomy;
 pub mod reconfig_sweep;
 pub mod report;
 pub mod scenario_corpus;
+pub mod serve_bench;
 pub mod snapshot_bench;
 pub mod sweep;
 pub mod throughput;

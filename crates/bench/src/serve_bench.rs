@@ -1,0 +1,255 @@
+//! Cold-vs-warm service latency over the committed corpus.
+//!
+//! Starts a real [`spam_serve::Daemon`], attaches a client over a unix
+//! socketpair, and replays every committed golden scenario through it
+//! **twice in one process**. Pass 1 builds every artifact (cold); pass 2
+//! must be served from the content-addressed cache (warm). The measured
+//! quantity is client-observed request latency — send `run`, read the
+//! last result line — which is exactly what the cache is supposed to
+//! shrink. The run doubles as the CI smoke: it fails unless pass 2 hit
+//! the cache and produced byte-identical digests, and unless the daemon
+//! shuts down cleanly.
+
+use crate::report::BenchJson;
+use crate::PointSummary;
+use spam_scenario::json::{parse, Json};
+use spam_scenario::{load_dir, ScenarioSpec};
+use spam_serve::{CacheConfig, Daemon, ServeConfig, ServeCore};
+use std::io::{BufRead, BufReader, Lines, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Instant;
+
+/// One scenario's measured request latencies (whole request: all
+/// replications, queue wait included — the client's view).
+#[derive(Debug, Clone)]
+pub struct ScenarioCost {
+    /// Scenario name from the spec.
+    pub name: String,
+    /// Replications executed (result lines per request).
+    pub reps: u32,
+    /// Pass-1 latency, µs (every artifact built).
+    pub cold_us: f64,
+    /// Pass-2 latency, µs (every artifact cached).
+    pub warm_us: f64,
+}
+
+/// Aggregate outcome of the two-pass replay.
+#[derive(Debug)]
+pub struct ServeBenchOutcome {
+    /// Per-scenario costs, corpus order.
+    pub per_scenario: Vec<ScenarioCost>,
+    /// Cache hits after both passes.
+    pub hits: u64,
+    /// Cache misses after both passes (all from pass 1).
+    pub misses: u64,
+}
+
+impl ServeBenchOutcome {
+    /// Total cold-pass latency, µs.
+    pub fn total_cold_us(&self) -> f64 {
+        self.per_scenario.iter().map(|c| c.cold_us).sum()
+    }
+
+    /// Total warm-pass latency, µs.
+    pub fn total_warm_us(&self) -> f64 {
+        self.per_scenario.iter().map(|c| c.warm_us).sum()
+    }
+}
+
+fn expect_line(lines: &mut Lines<BufReader<UnixStream>>, what: &str) -> String {
+    let line = lines
+        .next()
+        .unwrap_or_else(|| panic!("daemon closed the stream while waiting for {what}"))
+        .unwrap_or_else(|e| panic!("read error waiting for {what}: {e}"));
+    assert!(
+        !line.contains("\"type\":\"error\""),
+        "daemon rejected {what}: {line}"
+    );
+    line
+}
+
+/// Sends one `run` and reads until its last replication's result line,
+/// returning (elapsed µs, per-rep digests).
+fn timed_request(
+    tx: &mut UnixStream,
+    lines: &mut Lines<BufReader<UnixStream>>,
+    spec: &ScenarioSpec,
+) -> (f64, Vec<String>) {
+    let reps = spec.replications.max(1) as usize;
+    let req = format!(
+        r#"{{"op":"run","spec":{}}}"#,
+        spec.to_json().to_string_compact()
+    );
+    let start = Instant::now();
+    writeln!(tx, "{req}").expect("request written");
+    let queued = expect_line(lines, &spec.name);
+    assert!(queued.contains("\"queued\""), "{queued}");
+    let mut digests = Vec::with_capacity(reps);
+    while digests.len() < reps {
+        let line = expect_line(lines, &spec.name);
+        if !line.contains("\"type\":\"result\"") {
+            continue;
+        }
+        let doc = parse(&line).expect("result lines parse");
+        digests.push(
+            doc.get("digest")
+                .and_then(Json::as_str)
+                .expect("digest field")
+                .to_string(),
+        );
+    }
+    (start.elapsed().as_secs_f64() * 1e6, digests)
+}
+
+fn cache_stats_of(tx: &mut UnixStream, lines: &mut Lines<BufReader<UnixStream>>) -> (u64, u64) {
+    writeln!(tx, r#"{{"op":"stats"}}"#).expect("stats written");
+    let line = expect_line(lines, "stats");
+    let doc = parse(&line).expect("stats line parses");
+    let cache = doc.get("cache").expect("cache object");
+    let get = |k: &str| {
+        cache
+            .get(k)
+            .and_then(|v| v.as_num()?.as_u64())
+            .unwrap_or_else(|| panic!("stats.cache.{k} missing: {line}"))
+    };
+    (get("hits"), get("misses"))
+}
+
+/// Replays `corpus_dir` twice through one daemon and returns the
+/// measured costs. Panics (failing the smoke) if the warm pass misses
+/// the cache, any digest diverges between passes, or shutdown is
+/// unclean.
+pub fn run(corpus_dir: &Path, limit: Option<usize>) -> ServeBenchOutcome {
+    let mut specs: Vec<ScenarioSpec> = load_dir(corpus_dir)
+        .expect("corpus loads")
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+    if let Some(n) = limit {
+        specs.truncate(n);
+    }
+    assert!(!specs.is_empty(), "empty corpus");
+
+    let daemon = Daemon::start(ServeCore::new(ServeConfig {
+        cache: CacheConfig {
+            max_entries: 256,
+            max_bytes: usize::MAX,
+        },
+        ..ServeConfig::default()
+    }));
+    let (client, server) = UnixStream::pair().expect("socketpair");
+    daemon.attach(server.try_clone().expect("server reader"), server);
+    let mut tx = client.try_clone().expect("client writer");
+    let mut lines = BufReader::new(client).lines();
+
+    writeln!(tx, r#"{{"op":"hello","client":"serve-bench"}}"#).expect("hello written");
+    expect_line(&mut lines, "hello");
+
+    let mut cold = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        cold.push(timed_request(&mut tx, &mut lines, spec));
+    }
+    let (hits_cold, misses_cold) = cache_stats_of(&mut tx, &mut lines);
+    assert!(misses_cold > 0, "cold pass built nothing?");
+
+    let mut per_scenario = Vec::with_capacity(specs.len());
+    for (spec, (cold_us, cold_digests)) in specs.iter().zip(&cold) {
+        let (warm_us, warm_digests) = timed_request(&mut tx, &mut lines, spec);
+        assert_eq!(
+            &warm_digests, cold_digests,
+            "{}: warm digests diverged from cold",
+            spec.name
+        );
+        per_scenario.push(ScenarioCost {
+            name: spec.name.clone(),
+            reps: spec.replications.max(1),
+            cold_us: *cold_us,
+            warm_us,
+        });
+    }
+    let (hits, misses) = cache_stats_of(&mut tx, &mut lines);
+    assert!(
+        hits > hits_cold,
+        "warm pass recorded no cache hits ({hits} vs {hits_cold})"
+    );
+    assert_eq!(misses, misses_cold, "warm pass built artifacts");
+
+    writeln!(tx, r#"{{"op":"shutdown"}}"#).expect("shutdown written");
+    daemon.join().expect("clean shutdown");
+    ServeBenchOutcome {
+        per_scenario,
+        hits,
+        misses,
+    }
+}
+
+/// Packs the outcome as the standard `BENCH_serve.json` record: one
+/// cold and one warm series over scenario index, totals in `params`.
+/// Warm points set `target_met` when warm beat cold for that scenario.
+pub fn serve_bench_json(out: &ServeBenchOutcome) -> BenchJson {
+    let point = |i: usize, us: f64, reps: u32, met: bool| PointSummary {
+        x: i as f64,
+        mean: us,
+        ci_half_width: 0.0,
+        reps: reps as u64,
+        target_met: met,
+    };
+    let cold: Vec<PointSummary> = out
+        .per_scenario
+        .iter()
+        .enumerate()
+        .map(|(i, c)| point(i, c.cold_us, c.reps, true))
+        .collect();
+    let warm: Vec<PointSummary> = out
+        .per_scenario
+        .iter()
+        .enumerate()
+        .map(|(i, c)| point(i, c.warm_us, c.reps, c.warm_us < c.cold_us))
+        .collect();
+    BenchJson {
+        name: "serve".to_string(),
+        params: vec![
+            ("scenarios".to_string(), out.per_scenario.len().to_string()),
+            (
+                "scenario_names".to_string(),
+                out.per_scenario
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+            ("cache_hits".to_string(), out.hits.to_string()),
+            ("cache_misses".to_string(), out.misses.to_string()),
+            (
+                "total_cold_us".to_string(),
+                format!("{:.1}", out.total_cold_us()),
+            ),
+            (
+                "total_warm_us".to_string(),
+                format!("{:.1}", out.total_warm_us()),
+            ),
+            (
+                "speedup".to_string(),
+                format!("{:.2}", out.total_cold_us() / out.total_warm_us().max(1.0)),
+            ),
+        ],
+        series: vec![("cold_us".to_string(), cold), ("warm_us".to_string(), warm)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_pass_replay_hits_and_matches() {
+        let out = run(Path::new("../../scenarios"), Some(3));
+        assert_eq!(out.per_scenario.len(), 3);
+        assert!(out.hits > 0);
+        assert!(out.total_cold_us() > 0.0 && out.total_warm_us() > 0.0);
+        let bench = serve_bench_json(&out);
+        assert_eq!(bench.series.len(), 2);
+        assert_eq!(bench.series[0].1.len(), 3);
+    }
+}

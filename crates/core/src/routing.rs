@@ -105,6 +105,65 @@ impl<'a> SpamRouting<'a> {
         }
     }
 
+    /// Builds SPAM over *already computed* tables — the artifact-cache
+    /// entry point. `tables` must have been produced by
+    /// [`RoutingTables::build`] for exactly this `(topo, ud)` pair;
+    /// behavior is then identical to [`Self::new`] while skipping the
+    /// all-targets reverse BFS (the expensive part of construction).
+    pub fn with_tables(
+        topo: &'a Topology,
+        ud: &'a UpDownLabeling,
+        tables: Arc<RoutingTables>,
+    ) -> Self {
+        assert_eq!(
+            tables.num_nodes(),
+            topo.num_nodes(),
+            "tables cover every node of the topology"
+        );
+        SpamRouting {
+            topo,
+            ud,
+            tables,
+            policy: SelectionPolicy::default(),
+            alive: None,
+        }
+    }
+
+    /// The masked counterpart of [`Self::with_tables`]: `tables` must come
+    /// from [`RoutingTables::build_masked`] over this `(topo, ud, alive)`
+    /// triple. Behavior is identical to [`Self::new_masked`] without
+    /// rebuilding the per-epoch tables.
+    pub fn with_tables_masked(
+        topo: &'a Topology,
+        ud: &'a UpDownLabeling,
+        tables: Arc<RoutingTables>,
+        alive: &[bool],
+    ) -> Self {
+        assert_eq!(
+            alive.len(),
+            topo.num_channels(),
+            "liveness mask covers every channel"
+        );
+        assert_eq!(
+            tables.num_nodes(),
+            topo.num_nodes(),
+            "tables cover every node of the topology"
+        );
+        SpamRouting {
+            topo,
+            ud,
+            tables,
+            policy: SelectionPolicy::default(),
+            alive: Some(alive.into()),
+        }
+    }
+
+    /// The precomputed tables behind an `Arc`, clonable into an artifact
+    /// cache so later runs on the same topology+labeling skip the build.
+    pub fn tables_arc(&self) -> Arc<RoutingTables> {
+        Arc::clone(&self.tables)
+    }
+
     /// True when channel `c` may carry traffic under this router's view.
     #[inline]
     fn is_alive(&self, c: ChannelId) -> bool {

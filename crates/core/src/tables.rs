@@ -138,6 +138,15 @@ impl RoutingTables {
         self.n
     }
 
+    /// Approximate heap footprint in bytes — the quantity an artifact
+    /// cache charges its byte budget for one table set. Counts the
+    /// distance rows and move records; constant overhead is ignored.
+    pub fn approx_bytes(&self) -> usize {
+        self.dist.iter().map(|row| row.len() * 2).sum::<usize>()
+            + self.moves.len() * std::mem::size_of::<NodeMove>()
+            + self.move_bounds.len() * 4
+    }
+
     /// Reverse BFS over the phase-layered graph from `(target, *)`.
     fn build_for_target(
         topo: &Topology,

@@ -4,7 +4,8 @@ use crate::routing::EpochRouting;
 use crate::schedule::FaultSchedule;
 use desim::Time;
 use netgraph::Topology;
-use spam_core::SpamRouting;
+use spam_core::{RoutingTables, SpamRouting};
+use std::sync::Arc;
 use updown::{RelabelReport, UpDownLabeling};
 
 /// A fully precomputed live-reconfiguration scenario: the per-epoch
@@ -120,6 +121,46 @@ impl ReconfigScenario {
             .iter()
             .zip(&self.masks)
             .map(|(ud, mask)| SpamRouting::new_masked(base, ud, mask))
+            .collect();
+        EpochRouting::new(self.boundaries.clone(), epochs)
+    }
+
+    /// Precomputes every epoch's masked routing tables — the expensive
+    /// part of [`Self::routing`] — detached behind `Arc`s so an artifact
+    /// cache can keep them across runs and re-attach them with
+    /// [`Self::routing_with_tables`].
+    pub fn build_epoch_tables(&self, base: &Topology) -> Vec<Arc<RoutingTables>> {
+        self.labelings
+            .iter()
+            .zip(&self.masks)
+            .map(|(ud, mask)| Arc::new(RoutingTables::build_masked(base, ud, Some(mask))))
+            .collect()
+    }
+
+    /// Like [`Self::routing`], but re-attaching tables previously taken
+    /// from [`Self::build_epoch_tables`] for this scenario over `base` —
+    /// identical routing behavior, no per-epoch table rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tables` does not hold exactly one entry per epoch
+    /// (it came from a different scenario).
+    pub fn routing_with_tables<'a>(
+        &'a self,
+        base: &'a Topology,
+        tables: &[Arc<RoutingTables>],
+    ) -> EpochRouting<'a> {
+        assert_eq!(
+            tables.len(),
+            self.num_epochs(),
+            "one table set per routing epoch"
+        );
+        let epochs = self
+            .labelings
+            .iter()
+            .zip(&self.masks)
+            .zip(tables)
+            .map(|((ud, mask), t)| SpamRouting::with_tables_masked(base, ud, Arc::clone(t), mask))
             .collect();
         EpochRouting::new(self.boundaries.clone(), epochs)
     }

@@ -1,0 +1,557 @@
+//! Content-addressed scenario artifacts: the expensive, reusable prefix
+//! of a run.
+//!
+//! Executing a [`ScenarioSpec`] splits cleanly in two:
+//!
+//! 1. **Artifact build** — generate the lattice, apply static damage or
+//!    precompute a reconfiguration storm's epoch chain, label the
+//!    survivors up*/down*, and derive the routing precomputes (SPAM
+//!    [`RoutingTables`], the up*/down* baseline's reachability closure).
+//!    Deterministic in the spec's *topology + faults* sections and the
+//!    replication index — nothing else.
+//! 2. **Run** — generate traffic and drive the wormhole engine.
+//!
+//! [`ArtifactPrefix`] names part 1: the exact sub-spec slice it depends
+//! on. Two specs with equal prefixes — however much their traffic,
+//! routing policy, engine knobs, or seeds differ — can share one
+//! [`ScenarioArtifacts`], which is what the `spam-serve` artifact cache
+//! does. [`ArtifactPrefix::fingerprint`] is the cache key: an FNV-1a 64
+//! digest (the same accumulator style `spam-fuzz` uses for
+//! `outcome_digest`) streamed directly over the prefix fields, so
+//! computing it on the request hot path allocates nothing.
+//!
+//! The differential guarantee — a cache hit changes no outcome byte — is
+//! pinned by `tests/serve_cache_differential.rs` at the workspace root:
+//! all committed golden scenarios run cold and warm and must produce
+//! identical `outcome_digest`s.
+
+use crate::codec::{decode_faults, decode_topology, encode_faults, encode_topology};
+use crate::json::{self, Json, Num};
+use crate::run::rep_seed;
+use crate::spec::{
+    FaultModelSpec, FaultsSpec, ScenarioSpec, SpecError, StrategySpec, TopologySpec,
+};
+use baselines::{UpDownPrecomp, UpDownUnicastRouting};
+use desim::Time;
+use netgraph::gen::lattice::{IrregularConfig, LatticeLayout, LatticeStrategy};
+use netgraph::{NodeId, Topology};
+use spam_core::{RoutingTables, SpamRouting};
+use spam_faults::DegradedNetwork;
+use spam_reconfig::{EpochRouting, FaultSchedule, ReconfigScenario};
+use std::sync::{Arc, OnceLock};
+use updown::{RootSelection, UpDownLabeling};
+
+/// Streaming FNV-1a 64 over field words — no intermediate buffer, so
+/// fingerprinting a spec on the request path allocates nothing.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    #[inline]
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    #[inline]
+    fn f64(&mut self, v: f64) {
+        // Bit-exact: the fingerprint distinguishes every distinct rate.
+        self.u64(v.to_bits());
+    }
+}
+
+/// Bump when the fingerprinted field set or its encoding changes, so a
+/// persisted cache manifest from an older layout can never alias a new
+/// key.
+const FINGERPRINT_VERSION: u8 = 1;
+
+/// The slice of a [`ScenarioSpec`] the artifact build depends on: the
+/// topology and fault sections plus the replication index (replications
+/// beyond 0 derive their own generator and fault seeds). Everything else
+/// — name, traffic, routing, engine knobs, the traffic seed, the
+/// replication *count* — is irrelevant to the artifacts and deliberately
+/// excluded, so specs differing only in those share a cache entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactPrefix {
+    /// The lattice recipe.
+    pub topology: TopologySpec,
+    /// The damage recipe (static plan or storm schedule parameters).
+    pub faults: FaultsSpec,
+    /// Replication index the artifacts are built for.
+    pub rep: u32,
+}
+
+impl ArtifactPrefix {
+    /// Extracts the prefix of `spec` for replication `rep`.
+    pub fn of(spec: &ScenarioSpec, rep: u32) -> Self {
+        ArtifactPrefix {
+            topology: spec.topology.clone(),
+            faults: spec.faults,
+            rep,
+        }
+    }
+
+    /// True when `spec` at replication `rep` has exactly this prefix —
+    /// the hit-path equality check behind the 64-bit fingerprint
+    /// (collision safety without re-encoding anything).
+    pub fn matches(&self, spec: &ScenarioSpec, rep: u32) -> bool {
+        self.rep == rep && self.topology == spec.topology && self.faults == spec.faults
+    }
+
+    /// The cache key: FNV-1a 64 streamed over a versioned, tagged field
+    /// encoding. Equal prefixes always fingerprint equal; distinct
+    /// prefixes collide only with 64-bit-hash probability (and the cache
+    /// re-checks [`Self::matches`] on every hit, so a collision surfaces
+    /// as a typed error, never as wrong artifacts).
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_of(&self.topology, &self.faults, self.rep)
+    }
+
+    /// One-line canonical JSON of the prefix — the persistence form used
+    /// by the cache manifest (artifacts themselves are deterministic
+    /// rebuilds, so the manifest only needs the recipe).
+    pub fn canonical_json(&self) -> String {
+        Json::Obj(vec![
+            ("topology".to_string(), encode_topology(&self.topology)),
+            ("faults".to_string(), encode_faults(&self.faults)),
+            ("rep".to_string(), Json::Num(Num::U(self.rep as u64))),
+        ])
+        .to_string_compact()
+    }
+
+    /// Decodes a [`Self::canonical_json`] document. Strict like the
+    /// scenario codec: wrong shapes surface as typed [`SpecError`]s.
+    pub fn from_canonical_json(text: &str) -> Result<Self, SpecError> {
+        let doc = json::parse(text).map_err(SpecError::Json)?;
+        let get = |key: &str| {
+            doc.get(key).ok_or_else(|| SpecError::MissingField {
+                field: format!("prefix.{key}"),
+            })
+        };
+        let rep = match get("rep")?.as_num().and_then(|n| n.as_u64()) {
+            Some(v) if v <= u32::MAX as u64 => v as u32,
+            _ => {
+                return Err(SpecError::WrongType {
+                    field: "prefix.rep".to_string(),
+                    expected: "u32",
+                })
+            }
+        };
+        Ok(ArtifactPrefix {
+            topology: decode_topology(get("topology")?)?,
+            faults: decode_faults(get("faults")?)?,
+            rep,
+        })
+    }
+
+    /// Validates the prefix fields in isolation (the subset of
+    /// [`ScenarioSpec::validate`] that concerns topology and faults).
+    /// Prefixes extracted from validated specs always pass; this guards
+    /// prefixes decoded from a persisted cache manifest.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let t = &self.topology;
+        if t.switches < 2 {
+            return Err(SpecError::TooFewSwitches {
+                switches: t.switches,
+            });
+        }
+        if let Some(side) = t.side {
+            if side * side < t.switches {
+                return Err(SpecError::LatticeTooSmall {
+                    switches: t.switches,
+                    side,
+                });
+            }
+        }
+        if t.ports < 5 {
+            return Err(SpecError::BadPorts { ports: t.ports });
+        }
+        let check_model = |m: &FaultModelSpec| match *m {
+            FaultModelSpec::IidLinks { rate } | FaultModelSpec::IidSwitches { rate } => {
+                if (0.0..=1.0).contains(&rate) {
+                    Ok(())
+                } else {
+                    Err(SpecError::BadFaultRate { rate })
+                }
+            }
+            FaultModelSpec::Region { .. } => Ok(()),
+        };
+        match self.faults {
+            FaultsSpec::None => Ok(()),
+            FaultsSpec::Static { ref model, .. } => check_model(model),
+            FaultsSpec::Storm {
+                ref model,
+                window_start_us,
+                window_end_us,
+                bursts,
+                ..
+            } => {
+                check_model(model)?;
+                if window_end_us <= window_start_us {
+                    return Err(SpecError::EmptyStormWindow {
+                        start_us: window_start_us,
+                        end_us: window_end_us,
+                    });
+                }
+                if bursts == 0 {
+                    return Err(SpecError::ZeroBursts);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the artifacts this prefix describes: lattice generation,
+    /// fault application, labeling — everything a run needs before
+    /// traffic. Deterministic: equal prefixes build byte-identical
+    /// artifacts, which is the entire basis of the cache's correctness.
+    pub fn build(&self) -> Result<ScenarioArtifacts, SpecError> {
+        self.validate()?;
+        let tspec = &self.topology;
+        let rep = self.rep;
+        let default_side = IrregularConfig::with_switches(tspec.switches).side;
+        let gen = IrregularConfig {
+            switches: tspec.switches,
+            side: tspec.side.unwrap_or(default_side),
+            strategy: match tspec.strategy {
+                StrategySpec::ConnectedGrowth => LatticeStrategy::ConnectedGrowth,
+                StrategySpec::UniformRetry => LatticeStrategy::UniformRetry,
+            },
+            max_retries: 64,
+        };
+        let (topo, layout) = gen.generate_with_layout(rep_seed(tspec.seed, rep));
+        topo.validate(tspec.ports)
+            .map_err(|_| SpecError::BadPorts { ports: tspec.ports })?;
+
+        match self.faults {
+            FaultsSpec::None => {
+                let labeling = UpDownLabeling::build(&topo, RootSelection::LowestId);
+                let procs: Vec<NodeId> = topo.processors().collect();
+                Ok(ScenarioArtifacts::new(
+                    self.clone(),
+                    topo,
+                    layout,
+                    labeling,
+                    procs,
+                    None,
+                ))
+            }
+            FaultsSpec::Storm {
+                ref model,
+                seed,
+                window_start_us,
+                window_end_us,
+                bursts,
+            } => {
+                let labeling = UpDownLabeling::build(&topo, RootSelection::LowestId);
+                let schedule = FaultSchedule::storm(
+                    &model.to_model(),
+                    &topo,
+                    Some(&layout),
+                    (Time::from_us(window_start_us), Time::from_us(window_end_us)),
+                    bursts,
+                    rep_seed(seed, rep),
+                );
+                // A storm can destroy the whole fabric (e.g. switch
+                // faults at rate 1.0); that is a typed rejection, not a
+                // panic.
+                let scenario = ReconfigScenario::try_build(&topo, &labeling, &schedule)
+                    .ok_or(SpecError::NoSurvivingComponent)?;
+                let procs: Vec<NodeId> = topo.processors().collect();
+                Ok(ScenarioArtifacts::new(
+                    self.clone(),
+                    topo,
+                    layout,
+                    labeling,
+                    procs,
+                    Some(StormArtifacts {
+                        schedule,
+                        scenario,
+                        epoch_tables: OnceLock::new(),
+                    }),
+                ))
+            }
+            FaultsSpec::Static { ref model, seed } => {
+                // Damage strikes before the run: reconfigure and confine
+                // the workload to the largest surviving component.
+                let plan = model
+                    .to_model()
+                    .sample(&topo, Some(&layout), rep_seed(seed, rep));
+                let net = DegradedNetwork::build(&topo, &plan, None);
+                let comp = net.largest().ok_or(SpecError::NoSurvivingComponent)?;
+                let procs = comp.processors(&net.topo);
+                if procs.len() < 2 {
+                    return Err(SpecError::NoSurvivingComponent);
+                }
+                let labeling = comp.labeling.clone();
+                Ok(ScenarioArtifacts::new(
+                    self.clone(),
+                    net.topo,
+                    layout,
+                    labeling,
+                    procs,
+                    None,
+                ))
+            }
+        }
+    }
+}
+
+/// Streaming fingerprint over a spec's prefix fields without extracting
+/// (= cloning) an [`ArtifactPrefix`] — the allocation-free hit path.
+pub fn spec_fingerprint(spec: &ScenarioSpec, rep: u32) -> u64 {
+    fingerprint_of(&spec.topology, &spec.faults, rep)
+}
+
+fn fingerprint_of(t: &TopologySpec, f: &FaultsSpec, rep: u32) -> u64 {
+    let mut h = Fnv::new();
+    h.byte(FINGERPRINT_VERSION);
+    // Topology, field-tagged in declaration order.
+    h.u64(t.switches as u64);
+    h.u64(t.seed);
+    match t.side {
+        None => h.byte(0),
+        Some(s) => {
+            h.byte(1);
+            h.u64(s as u64);
+        }
+    }
+    h.byte(match t.strategy {
+        StrategySpec::ConnectedGrowth => 0,
+        StrategySpec::UniformRetry => 1,
+    });
+    h.u64(t.ports as u64);
+    // Faults: variant tag, then fields.
+    let model = |h: &mut Fnv, m: &FaultModelSpec| match *m {
+        FaultModelSpec::IidLinks { rate } => {
+            h.byte(0);
+            h.f64(rate);
+        }
+        FaultModelSpec::IidSwitches { rate } => {
+            h.byte(1);
+            h.f64(rate);
+        }
+        FaultModelSpec::Region { radius } => {
+            h.byte(2);
+            h.u64(radius as u64);
+        }
+    };
+    match *f {
+        FaultsSpec::None => h.byte(0),
+        FaultsSpec::Static { model: ref m, seed } => {
+            h.byte(1);
+            model(&mut h, m);
+            h.u64(seed);
+        }
+        FaultsSpec::Storm {
+            model: ref m,
+            seed,
+            window_start_us,
+            window_end_us,
+            bursts,
+        } => {
+            h.byte(2);
+            model(&mut h, m);
+            h.u64(seed);
+            h.u64(window_start_us);
+            h.u64(window_end_us);
+            h.u64(bursts as u64);
+        }
+    }
+    h.u64(rep as u64);
+    h.0
+}
+
+/// A storm prefix's extra artifacts: the fault schedule and the fully
+/// precomputed epoch chain, plus the per-epoch masked routing tables
+/// (built lazily on first use, then shared).
+#[derive(Debug)]
+pub struct StormArtifacts {
+    /// The sampled fault schedule (link/switch deaths with timestamps).
+    pub schedule: FaultSchedule,
+    /// Per-epoch labelings and liveness masks.
+    pub scenario: ReconfigScenario,
+    epoch_tables: OnceLock<Vec<Arc<RoutingTables>>>,
+}
+
+/// Everything a run needs before traffic generation, built once per
+/// [`ArtifactPrefix`] and shareable across arbitrarily many runs (the
+/// struct is `Sync`; routing precomputes are `Arc`-shared and built
+/// lazily per routing arm on first use).
+#[derive(Debug)]
+pub struct ScenarioArtifacts {
+    /// The prefix these artifacts realize.
+    pub prefix: ArtifactPrefix,
+    /// The execution topology: pristine for `faults: none` and storms,
+    /// post-degradation for static faults (dead nodes isolated, ids
+    /// preserved).
+    pub topo: Topology,
+    /// The lattice layout the topology was generated on.
+    pub layout: LatticeLayout,
+    /// The up*/down* labeling runs route by: the pristine labeling for
+    /// `none`/storm prefixes, the largest surviving component's for
+    /// static faults.
+    pub labeling: UpDownLabeling,
+    /// The processors traffic may use (confined to the surviving
+    /// component under static faults).
+    pub procs: Vec<NodeId>,
+    /// Storm-only extras.
+    pub storm: Option<StormArtifacts>,
+    spam_tables: OnceLock<Arc<RoutingTables>>,
+    updown: OnceLock<UpDownPrecomp>,
+}
+
+impl ScenarioArtifacts {
+    fn new(
+        prefix: ArtifactPrefix,
+        topo: Topology,
+        layout: LatticeLayout,
+        labeling: UpDownLabeling,
+        procs: Vec<NodeId>,
+        storm: Option<StormArtifacts>,
+    ) -> Self {
+        ScenarioArtifacts {
+            prefix,
+            topo,
+            layout,
+            labeling,
+            procs,
+            storm,
+            spam_tables: OnceLock::new(),
+            updown: OnceLock::new(),
+        }
+    }
+
+    /// A SPAM router over the cached topology, labeling, and (lazily
+    /// built, then shared) [`RoutingTables`] — identical decisions to
+    /// `SpamRouting::new(&topo, &labeling)`.
+    pub fn spam_routing(&self) -> SpamRouting<'_> {
+        let tables = self
+            .spam_tables
+            .get_or_init(|| Arc::new(RoutingTables::build(&self.topo, &self.labeling)));
+        SpamRouting::with_tables(&self.topo, &self.labeling, Arc::clone(tables))
+    }
+
+    /// An up*/down* unicast router over the cached precompute —
+    /// identical decisions to `UpDownUnicastRouting::new`.
+    pub fn updown_routing(&self) -> UpDownUnicastRouting<'_> {
+        let precomp = self
+            .updown
+            .get_or_init(|| UpDownUnicastRouting::new(&self.topo, &self.labeling).precomp());
+        UpDownUnicastRouting::with_precomp(&self.topo, &self.labeling, precomp.clone())
+    }
+
+    /// The epoch-switching router of a storm prefix (`None` otherwise),
+    /// with each epoch's masked tables built once and cached — identical
+    /// decisions to `ReconfigScenario::routing`.
+    pub fn epoch_routing(&self) -> Option<EpochRouting<'_>> {
+        let storm = self.storm.as_ref()?;
+        let tables = storm
+            .epoch_tables
+            .get_or_init(|| storm.scenario.build_epoch_tables(&self.topo));
+        Some(storm.scenario.routing_with_tables(&self.topo, tables))
+    }
+
+    /// Approximate heap footprint in bytes — what a byte-budgeted cache
+    /// charges for this entry. Routing precomputes are charged *eagerly*
+    /// (as if already built) so an entry's cost never changes after
+    /// insertion; the estimate is deliberately conservative for non-storm
+    /// entries, which may serve both routing arms.
+    pub fn approx_bytes(&self) -> usize {
+        let n = self.topo.num_nodes();
+        let m = self.topo.num_channels();
+        // Topology adjacency + channel records, layout, labeling (two
+        // n×n bit matrices plus per-node fields), processor list.
+        let base = m * 24 + n * 64 + n * n / 4 + self.procs.len() * 4;
+        let spam_tables = n * 3 * n * 2 + m * 12;
+        let updown = n * 2 * n * 2 + n * n / 8;
+        match &self.storm {
+            // Storms route SPAM-only, one masked table set per epoch.
+            Some(s) => base + s.scenario.num_epochs() * spam_tables,
+            None => base + spam_tables + updown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::example("artifact-tests")
+    }
+
+    #[test]
+    fn prefix_round_trips_through_canonical_json() {
+        let mut s = spec();
+        s.faults = FaultsSpec::Storm {
+            model: FaultModelSpec::IidLinks { rate: 0.25 },
+            seed: 9,
+            window_start_us: 5,
+            window_end_us: 50,
+            bursts: 3,
+        };
+        let p = ArtifactPrefix::of(&s, 2);
+        let round = ArtifactPrefix::from_canonical_json(&p.canonical_json()).unwrap();
+        assert_eq!(p, round);
+        assert_eq!(p.fingerprint(), round.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_traffic_and_traffic_seed() {
+        let a = spec();
+        let mut b = spec();
+        b.name = "renamed".into();
+        b.seed = a.seed ^ 0xDEAD;
+        b.replications = 7;
+        b.engine.trace = true;
+        assert_eq!(spec_fingerprint(&a, 0), spec_fingerprint(&b, 0));
+    }
+
+    #[test]
+    fn fingerprint_separates_reps_and_prefix_fields() {
+        let a = spec();
+        assert_ne!(spec_fingerprint(&a, 0), spec_fingerprint(&a, 1));
+        let mut b = spec();
+        b.topology.seed ^= 1;
+        assert_ne!(spec_fingerprint(&a, 0), spec_fingerprint(&b, 0));
+        let mut c = spec();
+        c.faults = FaultsSpec::Static {
+            model: FaultModelSpec::IidLinks { rate: 0.1 },
+            seed: 0,
+        };
+        assert_ne!(spec_fingerprint(&a, 0), spec_fingerprint(&c, 0));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let p = ArtifactPrefix::of(&spec(), 0);
+        let x = p.build().unwrap();
+        let y = p.build().unwrap();
+        assert_eq!(x.topo.num_nodes(), y.topo.num_nodes());
+        assert_eq!(x.topo.num_channels(), y.topo.num_channels());
+        assert_eq!(x.procs, y.procs);
+        assert!(x.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn manifest_prefix_validation_rejects_bad_fields() {
+        let mut p = ArtifactPrefix::of(&spec(), 0);
+        p.topology.switches = 1;
+        assert!(matches!(
+            p.build(),
+            Err(SpecError::TooFewSwitches { switches: 1 })
+        ));
+    }
+}

@@ -242,7 +242,7 @@ impl ScenarioSpec {
     }
 }
 
-fn decode_topology(v: &Json) -> Result<TopologySpec, SpecError> {
+pub(crate) fn decode_topology(v: &Json) -> Result<TopologySpec, SpecError> {
     let p = "scenario.topology";
     let f = fields(v, p)?;
     check_unknown(f, p, &["switches", "seed", "side", "strategy", "ports"])?;
@@ -276,7 +276,7 @@ fn decode_topology(v: &Json) -> Result<TopologySpec, SpecError> {
     })
 }
 
-fn encode_topology(t: &TopologySpec) -> Json {
+pub(crate) fn encode_topology(t: &TopologySpec) -> Json {
     let mut out = vec![("switches", uz(t.switches)), ("seed", u(t.seed))];
     if let Some(side) = t.side {
         out.push(("side", uz(side)));
@@ -729,7 +729,7 @@ fn encode_model(m: &FaultModelSpec) -> Json {
     }
 }
 
-fn decode_faults(v: &Json) -> Result<FaultsSpec, SpecError> {
+pub(crate) fn decode_faults(v: &Json) -> Result<FaultsSpec, SpecError> {
     let p = "scenario.faults";
     let f = fields(v, p)?;
     match kind_of(f, p)? {
@@ -784,7 +784,7 @@ fn decode_faults(v: &Json) -> Result<FaultsSpec, SpecError> {
     }
 }
 
-fn encode_faults(fs: &FaultsSpec) -> Json {
+pub(crate) fn encode_faults(fs: &FaultsSpec) -> Json {
     match fs {
         FaultsSpec::None => kind("none", vec![]),
         FaultsSpec::Static { model, seed } => kind(

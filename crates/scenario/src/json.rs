@@ -110,6 +110,45 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no whitespace — the JSONL form
+    /// the scenario service streams (one document per line, so embedded
+    /// newlines would corrupt the framing; the string escaper below
+    /// always encodes them as `\n`).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write_compact(out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars format identically in both modes.
+            other => other.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         use fmt::Write as _;
         let pad = |out: &mut String, n: usize| {

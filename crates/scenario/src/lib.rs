@@ -41,6 +41,7 @@
 //! assert!(report.mean_latency_us().unwrap() > 10.0); // startup floor
 //! ```
 
+pub mod artifact;
 pub mod bisect;
 pub mod codec;
 pub mod corpus;
@@ -51,13 +52,14 @@ pub mod run;
 pub mod snapshot;
 pub mod spec;
 
+pub use artifact::{spec_fingerprint, ArtifactPrefix, ScenarioArtifacts, StormArtifacts};
 pub use bisect::{bisect_divergence, DivergenceReport, EventDivergence};
 pub use corpus::{load_dir, CorpusError, SCENARIO_SUFFIX};
 pub use minimize::simplify_candidates;
 pub use mutate::{mutate_spec, Mutation, STAGGER_PALETTE, SWITCH_PALETTE};
 pub use run::{
-    run_once, run_once_full, run_once_with_topology, run_spec, split_seed, summarize, RepSummary,
-    ScenarioReport,
+    run_once, run_once_full, run_once_with_topology, run_spec, run_with_artifacts, split_seed,
+    summarize, RepSummary, ScenarioReport,
 };
 pub use snapshot::{outcome_digest, resume_once, run_once_checkpointed, CheckpointedRun};
 pub use spec::{

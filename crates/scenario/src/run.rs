@@ -2,22 +2,19 @@
 //! faults and routing, generate the workload, and run the wormhole
 //! simulator — one deterministic [`wormsim::SimOutcome`] per replication.
 
+use crate::artifact::{ArtifactPrefix, ScenarioArtifacts};
 use crate::spec::{
-    FaultsSpec, PolicySpec, QueueSpec, RoutingSpec, ScenarioSpec, SpecError, StrategySpec,
-    TrafficSpec,
+    FaultsSpec, PolicySpec, QueueSpec, RoutingSpec, ScenarioSpec, SpecError, TrafficSpec,
 };
 use baselines::{UnicastMulticast, UpDownUnicastRouting};
 use desim::{Duration, QueueKind, Time};
-use netgraph::gen::lattice::{IrregularConfig, LatticeLayout, LatticeStrategy};
+use netgraph::gen::lattice::LatticeLayout;
 use netgraph::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spam_core::{SelectionPolicy, SpamRouting};
-use spam_faults::DegradedNetwork;
-use spam_reconfig::{FaultSchedule, ReconfigScenario};
+use spam_core::SelectionPolicy;
 use std::collections::HashMap;
 use traffic::{BroadcastStormConfig, ClosedLoopInjector, DestinationSampler};
-use updown::{RootSelection, UpDownLabeling};
 use wormsim::{
     CheckpointSink, CompletionHook, MessageSpec, MetricsConfig, MsgId, NetworkSim,
     RoutingAlgorithm, SimConfig, SimOutcome, SnapshotError,
@@ -111,7 +108,7 @@ pub fn split_seed(seed: u64, stream: u64) -> u64 {
 /// Replication `0` uses the spec's seeds verbatim (so a one-replication
 /// scenario is exactly the instance its file describes); later
 /// replications derive independent streams.
-fn rep_seed(base: u64, rep: u32) -> u64 {
+pub(crate) fn rep_seed(base: u64, rep: u32) -> u64 {
     if rep == 0 {
         base
     } else {
@@ -257,9 +254,10 @@ pub fn run_once_full(
 }
 
 /// The single execution path behind every public runner: builds the
-/// environment a spec describes and then runs it fresh, checkpointed,
-/// or resumed per `mode` (see [`crate::snapshot`] for the public
-/// checkpoint/resume API).
+/// spec's artifacts (topology, faults, labeling — see
+/// [`crate::artifact`]) and then runs it fresh, checkpointed, or resumed
+/// per `mode` (see [`crate::snapshot`] for the public checkpoint/resume
+/// API).
 pub(crate) fn run_once_mode(
     spec: &ScenarioSpec,
     rep: u32,
@@ -267,21 +265,46 @@ pub(crate) fn run_once_mode(
     mode: RunMode<'_>,
 ) -> Result<(SimOutcome, Topology, LatticeLayout), SpecError> {
     spec.validate()?;
-    let tspec = &spec.topology;
-    let default_side = IrregularConfig::with_switches(tspec.switches).side;
-    let gen = IrregularConfig {
-        switches: tspec.switches,
-        side: tspec.side.unwrap_or(default_side),
-        strategy: match tspec.strategy {
-            StrategySpec::ConnectedGrowth => LatticeStrategy::ConnectedGrowth,
-            StrategySpec::UniformRetry => LatticeStrategy::UniformRetry,
-        },
-        max_retries: 64,
-    };
-    let (topo, layout) = gen.generate_with_layout(rep_seed(tspec.seed, rep));
-    topo.validate(tspec.ports)
-        .map_err(|_| SpecError::BadPorts { ports: tspec.ports })?;
+    let arts = ArtifactPrefix::of(spec, rep).build()?;
+    let out = run_mode_with_artifacts(spec, rep, queue, mode, &arts)?;
+    let ScenarioArtifacts { topo, layout, .. } = arts;
+    Ok((out, topo, layout))
+}
 
+/// Runs one replication on *prebuilt* artifacts — the warm path of the
+/// `spam-serve` artifact cache: straight to traffic generation, with the
+/// topology, labeling, fault precomputation, and routing tables shared
+/// from `arts`. Produces byte-identical outcomes to [`run_once`] for the
+/// same spec and replication (pinned by the differential cache suite).
+///
+/// # Panics
+///
+/// Panics when `arts` was built for a different topology+faults prefix
+/// or replication than `(spec, rep)` — running on mismatched artifacts
+/// would silently simulate the wrong network, so the contract is
+/// asserted, not assumed. Use [`ArtifactPrefix::matches`] to check first
+/// when the pairing is not known by construction.
+pub fn run_with_artifacts(
+    spec: &ScenarioSpec,
+    rep: u32,
+    queue: Option<QueueKind>,
+    arts: &ScenarioArtifacts,
+) -> Result<SimOutcome, SpecError> {
+    spec.validate()?;
+    run_mode_with_artifacts(spec, rep, queue, RunMode::Fresh, arts)
+}
+
+pub(crate) fn run_mode_with_artifacts(
+    spec: &ScenarioSpec,
+    rep: u32,
+    queue: Option<QueueKind>,
+    mode: RunMode<'_>,
+    arts: &ScenarioArtifacts,
+) -> Result<SimOutcome, SpecError> {
+    assert!(
+        arts.prefix.matches(spec, rep),
+        "artifacts were built for a different topology+faults prefix"
+    );
     let mut cfg = SimConfig::paper()
         .with_buffers(
             spec.engine.input_buffer_flits,
@@ -303,48 +326,35 @@ pub(crate) fn run_once_mode(
 
     let traffic_seed = rep_seed(spec.seed, rep);
     match &spec.faults {
-        FaultsSpec::Storm {
-            model,
-            seed,
-            window_start_us,
-            window_end_us,
-            bursts,
-        } => {
+        FaultsSpec::Storm { .. } => {
             // Live reconfiguration: epoch-stamped SPAM routing over the
             // pristine population; teardowns and unreachables are
-            // expected per-message verdicts.
-            let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
-            let schedule = FaultSchedule::storm(
-                &model.to_model(),
-                &topo,
-                Some(&layout),
-                (
-                    Time::from_us(*window_start_us),
-                    Time::from_us(*window_end_us),
-                ),
-                *bursts,
-                rep_seed(*seed, rep),
-            );
-            // A storm can destroy the whole fabric (e.g. switch faults
-            // at rate 1.0); that is a typed rejection, not a panic.
-            let scenario = ReconfigScenario::try_build(&topo, &ud, &schedule)
-                .ok_or(SpecError::NoSurvivingComponent)?;
-            let routing = scenario.routing(&topo);
+            // expected per-message verdicts. The prefix match above
+            // guarantees the storm artifacts exist.
+            #[allow(clippy::expect_used)]
+            let storm = arts
+                .storm
+                .as_ref()
+                .expect("storm prefix has storm artifacts");
+            #[allow(clippy::expect_used)]
+            let routing = arts
+                .epoch_routing()
+                .expect("storm prefix has storm artifacts");
+            let topo = &arts.topo;
             let mut out = match mode {
                 RunMode::Resume { bytes } => {
                     // The fault schedule's link-down events are *in* the
                     // snapshot — reinstalling would fire each fault twice.
-                    NetworkSim::restore(&topo, routing, cfg, bytes)
+                    NetworkSim::restore(topo, routing, cfg, bytes)
                         .map_err(to_snap_err)?
                         .run()
                 }
                 mode => {
-                    let procs: Vec<NodeId> = topo.processors().collect();
-                    let stream = open_stream(spec, &topo, &layout, &procs, traffic_seed)?;
-                    let mut sim = NetworkSim::new(&topo, routing, cfg);
+                    let stream = open_stream(spec, topo, &arts.layout, &arts.procs, traffic_seed)?;
+                    let mut sim = NetworkSim::new(topo, routing, cfg);
                     Observers::from_spec(spec).install(&mut sim);
                     mode.install(&mut sim);
-                    schedule.install(&mut sim);
+                    storm.schedule.install(&mut sim);
                     submit_all(&mut sim, stream)?;
                     sim.run()
                 }
@@ -355,7 +365,7 @@ pub(crate) fn run_once_mode(
             // coverage record. Reports depend only on the topology and
             // the fault schedule, never on the event queue, so the
             // merged record stays queue-independent.
-            for r in scenario.reports() {
+            for r in storm.scenario.reports() {
                 let cov = &mut out.counters.coverage;
                 if r.full_rebuild {
                     cov.set(wormsim::CoverageSet::RELABEL_FULL_REBUILD);
@@ -364,59 +374,33 @@ pub(crate) fn run_once_mode(
                 }
                 cov.max_reattached_nodes = cov.max_reattached_nodes.max(r.reattached_nodes as u32);
             }
-            Ok((out, topo, layout))
+            Ok(out)
         }
-        FaultsSpec::None => {
-            let ud = UpDownLabeling::build(&topo, RootSelection::LowestId);
-            let procs: Vec<NodeId> = topo.processors().collect();
-            let out = dispatch(spec, &topo, &layout, &ud, &procs, cfg, traffic_seed, mode)?;
-            Ok((out, topo, layout))
-        }
-        FaultsSpec::Static { model, seed } => {
-            // Damage strikes before the run: reconfigure and confine the
-            // workload to the largest surviving component.
-            let plan = model
-                .to_model()
-                .sample(&topo, Some(&layout), rep_seed(*seed, rep));
-            let net = DegradedNetwork::build(&topo, &plan, None);
-            let comp = net.largest().ok_or(SpecError::NoSurvivingComponent)?;
-            let procs = comp.processors(&net.topo);
-            if procs.len() < 2 {
-                return Err(SpecError::NoSurvivingComponent);
-            }
-            let out = dispatch(
-                spec,
-                &net.topo,
-                &layout,
-                &comp.labeling,
-                &procs,
-                cfg,
-                traffic_seed,
-                mode,
-            )?;
-            Ok((out, net.topo, layout))
+        // Pristine and statically degraded networks share the dispatch:
+        // the artifacts already hold the right topology, labeling, and
+        // surviving-processor population for either case.
+        FaultsSpec::None | FaultsSpec::Static { .. } => {
+            dispatch(spec, arts, cfg, traffic_seed, mode)
         }
     }
 }
 
-/// Static-network execution: build the routing arm and drive the
-/// workload (open-loop stream or closed-loop hook).
-#[allow(clippy::too_many_arguments)]
+/// Static-network execution: attach the routing arm to the artifacts'
+/// cached precomputes and drive the workload (open-loop stream or
+/// closed-loop hook).
 fn dispatch(
     spec: &ScenarioSpec,
-    topo: &Topology,
-    layout: &LatticeLayout,
-    ud: &UpDownLabeling,
-    procs: &[NodeId],
+    arts: &ScenarioArtifacts,
     cfg: SimConfig,
     traffic_seed: u64,
     mode: RunMode<'_>,
 ) -> Result<SimOutcome, SpecError> {
     let closed_loop = spec.closed_loop_config();
     let obs = Observers::from_spec(spec);
+    let (topo, layout, procs) = (&arts.topo, &arts.layout, arts.procs.as_slice());
     match spec.routing {
         RoutingSpec::Spam { policy } => {
-            let routing = SpamRouting::new(topo, ud).with_policy(to_policy(policy));
+            let routing = arts.spam_routing().with_policy(to_policy(policy));
             match closed_loop {
                 Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed, obs, mode),
                 None => {
@@ -426,7 +410,7 @@ fn dispatch(
             }
         }
         RoutingSpec::UpDownUnicast => {
-            let routing = UpDownUnicastRouting::new(topo, ud);
+            let routing = arts.updown_routing();
             match closed_loop {
                 Some(cl) => run_closed_loop(topo, routing, cfg, cl, procs, traffic_seed, obs, mode),
                 None => {
@@ -436,7 +420,7 @@ fn dispatch(
             }
         }
         RoutingSpec::SoftwareMulticast => {
-            let routing = UpDownUnicastRouting::new(topo, ud);
+            let routing = arts.updown_routing();
             let stream = open_stream(spec, topo, layout, procs, traffic_seed)?;
             run_software(topo, routing, cfg, stream, obs, mode)
         }

@@ -1,0 +1,111 @@
+//! Allocation discipline of the artifact-cache request path.
+//!
+//! Two pins, measured with a counting global allocator in a
+//! single-threaded `harness = false` process (the libtest harness runs
+//! tests on spawned threads and allocates on its own schedule, which
+//! would blur exact counts):
+//!
+//! 1. **Hit lookups are allocation-free.** The steady state of a warm
+//!    daemon is fingerprint → probe → verify prefix → bump LRU → clone
+//!    `Arc`; none of it may touch the heap.
+//! 2. **Insert/evict churn is reproducible.** The miss path necessarily
+//!    allocates (it builds artifacts), so the pin is exact equality of
+//!    allocation counts across two identical churn rounds — any drift
+//!    would mean hidden state growing per round (leaked map capacity,
+//!    log growth) inside the cache.
+
+use spam_serve::{ArtifactCache, CacheConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pass-through to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn count<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    (r, ALLOCS.load(Ordering::Relaxed) - before)
+}
+
+fn spec(seed: u64) -> spam_scenario::ScenarioSpec {
+    let mut s = spam_scenario::ScenarioSpec::example("alloc-guard");
+    s.topology.switches = 16;
+    s.topology.seed = seed;
+    s.traffic = spam_scenario::TrafficSpec::SingleMulticast { dests: 4, len: 64 };
+    s
+}
+
+fn hit_lookups_are_allocation_free() {
+    let mut cache = ArtifactCache::new(CacheConfig::default());
+    let specs: Vec<_> = (0..4).map(spec).collect();
+    for s in &specs {
+        cache.lookup(s, 0).unwrap();
+    }
+    // Drop the Arc inside `count` too: a hit must not allocate even
+    // including the handle's lifecycle.
+    for s in &specs {
+        let ((), n) = count(|| {
+            let (arts, hit) = cache.lookup(s, 0).unwrap();
+            assert!(hit);
+            drop(arts);
+        });
+        assert_eq!(n, 0, "cache hit allocated {n} times");
+    }
+    assert_eq!(cache.stats().hits, 4);
+    println!("ok - hit lookups are allocation-free");
+}
+
+fn churn_allocation_counts_are_reproducible() {
+    // Budget of 2 entries, rotating 4 prefixes: every round is pure
+    // insert+evict churn with zero hits.
+    let mut cache = ArtifactCache::new(CacheConfig {
+        max_entries: 2,
+        max_bytes: usize::MAX,
+    });
+    let specs: Vec<_> = (0..4).map(spec).collect();
+    let round = |cache: &mut ArtifactCache| {
+        for s in &specs {
+            let (_, hit) = cache.lookup(s, 0).unwrap();
+            assert!(!hit, "rotation wider than the budget can never hit");
+        }
+    };
+    // Warm-up round lets the map reach steady capacity.
+    round(&mut cache);
+    let ((), first) = count(|| round(&mut cache));
+    let ((), second) = count(|| round(&mut cache));
+    assert_eq!(
+        first, second,
+        "insert/evict churn drifted: {first} vs {second} allocations"
+    );
+    assert!(
+        first > 0,
+        "the miss path builds artifacts and must allocate"
+    );
+    assert_eq!(cache.stats().evictions, 4 * 3 - 2);
+    println!("ok - churn allocation counts are reproducible ({first}/round)");
+}
+
+fn main() {
+    hit_lookups_are_allocation_free();
+    churn_allocation_counts_are_reproducible();
+    println!("cache_zero_alloc: all pins held");
+}

@@ -1,0 +1,139 @@
+//! Reconnect/resume contract over a live daemon.
+//!
+//! A client consumes part of its result stream over a unix socketpair,
+//! then its connection dies without acking. It reconnects with
+//! `hello {resume_from: <last cursor it saw>}` and reads the rest. The
+//! concatenation of the two partial streams must equal — byte for byte
+//! — the stream an uninterrupted client of a fresh daemon receives for
+//! the same requests: no gaps, no duplicates, identical cursors,
+//! digests, and cache counters. This holds because cursor assignment,
+//! backlog retention, and the live write happen atomically under the
+//! daemon's state lock.
+
+use spam_scenario::ScenarioSpec;
+use spam_serve::{Daemon, ServeConfig, ServeCore};
+use std::io::{BufRead, BufReader, Lines, Write};
+use std::os::unix::net::UnixStream;
+
+fn spec(name: &str, seed: u64, reps: u32) -> ScenarioSpec {
+    let mut s = ScenarioSpec::example(name);
+    s.topology.switches = 16;
+    s.topology.seed = seed;
+    s.traffic = spam_scenario::TrafficSpec::SingleMulticast { dests: 4, len: 64 };
+    s.replications = reps;
+    s
+}
+
+/// The two jobs every scenario below submits: 3 + 3 = 6 result lines.
+fn requests() -> Vec<String> {
+    vec![
+        format!(
+            r#"{{"op":"run","spec":{}}}"#,
+            spec("resume-a", 11, 3).to_json().to_string_compact()
+        ),
+        format!(
+            r#"{{"op":"run","spec":{}}}"#,
+            spec("resume-b", 12, 3).to_json().to_string_compact()
+        ),
+    ]
+}
+
+fn connect(daemon: &Daemon) -> (UnixStream, Lines<BufReader<UnixStream>>) {
+    let (client, server) = UnixStream::pair().expect("socketpair");
+    daemon.attach(server.try_clone().expect("server read half"), server);
+    let tx = client.try_clone().expect("client write half");
+    (tx, BufReader::new(client).lines())
+}
+
+fn cursor_of(line: &str) -> u64 {
+    let doc = spam_scenario::json::parse(line).expect("valid JSON line");
+    doc.get("cursor")
+        .and_then(|v| v.as_num()?.as_u64())
+        .expect("cursor field")
+}
+
+/// Reads result lines until `want` of them have arrived.
+fn read_results(lines: &mut Lines<BufReader<UnixStream>>, want: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    while out.len() < want {
+        let line = lines
+            .next()
+            .expect("stream stays open until satisfied")
+            .expect("readable line");
+        assert!(
+            !line.contains("\"error\":"),
+            "unexpected error line: {line}"
+        );
+        if line.contains("\"type\":\"result\"") {
+            out.push(line);
+        }
+    }
+    out
+}
+
+/// An uninterrupted client: submit everything, read all 6 results.
+fn uninterrupted_stream() -> Vec<String> {
+    let daemon = Daemon::start(ServeCore::new(ServeConfig::default()));
+    let (mut tx, mut lines) = connect(&daemon);
+    writeln!(tx, r#"{{"op":"hello","client":"c1"}}"#).unwrap();
+    for r in requests() {
+        writeln!(tx, "{r}").unwrap();
+    }
+    let results = read_results(&mut lines, 6);
+    writeln!(tx, r#"{{"op":"shutdown"}}"#).unwrap();
+    daemon.join().unwrap();
+    results
+}
+
+#[test]
+fn interrupted_plus_resumed_stream_equals_uninterrupted() {
+    let reference = uninterrupted_stream();
+    assert_eq!(
+        reference.iter().map(|l| cursor_of(l)).collect::<Vec<_>>(),
+        (1..=6).collect::<Vec<_>>(),
+        "reference cursors are a gapless 1..=6"
+    );
+
+    // Interrupted run against a fresh daemon: same requests, but the
+    // first connection dies after two results, unacked.
+    let daemon = Daemon::start(ServeCore::new(ServeConfig::default()));
+    let (mut tx, mut lines) = connect(&daemon);
+    writeln!(tx, r#"{{"op":"hello","client":"c1"}}"#).unwrap();
+    for r in requests() {
+        writeln!(tx, "{r}").unwrap();
+    }
+    let head = read_results(&mut lines, 2);
+    let last_seen = cursor_of(&head[1]);
+    drop(tx);
+    drop(lines); // connection gone: later results are retained, not delivered
+
+    // Reconnect as the same logical client, resuming past what we saw.
+    let (mut tx2, mut lines2) = connect(&daemon);
+    writeln!(
+        tx2,
+        r#"{{"op":"hello","client":"c1","resume_from":{last_seen}}}"#
+    )
+    .unwrap();
+    let hello = lines2.next().unwrap().unwrap();
+    assert!(hello.contains("\"type\":\"hello\""), "{hello}");
+    let tail = read_results(&mut lines2, 4);
+
+    let combined: Vec<String> = head.into_iter().chain(tail).collect();
+    assert_eq!(
+        combined, reference,
+        "concatenated interrupted stream must be byte-identical to the uninterrupted one"
+    );
+
+    // Ack everything, then confirm the backlog is really trimmed: a
+    // resume from the acked watermark replays nothing.
+    writeln!(tx2, r#"{{"op":"ack","cursor":6}}"#).unwrap();
+    let acked = lines2.next().unwrap().unwrap();
+    assert!(acked.contains("\"retained\":0"), "{acked}");
+    let (mut tx3, mut lines3) = connect(&daemon);
+    writeln!(tx3, r#"{{"op":"hello","client":"c1","resume_from":6}}"#).unwrap();
+    let hello3 = lines3.next().unwrap().unwrap();
+    assert!(hello3.contains("\"replayed\":0"), "{hello3}");
+
+    writeln!(tx3, r#"{{"op":"shutdown"}}"#).unwrap();
+    daemon.join().unwrap();
+}

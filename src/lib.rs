@@ -41,6 +41,7 @@ pub use spam_fuzz as fuzz;
 pub use spam_metrics as metrics;
 pub use spam_reconfig as reconfig;
 pub use spam_scenario as scenario;
+pub use spam_serve as serve;
 pub use spam_trace as trace;
 pub use traffic;
 pub use updown;
